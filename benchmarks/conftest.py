@@ -1,0 +1,35 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+paper-vs-measured report, and writes it to ``results/<name>.txt`` so the
+artifacts survive the run (pytest captures stdout unless ``-s`` is given).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """Persist a formatted report and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[report saved to results/{name}.txt]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Full design-space explorations are deterministic and expensive;
+    repeating them for statistics would only re-measure caches.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Bring your own coefficients: the framework without the training stack.
+
+A downstream user with a model trained elsewhere (scikit-learn, a DSP
+pipeline, hand-tuned filters) only needs integer coefficients to use the
+approximation framework.  This example builds a QuantSVM directly from a
+hand-written coefficient matrix, generates its bespoke circuit, sweeps
+the coefficient-approximation radius e, and prints the area/accuracy
+trade-off per e — the per-model version of the paper's Fig. 2 study.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro import CoefficientApproximator, build_bespoke_netlist
+from repro.eval.accuracy import CircuitEvaluator
+from repro.hw import area_mm2
+from repro.quant import QuantSVM
+
+
+def make_data(weights, biases, n=2000, seed=0):
+    """Synthetic classification data that the hand-made model fits."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(n, weights.shape[0]))
+    scores = (X * 15).astype(int) @ weights + biases
+    y = np.argmax(scores, axis=1)
+    return X, y
+
+
+def main() -> None:
+    print("=== custom coefficients through the public API ===\n")
+
+    # A hand-written 3-class linear scorer over 8 features: deliberately
+    # hardware-unfriendly values (dense CSD forms).
+    weights = np.array([
+        [93, -77, 13], [-59, 87, -21], [45, -101, 77], [-37, 29, -91],
+        [119, -43, 55], [-85, 61, -27], [23, -115, 99], [-71, 53, -47],
+    ], dtype=np.int64)
+    biases = np.array([-400, 250, 120], dtype=np.int64)
+    model = QuantSVM(weights, biases, weight_scale=64.0, kind="classifier",
+                     classes=np.array([0, 1, 2]))
+    X, y = make_data(weights, biases)
+    X_train, X_test = X[:1400], X[1400:]
+    y_train, y_test = y[:1400], y[1400:]
+
+    evaluator = CircuitEvaluator.from_split(model, X_train, X_test, y_test)
+    baseline_netlist = build_bespoke_netlist(model, name="custom")
+    baseline = evaluator.evaluate(baseline_netlist)
+    print(f"exact circuit: {baseline_netlist.n_gates} gates, "
+          f"{baseline.area_mm2:.0f} mm^2, accuracy {baseline.accuracy:.3f}\n")
+
+    print(f"{'e':>3s} {'area mm^2':>10s} {'area %':>7s} {'accuracy':>9s} "
+          f"{'changed coeffs':>15s}")
+    for e in range(0, 9):
+        approximator = CoefficientApproximator(e=e)
+        approximated, reports = approximator.approximate_model(model)
+        changed = sum(
+            o != a for r in reports
+            for o, a in zip(r.original, r.approximated))
+        netlist = build_bespoke_netlist(approximated, name=f"custom-e{e}")
+        record = evaluator.evaluate(netlist)
+        print(f"{e:3d} {record.area_mm2:10.0f} "
+              f"{100 * record.area_mm2 / baseline.area_mm2:7.1f} "
+              f"{record.accuracy:9.3f} {changed:15d}")
+
+    print("\narea drops steeply up to e=4 and then saturates -- the")
+    print("behaviour behind the paper's choice of e=4 (Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

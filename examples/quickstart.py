@@ -1,0 +1,70 @@
+"""Quickstart: train, quantize, and cross-approximate one printed classifier.
+
+Walks the full paper flow on the RedWine MLP-C in under a minute:
+
+1. load the (synthetic) red-wine dataset with the paper's 70/30 split;
+2. train the Table I topology (11 inputs, 2 hidden neurons, 6 classes);
+3. quantize to 8-bit coefficients / 4-bit inputs;
+4. run the cross-layer approximation framework (coefficient
+   approximation + full-search netlist pruning);
+5. report the Pareto-optimal designs and the <1% accuracy-loss pick.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CrossLayerFramework,
+    MLPClassifier,
+    load_dataset,
+    quantize_model,
+)
+
+
+def main() -> None:
+    print("=== printed-ML cross-layer approximation: quickstart ===\n")
+
+    # 1. Data: normalized to [0, 1], 70/30 split (paper Section III-A).
+    split = load_dataset("redwine").standard_split(seed=0)
+    print(f"dataset: redwine  train={len(split.y_train)} "
+          f"test={len(split.y_test)} features={split.n_features}")
+
+    # 2. The paper's topology for this dataset: one hidden layer of 2.
+    model = MLPClassifier(hidden_layer_sizes=(2,), seed=1, max_epochs=250)
+    model.fit(split.X_train, split.y_train)
+    print(f"float MLP-C accuracy: {model.score(split.X_test, split.y_test):.3f}")
+
+    # 3. Fixed-point quantization (8-bit coefficients, 4-bit inputs).
+    quant = quantize_model(model)
+    print(f"quantized model: topology {quant.topology}, "
+          f"{quant.n_coefficients} hardwired coefficients\n")
+
+    # 4. The automated framework: e=4 coefficient approximation, then a
+    #    full-search pruning exploration of both the exact and the
+    #    coefficient-approximated netlists.
+    framework = CrossLayerFramework(e=4)
+    result = framework.explore(quant, split.X_train, split.X_test,
+                               split.y_test, name="redwine-mlp-c")
+    baseline = result.baseline
+    print(f"explored {result.n_designs} designs in {result.runtime_s:.1f} s")
+    print(f"exact bespoke baseline: accuracy {baseline.accuracy:.3f}, "
+          f"area {baseline.area_cm2:.1f} cm^2, power {baseline.power_mw:.1f} mW\n")
+
+    # 5a. The Pareto front of the proposed cross-layer designs.
+    print("cross-layer Pareto front (normalized area, accuracy):")
+    for point in result.pareto("cross"):
+        print(f"  area {result.normalized_area(point):5.2f}  "
+              f"accuracy {point.accuracy:.3f}   "
+              f"(tau_c={point.tau_c}, phi_c={point.phi_c})")
+
+    # 5b. The Table II selection: minimum area losing <1% accuracy.
+    print("\narea-optimal design at <1% accuracy loss:")
+    for technique in ("coeff", "prune", "cross"):
+        best = result.best_within_loss(technique)
+        reduction = 100 * (1 - result.normalized_area(best))
+        print(f"  {technique:6s}: area {best.area_cm2:5.2f} cm^2 "
+              f"({reduction:4.1f}% smaller), accuracy {best.accuracy:.3f}, "
+              f"power {best.power_mw:.1f} mW")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim: offline environments lack the wheel package PEP 660 needs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""Cross-layer approximation for printed machine learning circuits.
+
+A full reproduction of Armeniakos et al., "Cross-Layer Approximation For
+Printed Machine Learning Circuits" (DATE 2022), built from scratch on
+NumPy: a training stack for the paper's MLP/SVM models, synthetic
+stand-ins for its UCI datasets, a printed-EGT hardware substrate (netlist
+IR, synthesis, simulation, area/power/timing), and the paper's two
+approximation layers — hardware-driven coefficient approximation and
+full-search netlist pruning — composed into the automated cross-layer
+framework.
+
+Quick start::
+
+    from repro import (load_dataset, MLPClassifier, quantize_model,
+                       CrossLayerFramework)
+
+    split = load_dataset("redwine").standard_split()
+    model = MLPClassifier(hidden_layer_sizes=(2,), seed=1)
+    model.fit(split.X_train, split.y_train)
+    quant = quantize_model(model)
+    framework = CrossLayerFramework()
+    result = framework.explore(quant, split.X_train, split.X_test,
+                               split.y_test, name="redwine-mlp")
+    best = result.best_within_loss("cross")  # <1% accuracy loss
+"""
+
+from .core import (
+    CoefficientApproximator,
+    CrossLayerFramework,
+    DesignPoint,
+    ExplorationResult,
+    NetlistPruner,
+    BespokeMultiplierLibrary,
+    default_library,
+    pareto_front,
+)
+from .datasets import Dataset, Split, available_datasets, load_dataset
+from .eval import CircuitEvaluator, EvaluationRecord, battery_powerable
+from .hw import (
+    Netlist,
+    TECHNOLOGY,
+    area_cm2,
+    area_mm2,
+    build_bespoke_netlist,
+    critical_path_ms,
+    input_payload,
+    power_mw,
+    simulate,
+    synthesize,
+)
+from .ml import (
+    LinearSVMClassifier,
+    LinearSVMRegressor,
+    MLPClassifier,
+    MLPRegressor,
+    MinMaxScaler,
+    RandomizedSearchCV,
+    accuracy_score,
+    train_test_split,
+)
+from .quant import QuantMLP, QuantSVM, quantize_inputs, quantize_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoefficientApproximator",
+    "CrossLayerFramework",
+    "DesignPoint",
+    "ExplorationResult",
+    "NetlistPruner",
+    "BespokeMultiplierLibrary",
+    "default_library",
+    "pareto_front",
+    "Dataset",
+    "Split",
+    "available_datasets",
+    "load_dataset",
+    "CircuitEvaluator",
+    "EvaluationRecord",
+    "battery_powerable",
+    "Netlist",
+    "TECHNOLOGY",
+    "area_cm2",
+    "area_mm2",
+    "build_bespoke_netlist",
+    "critical_path_ms",
+    "input_payload",
+    "power_mw",
+    "simulate",
+    "synthesize",
+    "LinearSVMClassifier",
+    "LinearSVMRegressor",
+    "MLPClassifier",
+    "MLPRegressor",
+    "MinMaxScaler",
+    "RandomizedSearchCV",
+    "accuracy_score",
+    "train_test_split",
+    "QuantMLP",
+    "QuantSVM",
+    "quantize_inputs",
+    "quantize_model",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-printed-ml table1
+    repro-printed-ml table2 --datasets redwine cardio
+    repro-printed-ml fig2 --quick
+    repro-printed-ml all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import fig1, fig2, fig3, proxy_correlation, table1, table2, table3
+from .experiments.zoo import MODEL_KINDS, all_cases, get_case
+
+_EXPERIMENTS = ("table1", "table2", "table3", "fig1", "fig2", "fig3", "proxy")
+
+
+def _selected_cases(datasets: list[str] | None, include_excluded: bool = False):
+    if not datasets:
+        return None
+    cases = []
+    for dataset in datasets:
+        for kind in MODEL_KINDS:
+            case = get_case(dataset, kind)
+            if include_excluded or not case.excluded:
+                cases.append(case)
+    return cases
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    cases = _selected_cases(args.datasets)
+    if name == "table1":
+        # Table I reports the excluded Pendigits regressors too.
+        return table1.format_table(
+            table1.run(_selected_cases(args.datasets,
+                                       include_excluded=True)))
+    if name == "table2":
+        return table2.format_table(table2.run(cases))
+    if name == "table3":
+        return table3.format_table(table3.run(cases))
+    if name == "fig1":
+        return fig1.format_table(fig1.run())
+    if name == "fig2":
+        configurations = ((4, 8),) if args.quick else fig2.CONFIGURATIONS
+        return fig2.format_table(fig2.run(configurations=configurations))
+    if name == "fig3":
+        return fig3.format_table(fig3.run(cases))
+    if name == "proxy":
+        n = 100 if args.quick else 1000
+        return proxy_correlation.format_table(proxy_correlation.run(n))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-printed-ml",
+        description="Regenerate the tables and figures of the DATE'22 "
+                    "printed-ML cross-layer approximation paper.")
+    parser.add_argument("experiment", choices=(*_EXPERIMENTS, "all"),
+                        help="which artifact to regenerate")
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="restrict to these datasets (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workloads for a fast smoke run")
+    args = parser.parse_args(argv)
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(_run_one(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: cross-layer approximation for printed ML."""
+
+from .coeff_approx import ApproximatedSum, CoefficientApproximator
+from .cross_layer import (
+    TECHNIQUE_LABELS,
+    TECHNIQUES,
+    CrossLayerFramework,
+    DesignPoint,
+    ExplorationResult,
+)
+from .multiplier_area import BespokeMultiplierLibrary, default_library
+from .pareto import best_within_accuracy_loss, is_dominated, pareto_front
+from .pruning import (
+    DEFAULT_TAU_GRID,
+    NetlistPruner,
+    PruneSpace,
+    PrunedDesign,
+    compute_phi,
+)
+
+__all__ = [
+    "ApproximatedSum",
+    "CoefficientApproximator",
+    "TECHNIQUE_LABELS",
+    "TECHNIQUES",
+    "CrossLayerFramework",
+    "DesignPoint",
+    "ExplorationResult",
+    "BespokeMultiplierLibrary",
+    "default_library",
+    "best_within_accuracy_loss",
+    "is_dominated",
+    "pareto_front",
+    "DEFAULT_TAU_GRID",
+    "NetlistPruner",
+    "PruneSpace",
+    "PrunedDesign",
+    "compute_phi",
+]

@@ -1,0 +1,221 @@
+"""Hardware-driven coefficient approximation (Section III-B).
+
+For each weighted sum ``S = sum_i x_i * w_i`` (a neuron in an MLP, a
+per-class score unit in an SVM) the algorithm:
+
+1. evaluates ``AREA(BM_w~)`` for every candidate ``w~`` in
+   ``[w_i - e, w_i + e]`` (clipped at the coefficient range borders) via
+   the :class:`~repro.core.multiplier_area.BespokeMultiplierLibrary`;
+2. builds the candidate pair ``R_i = {w~minus, w~plus}`` — the minimum-area
+   candidates above and below ``w_i``, producing negative and positive
+   multiplication errors respectively;
+3. selects one candidate per coefficient so the *signed error sum*
+   ``sum_i (w_i - w~_i)`` is as close to zero as possible (the inputs are
+   non-negative, so balancing signed coefficient errors minimizes the
+   weighted-sum error of Eq. 2), breaking ties by the area proxy.
+
+Step 3 is a brute-force enumeration in the paper.  That stays available
+(``strategy="exhaustive"``), but an exact dynamic program over the bounded
+error sum gives identical answers in linear-ish time and is the default
+for wide sums; equivalence is property-tested.  A ``"greedy"`` strategy
+(min-area candidate, ignoring balance) is provided as the ablation
+baseline the paper's design implicitly argues against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..quant.fixed_point import DEFAULT_COEFF_BITS, coeff_range
+from .multiplier_area import BespokeMultiplierLibrary, default_library
+
+__all__ = ["ApproximatedSum", "CoefficientApproximator"]
+
+# Beyond this many free coefficients the 2^N enumeration is replaced by
+# the exact DP unless the caller forces "exhaustive" (which hard-caps at
+# _EXHAUSTIVE_HARD_LIMIT to keep runtimes sane).
+_EXHAUSTIVE_LIMIT = 12
+_EXHAUSTIVE_HARD_LIMIT = 22
+
+
+@dataclass(frozen=True)
+class ApproximatedSum:
+    """Result of approximating one weighted sum.
+
+    Attributes:
+        original / approximated: integer coefficients before and after.
+        error_sum: ``sum_i (w_i - w~_i)`` achieved by the selection.
+        area_before / area_after: multiplier-area proxy in mm^2.
+    """
+
+    original: tuple[int, ...]
+    approximated: tuple[int, ...]
+    error_sum: int
+    area_before: float
+    area_after: float
+
+    @property
+    def area_reduction(self) -> float:
+        """Fractional proxy-area reduction of this weighted sum."""
+        if self.area_before == 0.0:
+            return 0.0
+        return 1.0 - self.area_after / self.area_before
+
+
+class CoefficientApproximator:
+    """The algorithmic-level approximation pass of the framework.
+
+    Args:
+        library: bespoke multiplier area cache (shared by default).
+        e: search radius around each coefficient; the paper fixes ``e = 4``
+           because area gains saturate beyond it (Fig. 2).
+        strategy: ``"auto"`` (DP above 20 coefficients), ``"exhaustive"``
+           (the paper's brute force), ``"dp"``, or ``"greedy"`` (ablation).
+        coeff_bits: coefficient word length (8 in the paper).
+    """
+
+    def __init__(self, library: BespokeMultiplierLibrary | None = None,
+                 e: int = 4, strategy: str = "auto",
+                 coeff_bits: int = DEFAULT_COEFF_BITS) -> None:
+        if e < 0:
+            raise ValueError("search radius e must be non-negative")
+        if strategy not in ("auto", "exhaustive", "dp", "greedy"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.library = library if library is not None else default_library()
+        self.e = e
+        self.strategy = strategy
+        self.coeff_bits = coeff_bits
+
+    # ------------------------------------------------------------------
+    # Candidate construction (steps 1-2)
+    # ------------------------------------------------------------------
+    def _min_area_candidate(self, lo: int, hi: int, input_bits: int,
+                            anchor: int) -> int:
+        """Minimum-area candidate in [lo, hi]; ties go to the closest to
+        ``anchor`` (so an unbeaten coefficient keeps its value — the
+        paper's zero-reduction case)."""
+        best = None
+        best_key = None
+        for candidate in range(lo, hi + 1):
+            key = (self.library.area(candidate, input_bits),
+                   abs(candidate - anchor))
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        return best
+
+    def candidate_pair(self, coefficient: int,
+                       input_bits: int) -> tuple[int, int]:
+        """``R_i = (w~minus, w~plus)``: negative- and positive-error picks."""
+        lo_bound, hi_bound = coeff_range(self.coeff_bits)
+        upper = min(coefficient + self.e, hi_bound)
+        lower = max(coefficient - self.e, lo_bound)
+        w_minus = self._min_area_candidate(coefficient, upper, input_bits,
+                                           coefficient)
+        w_plus = self._min_area_candidate(lower, coefficient, input_bits,
+                                          coefficient)
+        return w_minus, w_plus
+
+    # ------------------------------------------------------------------
+    # Selection (step 3)
+    # ------------------------------------------------------------------
+    def approximate_coefficients(self, coefficients,
+                                 input_bits: int) -> ApproximatedSum:
+        """Approximate one weighted sum's coefficient vector."""
+        coefficients = [int(w) for w in coefficients]
+        pairs = [self.candidate_pair(w, input_bits) for w in coefficients]
+        strategy = self.strategy
+        if strategy == "auto":
+            free = sum(1 for minus, plus in pairs if minus != plus)
+            strategy = "exhaustive" if free <= _EXHAUSTIVE_LIMIT else "dp"
+        if strategy == "greedy":
+            chosen = [self._min_area_candidate(
+                max(w - self.e, coeff_range(self.coeff_bits)[0]),
+                min(w + self.e, coeff_range(self.coeff_bits)[1]),
+                input_bits, w) for w in coefficients]
+        elif strategy == "exhaustive":
+            chosen = self._select_exhaustive(coefficients, pairs, input_bits)
+        else:
+            chosen = self._select_dp(coefficients, pairs, input_bits)
+        return ApproximatedSum(
+            tuple(coefficients), tuple(chosen),
+            sum(w - c for w, c in zip(coefficients, chosen)),
+            self.library.sum_area(coefficients, input_bits),
+            self.library.sum_area(chosen, input_bits))
+
+    def _select_exhaustive(self, coefficients: list[int],
+                           pairs: list[tuple[int, int]],
+                           input_bits: int) -> list[int]:
+        """The paper's brute force over all 2^N candidate assignments."""
+        fixed: list[int | None] = [
+            minus if minus == plus else None for minus, plus in pairs]
+        free_indices = [i for i, value in enumerate(fixed) if value is None]
+        if len(free_indices) > _EXHAUSTIVE_HARD_LIMIT:
+            raise ValueError(
+                f"{len(free_indices)} free coefficients is too wide for "
+                "exhaustive search; use strategy='dp'")
+        base_error = sum(coefficients[i] - value
+                         for i, value in enumerate(fixed) if value is not None)
+        base_area = sum(self.library.area(value, input_bits)
+                        for value in fixed if value is not None)
+        # Per free index: (error contribution, area) for both candidates.
+        choices = [
+            tuple((coefficients[i] - candidate,
+                   self.library.area(candidate, input_bits), candidate)
+                  for candidate in pairs[i])
+            for i in free_indices
+        ]
+        best_combo = None
+        best_key = None
+        for combo in product(*choices):
+            error = base_error + sum(term[0] for term in combo)
+            area = base_area + sum(term[1] for term in combo)
+            key = (abs(error), area)
+            if best_key is None or key < best_key:
+                best_combo, best_key = combo, key
+        selection = list(fixed)
+        for i, term in zip(free_indices, best_combo):
+            selection[i] = term[2]
+        return selection
+
+    def _select_dp(self, coefficients: list[int],
+                   pairs: list[tuple[int, int]],
+                   input_bits: int) -> list[int]:
+        """Exact DP over the bounded signed error sum.
+
+        The total area decomposes per coefficient, so keeping the minimum
+        area for every reachable partial error sum is optimal; final
+        states are ranked by (|error sum|, area), the paper's objective.
+        """
+        states: dict[int, tuple[float, tuple[int, ...]]] = {0: (0.0, ())}
+        for w, (minus, plus) in zip(coefficients, pairs):
+            options = {minus, plus}
+            new_states: dict[int, tuple[float, tuple[int, ...]]] = {}
+            for error_sum, (area, picks) in states.items():
+                for candidate in options:
+                    next_sum = error_sum + (w - candidate)
+                    next_area = area + self.library.area(candidate, input_bits)
+                    incumbent = new_states.get(next_sum)
+                    if incumbent is None or next_area < incumbent[0]:
+                        new_states[next_sum] = (next_area, picks + (candidate,))
+            states = new_states
+        best_sum = min(states, key=lambda s: (abs(s), states[s][0]))
+        return list(states[best_sum][1])
+
+    # ------------------------------------------------------------------
+    # Whole-model application
+    # ------------------------------------------------------------------
+    def approximate_model(self, model) -> tuple[object, list[ApproximatedSum]]:
+        """Apply the approximation to every weighted sum of a model.
+
+        Returns the approximated quantized model plus per-sum reports.
+        Executed per neuron / per score unit, exactly as in the paper.
+        """
+        updates = {}
+        reports = []
+        for spec in model.weighted_sums():
+            result = self.approximate_coefficients(
+                spec.coefficients, spec.input_bits)
+            updates[(spec.layer, spec.unit)] = result.approximated
+            reports.append(result)
+        return model.replace_coefficients(updates), reports

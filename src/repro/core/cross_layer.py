@@ -1,0 +1,203 @@
+"""The automated cross-layer approximation framework (Sections III-IV).
+
+Given a quantized model and a dataset split, :class:`CrossLayerFramework`
+produces every design family of the paper's Fig. 3:
+
+* ``exact``  — the area-optimized bespoke baseline (black triangle);
+* ``coeff``  — only hardware-driven coefficient approximation (red star);
+* ``prune``  — only netlist pruning, applied to the exact circuit
+  (gray crosses);
+* ``cross``  — coefficient approximation followed by pruning of the
+  approximated netlist (green dots), the paper's proposal.
+
+Every evaluated design carries measured accuracy (test-set simulation),
+synthesized area, and activity-based power, so the result object can
+directly regenerate Fig. 3 (Pareto spaces), Table II (area/power at <1%
+accuracy loss, with fallback to the parent design when nothing meets the
+threshold — the paper's 0%-gain entries), and Table III (execution time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..eval.accuracy import CircuitEvaluator, EvaluationRecord
+from ..hw.bespoke import build_bespoke_netlist
+from .coeff_approx import ApproximatedSum, CoefficientApproximator
+from .multiplier_area import BespokeMultiplierLibrary
+from .pareto import best_within_accuracy_loss, pareto_front
+from .pruning import DEFAULT_TAU_GRID, NetlistPruner
+
+__all__ = ["DesignPoint", "ExplorationResult", "CrossLayerFramework",
+           "TECHNIQUES", "TECHNIQUE_LABELS"]
+
+TECHNIQUES = ("exact", "coeff", "prune", "cross")
+
+# Legend names used in the paper's Fig. 3.
+TECHNIQUE_LABELS = {
+    "exact": "Exact Bespoke [1]",
+    "coeff": "Only Coeff. Approx.",
+    "prune": "Only Pruning",
+    "cross": "Coef. Approx. & Pruning",
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design in the accuracy/area/power space."""
+
+    technique: str
+    accuracy: float
+    area_mm2: float
+    power_mw: float
+    n_gates: int
+    tau_c: float | None = None
+    phi_c: int | None = None
+    n_pruned: int = 0
+    duplicate: bool = False
+
+    @property
+    def area_cm2(self) -> float:
+        return self.area_mm2 / 100.0
+
+    @staticmethod
+    def from_record(technique: str, record: EvaluationRecord,
+                    **extra) -> "DesignPoint":
+        return DesignPoint(technique, record.accuracy, record.area_mm2,
+                           record.power_mw, record.n_gates, **extra)
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the framework evaluated for one circuit."""
+
+    name: str
+    points: list[DesignPoint]
+    runtime_s: float
+    coeff_reports: list[ApproximatedSum] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> DesignPoint:
+        """The exact bespoke design everything is normalized against."""
+        return next(p for p in self.points if p.technique == "exact")
+
+    @property
+    def coeff_point(self) -> DesignPoint:
+        return next(p for p in self.points if p.technique == "coeff")
+
+    def technique(self, *names: str) -> list[DesignPoint]:
+        wanted = set(names)
+        return [p for p in self.points if p.technique in wanted]
+
+    @property
+    def n_designs(self) -> int:
+        """Designs in the explored space (the paper counts >4300 total)."""
+        return len(self.points)
+
+    @property
+    def n_unique_designs(self) -> int:
+        return sum(1 for p in self.points if not p.duplicate)
+
+    def normalized_area(self, point: DesignPoint) -> float:
+        return point.area_mm2 / self.baseline.area_mm2
+
+    def pareto(self, *techniques: str) -> list[DesignPoint]:
+        """Accuracy-vs-area Pareto front over the chosen techniques."""
+        pool = self.technique(*techniques) if techniques else self.points
+        return pareto_front(pool, lambda p: p.area_mm2, lambda p: p.accuracy)
+
+    def best_within_loss(self, technique: str,
+                         max_loss: float = 0.01) -> DesignPoint:
+        """Area-optimal design of one technique at bounded accuracy loss.
+
+        Candidate pools include the technique's parent design, so when no
+        approximate design meets the threshold the selection degrades to
+        the parent (the paper's 0%-gain Table II entries): pruning falls
+        back to the exact baseline, cross falls back to the coefficient-
+        approximated design (and transitively to the baseline).
+        """
+        pools = {
+            "exact": ["exact"],
+            "coeff": ["coeff", "exact"],
+            "prune": ["prune", "exact"],
+            "cross": ["cross", "coeff", "exact"],
+        }
+        if technique not in pools:
+            raise ValueError(f"unknown technique {technique!r}")
+        candidates = [p for p in self.technique(*pools[technique])
+                      if not p.duplicate]
+        chosen = best_within_accuracy_loss(
+            candidates, self.baseline.accuracy, max_loss,
+            lambda p: p.area_mm2, lambda p: p.accuracy)
+        if chosen is None:  # baseline is always eligible (zero loss)
+            chosen = self.baseline
+        return chosen
+
+
+class CrossLayerFramework:
+    """End-to-end automated flow of the paper.
+
+    Args:
+        e: coefficient search radius (the paper fixes 4; Fig. 2 shows the
+            area gains saturating beyond it).
+        strategy: selection strategy for step 3 of the coefficient
+            approximation (see :class:`CoefficientApproximator`).
+        tau_grid: pruning thresholds (defaults to 80..99%).
+        clock_ms: circuit clock for power analysis (the paper uses 200 ms,
+            250 ms for the Pendigits MLP-C).
+        library: shared bespoke-multiplier area cache.
+    """
+
+    def __init__(self, e: int = 4, strategy: str = "auto",
+                 tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID,
+                 clock_ms: float | None = None,
+                 library: BespokeMultiplierLibrary | None = None) -> None:
+        self.approximator = CoefficientApproximator(
+            library=library, e=e, strategy=strategy)
+        self.tau_grid = tau_grid
+        self.clock_ms = clock_ms
+
+    def explore(self, model, X_train01, X_test01, y_test,
+                name: str = "circuit",
+                include: tuple[str, ...] = TECHNIQUES) -> ExplorationResult:
+        """Run the full design-space exploration for one quantized model.
+
+        ``include`` can drop families (e.g. skip "prune") when an
+        experiment only needs part of the space.
+        """
+        start = time.perf_counter()
+        evaluator = CircuitEvaluator.from_split(
+            model, X_train01, X_test01, y_test, clock_ms=self.clock_ms)
+        points: list[DesignPoint] = []
+
+        exact_netlist = build_bespoke_netlist(model, name=f"{name}_exact")
+        points.append(DesignPoint.from_record(
+            "exact", evaluator.evaluate(exact_netlist)))
+
+        coeff_reports: list[ApproximatedSum] = []
+        if "coeff" in include or "cross" in include:
+            approx_model, coeff_reports = self.approximator.approximate_model(model)
+            coeff_netlist = build_bespoke_netlist(
+                approx_model, name=f"{name}_coeff")
+            points.append(DesignPoint.from_record(
+                "coeff", evaluator.evaluate(coeff_netlist)))
+
+        if "prune" in include:
+            pruner = NetlistPruner(exact_netlist, evaluator, self.tau_grid)
+            for design in pruner.explore():
+                points.append(DesignPoint.from_record(
+                    "prune", design.record, tau_c=design.tau_c,
+                    phi_c=design.phi_c, n_pruned=design.n_pruned,
+                    duplicate=design.duplicate_of is not None))
+
+        if "cross" in include:
+            pruner = NetlistPruner(coeff_netlist, evaluator, self.tau_grid)
+            for design in pruner.explore():
+                points.append(DesignPoint.from_record(
+                    "cross", design.record, tau_c=design.tau_c,
+                    phi_c=design.phi_c, n_pruned=design.n_pruned,
+                    duplicate=design.duplicate_of is not None))
+
+        runtime = time.perf_counter() - start
+        return ExplorationResult(name, points, runtime, coeff_reports)

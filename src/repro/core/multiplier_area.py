@@ -1,0 +1,74 @@
+"""Bespoke multiplier area library (step 1 of the coefficient approximation).
+
+The paper's hardware-driven coefficient approximation needs
+``AREA(BM_w)`` — the synthesized area of the bespoke multiplier for every
+candidate coefficient ``w`` at the relevant input width (Section III-B,
+step 1; the paper runs Design Compiler per candidate, <6 s per weighted
+sum on 12 threads).  This library generates each multiplier netlist once,
+synthesizes it, and caches the area, which makes the full-search
+optimization over all neurons effectively free.
+
+The same library provides the area *proxy* the paper validates with a
+Pearson correlation of 0.91: the sum of bespoke multiplier areas as an
+estimate of the full weighted-sum circuit area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.area import area_mm2
+from ..hw.bespoke import build_bespoke_multiplier_netlist
+from ..quant.fixed_point import DEFAULT_COEFF_BITS, coeff_range
+
+__all__ = ["BespokeMultiplierLibrary", "default_library"]
+
+
+class BespokeMultiplierLibrary:
+    """Cached ``AREA(BM_w)`` lookups keyed by (coefficient, input width)."""
+
+    def __init__(self, coeff_bits: int = DEFAULT_COEFF_BITS) -> None:
+        self.coeff_bits = coeff_bits
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def area(self, coefficient: int, input_bits: int) -> float:
+        """Synthesized area (mm^2) of ``BM_coefficient`` at ``input_bits``."""
+        lo, hi = coeff_range(self.coeff_bits)
+        if not lo <= coefficient <= hi:
+            raise ValueError(
+                f"coefficient {coefficient} outside the signed "
+                f"{self.coeff_bits}-bit range [{lo}, {hi}]")
+        key = (int(coefficient), int(input_bits))
+        cached = self._cache.get(key)
+        if cached is None:
+            netlist = build_bespoke_multiplier_netlist(*key)
+            cached = area_mm2(netlist)
+            self._cache[key] = cached
+        return cached
+
+    def area_table(self, input_bits: int) -> dict[int, float]:
+        """``AREA(BM_w)`` for every representable coefficient (Fig. 1)."""
+        lo, hi = coeff_range(self.coeff_bits)
+        return {w: self.area(w, input_bits) for w in range(lo, hi + 1)}
+
+    def sum_area(self, coefficients, input_bits: int) -> float:
+        """The paper's weighted-sum area proxy: sum of multiplier areas."""
+        return float(sum(self.area(int(w), input_bits) for w in coefficients))
+
+    def areas_array(self, input_bits: int) -> np.ndarray:
+        """Area table as an array indexed by ``w - w_min``."""
+        table = self.area_table(input_bits)
+        lo, hi = coeff_range(self.coeff_bits)
+        return np.array([table[w] for w in range(lo, hi + 1)])
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+_DEFAULT = BespokeMultiplierLibrary()
+
+
+def default_library() -> BespokeMultiplierLibrary:
+    """Process-wide shared library (the cache is expensive to rebuild)."""
+    return _DEFAULT

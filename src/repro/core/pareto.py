@@ -1,0 +1,64 @@
+"""Pareto-front utilities for the accuracy-vs-area design space (Fig. 3)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["pareto_front", "is_dominated", "best_within_accuracy_loss"]
+
+
+def is_dominated(point: tuple[float, float],
+                 others: Iterable[tuple[float, float]]) -> bool:
+    """True if some other (area, accuracy) point has <= area and >= accuracy
+    with at least one strict inequality."""
+    area, accuracy = point
+    for other_area, other_accuracy in others:
+        if (other_area <= area and other_accuracy >= accuracy
+                and (other_area < area or other_accuracy > accuracy)):
+            return True
+    return False
+
+
+def pareto_front(points: Sequence[T],
+                 area_of: Callable[[T], float],
+                 accuracy_of: Callable[[T], float]) -> list[T]:
+    """Non-dominated subset: minimize area, maximize accuracy.
+
+    Returned in increasing-area order; among equal-area points only the
+    most accurate survives.
+    """
+    decorated = sorted(points, key=lambda p: (area_of(p), -accuracy_of(p)))
+    front: list[T] = []
+    best_accuracy = -float("inf")
+    last_area = None
+    for point in decorated:
+        area = area_of(point)
+        accuracy = accuracy_of(point)
+        if accuracy > best_accuracy:
+            if last_area is not None and area == last_area:
+                # Same area, strictly better accuracy cannot happen after
+                # sorting; defensive guard only.
+                front.pop()
+            front.append(point)
+            best_accuracy = accuracy
+            last_area = area
+    return front
+
+
+def best_within_accuracy_loss(points: Sequence[T],
+                              baseline_accuracy: float,
+                              max_loss: float,
+                              area_of: Callable[[T], float],
+                              accuracy_of: Callable[[T], float]) -> T | None:
+    """Minimum-area point losing at most ``max_loss`` accuracy (absolute).
+
+    This is the Table II selection rule ("less than 1% accuracy loss"
+    against the exact bespoke baseline).
+    """
+    threshold = baseline_accuracy - max_loss
+    eligible = [p for p in points if accuracy_of(p) >= threshold - 1e-12]
+    if not eligible:
+        return None
+    return min(eligible, key=lambda p: (area_of(p), -accuracy_of(p)))

@@ -1,0 +1,184 @@
+"""Netlist pruning through full-search exploration (Section III-C).
+
+Two statistics constrain which gates may be replaced by constants:
+
+* ``tau`` — the maximum fraction of (training-set) time a gate's output is
+  '0' or '1'; replacing the gate with that constant yields an error rate
+  of at most ``1 - tau``.  The paper's sweep runs tau_c over [80%, 99%]
+  (note: the paper's prose says "tau <= tau_c", but pruning *mostly
+  constant* gates — ``tau >= tau_c`` — is the only reading consistent with
+  its own example and with the sweep's direction; this implementation
+  prunes gates with ``tau >= tau_c``).
+
+* ``phi`` — the most significant *relevant* output bit a gate reaches
+  through any path, bounding the error magnitude at ``2^(phi_c + 1)``.
+  For regressors the relevant bits are the output bus itself.  For
+  classifiers the paper's key observation applies: the argmax head
+  congests all paths into a few index bits and destroys the correlation
+  between numerical error and classification error, so ``phi`` is
+  computed with respect to the *inputs of the argmax* (the pre-argmax
+  neuron/score buses, carried in the netlist ``meta``); gates past that
+  point (inside the comparator/vote network) reach no watched bit and get
+  ``phi = -1``, making them prunable under any ``phi_c`` — their damage is
+  already bounded in *frequency* by ``tau``.
+
+The exploration is a full search: for every ``tau_c`` only the *unique*
+``phi`` values of the candidate gates are visited (the paper's
+``Phi_tau`` set), every (tau_c, phi_c) pruning is resynthesized so
+constant propagation reclaims the fanout logic, and duplicate prune sets
+are evaluated once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..eval.accuracy import CircuitEvaluator, EvaluationRecord
+from ..hw.netlist import Netlist
+from ..hw.simulate import ActivityReport
+from ..hw.synthesis import synthesize
+
+__all__ = [
+    "compute_phi",
+    "PruneSpace",
+    "PrunedDesign",
+    "NetlistPruner",
+    "DEFAULT_TAU_GRID",
+]
+
+# tau_c in {0.80, 0.81, ..., 0.99}, the paper's grid.
+DEFAULT_TAU_GRID = tuple(np.round(np.arange(0.80, 1.00, 0.01), 2))
+
+
+def compute_phi(nl: Netlist,
+                watch_buses: list[list[int]] | None = None) -> np.ndarray:
+    """Per-gate ``phi``: highest watched output bit reachable (-1 if none).
+
+    ``watch_buses`` defaults to the netlist's ``meta['watch_buses']``
+    (pre-argmax buses for classifiers, the output bus for regressors).
+    A single reverse-topological sweep propagates the maximum watched bit
+    index backwards through the fanin cones.
+    """
+    if watch_buses is None:
+        watch_buses = nl.meta.get("watch_buses")
+        if watch_buses is None:
+            watch_buses = list(nl.output_buses.values())
+    net_phi = np.full(nl.n_nets, -1, dtype=np.int64)
+    for bus in watch_buses:
+        for bit, net in enumerate(bus):
+            if net_phi[net] < bit:
+                net_phi[net] = bit
+    gate_phi = np.full(nl.n_gates, -1, dtype=np.int64)
+    gate_inputs = nl.gate_inputs
+    gate_out = nl.gate_out
+    for gate_idx in range(nl.n_gates - 1, -1, -1):
+        out_phi = net_phi[gate_out[gate_idx]]
+        gate_phi[gate_idx] = out_phi
+        if out_phi >= 0:
+            for net in gate_inputs[gate_idx]:
+                if net_phi[net] < out_phi:
+                    net_phi[net] = out_phi
+    return gate_phi
+
+
+@dataclass(frozen=True)
+class PruneSpace:
+    """Precomputed pruning statistics over one base netlist."""
+
+    netlist: Netlist
+    tau: np.ndarray
+    const_value: np.ndarray
+    phi: np.ndarray
+
+    @staticmethod
+    def from_activity(nl: Netlist, activity: ActivityReport) -> "PruneSpace":
+        return PruneSpace(nl, activity.tau, activity.const_value,
+                          compute_phi(nl))
+
+    def candidates(self, tau_c: float) -> np.ndarray:
+        """Gate indices whose output is constant at least ``tau_c`` of the
+        time (small epsilon absorbs float rounding on the grid)."""
+        return np.flatnonzero(self.tau >= tau_c - 1e-9)
+
+    def phi_levels(self, tau_c: float) -> list[int]:
+        """The paper's ``Phi_tau``: unique phi values among candidates."""
+        gates = self.candidates(tau_c)
+        return sorted(int(v) for v in np.unique(self.phi[gates]))
+
+    def prune_set(self, tau_c: float, phi_c: int) -> dict[int, int]:
+        """Gate -> constant map for all gates with tau >= tau_c, phi <= phi_c."""
+        gates = self.candidates(tau_c)
+        selected = gates[self.phi[gates] <= phi_c]
+        return {int(g): int(self.const_value[g]) for g in selected}
+
+
+@dataclass(frozen=True)
+class PrunedDesign:
+    """One evaluated point of the pruning design space."""
+
+    tau_c: float
+    phi_c: int
+    n_pruned: int
+    record: EvaluationRecord
+    duplicate_of: tuple[float, int] | None = None
+
+
+@dataclass
+class NetlistPruner:
+    """Full-search pruning exploration over one base netlist.
+
+    Args:
+        netlist: synthesized base circuit (exact or coefficient-
+            approximated — the cross-layer flow runs both).
+        evaluator: stimulus/scoring context; training activity defines
+            tau, the test set scores every pruned variant.
+        tau_grid: the tau_c sweep (defaults to the paper's 80..99%).
+    """
+
+    netlist: Netlist
+    evaluator: CircuitEvaluator
+    tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID
+    _space: PruneSpace | None = field(default=None, repr=False)
+
+    def space(self) -> PruneSpace:
+        """Lazily simulate the training set and build the statistics."""
+        if self._space is None:
+            activity = self.evaluator.train_activity(self.netlist)
+            self._space = PruneSpace.from_activity(self.netlist, activity)
+        return self._space
+
+    def prune(self, tau_c: float, phi_c: int) -> Netlist:
+        """One pruned and resynthesized variant."""
+        force = self.space().prune_set(tau_c, phi_c)
+        return synthesize(self.netlist, force_constants=force)
+
+    def explore(self, deduplicate: bool = True) -> list[PrunedDesign]:
+        """Evaluate the full (tau_c, phi_c) design space.
+
+        Identical prune sets arising from different (tau_c, phi_c) pairs
+        are evaluated once and recorded as duplicates, so the result list
+        still enumerates the paper's full grid.
+        """
+        space = self.space()
+        designs: list[PrunedDesign] = []
+        seen: dict[frozenset[int], tuple[PrunedDesign, tuple[float, int]]] = {}
+        for tau_c in self.tau_grid:
+            for phi_c in space.phi_levels(tau_c):
+                force = space.prune_set(tau_c, phi_c)
+                if not force:
+                    continue
+                key = frozenset(force)
+                if deduplicate and key in seen:
+                    first, origin = seen[key]
+                    designs.append(PrunedDesign(
+                        float(tau_c), phi_c, len(force), first.record,
+                        duplicate_of=origin))
+                    continue
+                pruned = synthesize(self.netlist, force_constants=force)
+                record = self.evaluator.evaluate(pruned)
+                design = PrunedDesign(float(tau_c), phi_c, len(force), record)
+                designs.append(design)
+                seen[key] = (design, (float(tau_c), phi_c))
+        return designs

@@ -1,0 +1,18 @@
+"""Synthetic stand-ins for the UCI datasets of the paper (Section III-A)."""
+
+from .profiles import DATASET_NAMES, PROFILES, DatasetProfile
+from .registry import Dataset, Split, available_datasets, load_dataset
+from .synthetic import generate, make_clustered, make_ordinal
+
+__all__ = [
+    "DATASET_NAMES",
+    "PROFILES",
+    "DatasetProfile",
+    "Dataset",
+    "Split",
+    "available_datasets",
+    "load_dataset",
+    "generate",
+    "make_clustered",
+    "make_ordinal",
+]

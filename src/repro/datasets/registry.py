@@ -1,0 +1,83 @@
+"""Dataset loading and the standard experimental split.
+
+``load_dataset`` returns the synthetic stand-in for one of the paper's four
+UCI datasets; :meth:`Dataset.standard_split` reproduces the experimental
+protocol of Section III-A — a random 70%/30% train/test split with inputs
+min-max normalized to [0, 1] (scaler fitted on the training portion only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..ml.model_selection import train_test_split
+from ..ml.preprocessing import MinMaxScaler
+from .profiles import DATASET_NAMES, PROFILES, DatasetProfile
+from .synthetic import generate
+
+__all__ = ["Dataset", "Split", "load_dataset", "available_datasets"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """Normalized train/test split ready for training and quantization."""
+
+    X_train: np.ndarray
+    X_test: np.ndarray
+    y_train: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def n_features(self) -> int:
+        return self.X_train.shape[1]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A loaded dataset: raw features, integer labels, and its profile."""
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    profile: DatasetProfile
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return self.profile.n_classes
+
+    @property
+    def labels(self) -> np.ndarray:
+        base = self.profile.label_base
+        return np.arange(base, base + self.n_classes)
+
+    def standard_split(self, seed: int = 0, test_size: float = 0.3) -> Split:
+        """The paper's 70/30 split with [0, 1] input normalization."""
+        X_train, X_test, y_train, y_test = train_test_split(
+            self.X, self.y, test_size=test_size, seed=seed, stratify=True)
+        scaler = MinMaxScaler(clip=True)
+        return Split(scaler.fit_transform(X_train), scaler.transform(X_test),
+                     y_train, y_test)
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Dataset:
+    """Load (generate) one of the four synthetic UCI stand-ins by name."""
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_NAMES)}")
+    profile = PROFILES[name]
+    X, y = generate(profile)
+    X.setflags(write=False)
+    y.setflags(write=False)
+    return Dataset(name, X, y, profile)
+
+
+def available_datasets() -> tuple[str, ...]:
+    return DATASET_NAMES

@@ -1,0 +1,28 @@
+"""Circuit evaluation: accuracy decode, power budgets, reporting."""
+
+from .accuracy import CircuitEvaluator, DecodeSpec, EvaluationRecord
+from .battery import (
+    MOLEX_BATTERY_MW,
+    PRINTED_BATTERIES,
+    PrintedBattery,
+    battery_powerable,
+)
+from .error_analysis import ErrorReport, compare_outputs, phi_error_bound
+from .reporting import TextTable, format_area_cm2, format_gain, format_power_mw
+
+__all__ = [
+    "CircuitEvaluator",
+    "DecodeSpec",
+    "EvaluationRecord",
+    "MOLEX_BATTERY_MW",
+    "PRINTED_BATTERIES",
+    "PrintedBattery",
+    "battery_powerable",
+    "ErrorReport",
+    "compare_outputs",
+    "phi_error_bound",
+    "TextTable",
+    "format_area_cm2",
+    "format_gain",
+    "format_power_mw",
+]

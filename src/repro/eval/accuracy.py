@@ -1,0 +1,118 @@
+"""Circuit-level evaluation: accuracy, area, and power of one netlist.
+
+Follows the paper's measurement protocol exactly (Sections III and IV):
+
+* the *training* set drives the simulation that produces the switching
+  activity used by netlist pruning (the SAIF step);
+* the *test* set drives both the accuracy measurement and the switching
+  activity used for power analysis.
+
+The decode conventions mirror the golden models: classifier circuits
+output an argmax/vote index that maps through the class-label table
+(clipped, since a pruned index bus can express out-of-range codes), and
+regressor circuits output the raw weighted sum, rescaled and rounded into
+the label range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.area import area_mm2
+from ..hw.bespoke import CLASS_OUTPUT, REGRESSOR_OUTPUT, input_payload
+from ..hw.netlist import Netlist
+from ..hw.power import power_mw
+from ..hw.simulate import ActivityReport, SimulationResult, simulate
+from ..ml.metrics import accuracy_score
+from ..quant.fixed_point import quantize_inputs
+
+__all__ = ["DecodeSpec", "EvaluationRecord", "CircuitEvaluator"]
+
+
+@dataclass(frozen=True)
+class DecodeSpec:
+    """How to turn a circuit's output bus into predicted labels."""
+
+    kind: str
+    classes: np.ndarray | None = None
+    y_min: int = 0
+    y_max: int = 0
+    output_scale: float = 1.0
+
+    @staticmethod
+    def from_model(model) -> "DecodeSpec":
+        """Build the decode rule from a quantized golden model."""
+        if model.kind == "classifier":
+            return DecodeSpec("classifier", classes=np.asarray(model.classes))
+        return DecodeSpec("regressor", y_min=model.y_min, y_max=model.y_max,
+                          output_scale=model.output_scale)
+
+    def decode(self, sim: SimulationResult) -> np.ndarray:
+        """Predicted labels from a simulation of the circuit."""
+        if self.kind == "classifier":
+            index = sim.bus_ints(CLASS_OUTPUT)
+            return self.classes[np.clip(index, 0, len(self.classes) - 1)]
+        raw = sim.bus_ints(REGRESSOR_OUTPUT)
+        decoded = raw / self.output_scale
+        return np.clip(np.rint(decoded), self.y_min, self.y_max).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """Metrics of one evaluated design (a row of the paper's Pareto sets)."""
+
+    accuracy: float
+    area_mm2: float
+    power_mw: float
+    n_gates: int
+
+    @property
+    def area_cm2(self) -> float:
+        return self.area_mm2 / 100.0
+
+
+@dataclass
+class CircuitEvaluator:
+    """Reusable stimulus/scoring context for one model-dataset pair.
+
+    Quantizes the split once, keeps the train payload (pruning activity)
+    and test payload (accuracy + power activity) ready, and scores any
+    netlist variant of the circuit with a single simulation.
+    """
+
+    decode: DecodeSpec
+    train_inputs: dict[str, np.ndarray]
+    test_inputs: dict[str, np.ndarray]
+    y_test: np.ndarray
+    clock_ms: float | None = None
+    _n_features: int = field(default=0)
+
+    @staticmethod
+    def from_split(model, X_train01: np.ndarray, X_test01: np.ndarray,
+                   y_test: np.ndarray,
+                   clock_ms: float | None = None) -> "CircuitEvaluator":
+        """Build from [0, 1]-normalized splits and a quantized model."""
+        Xq_train = quantize_inputs(X_train01, model.input_bits)
+        Xq_test = quantize_inputs(X_test01, model.input_bits)
+        return CircuitEvaluator(
+            DecodeSpec.from_model(model),
+            input_payload(Xq_train), input_payload(Xq_test),
+            np.asarray(y_test), clock_ms, Xq_train.shape[1])
+
+    def train_activity(self, nl: Netlist) -> ActivityReport:
+        """Training-set switching activity (the pruning SAIF input)."""
+        return simulate(nl, self.train_inputs).activity()
+
+    def evaluate(self, nl: Netlist) -> EvaluationRecord:
+        """Accuracy, area, and power of one netlist variant."""
+        sim = simulate(nl, self.test_inputs)
+        predictions = self.decode.decode(sim)
+        accuracy = accuracy_score(self.y_test, predictions)
+        power = power_mw(nl, sim.activity(), self.clock_ms)
+        return EvaluationRecord(accuracy, area_mm2(nl), power, nl.n_gates)
+
+    def accuracy(self, nl: Netlist) -> float:
+        sim = simulate(nl, self.test_inputs)
+        return accuracy_score(self.y_test, self.decode.decode(sim))

@@ -1,0 +1,86 @@
+"""Output-error analysis for approximate circuits.
+
+Classification accuracy (the paper's metric) hides *how* an approximate
+circuit errs.  This module quantifies the raw output error of a circuit
+variant against its exact reference — the standard approximate-computing
+error metrics (error rate, mean/max absolute error, normalized error
+magnitude) — plus the pruning-specific check that the worst observed
+error respects the analytic ``2^(phi_c + 1)`` bound of Section III-C.
+
+These metrics power the regressor example and the failure-analysis tests;
+they operate on raw output integers, so they apply to classifiers'
+pre-argmax buses as well as regressor outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorReport", "compare_outputs", "phi_error_bound"]
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Error statistics of approximate vs exact output integers.
+
+    Attributes:
+        n_vectors: number of compared samples.
+        error_rate: fraction of samples whose output differs at all.
+        mean_absolute_error: average |approx - exact|.
+        max_absolute_error: worst-case |approx - exact|.
+        mean_relative_error: mean |approx - exact| / max(1, |exact|).
+        signed_bias: average (approx - exact); systematic drift indicator
+            (the balanced coefficient selection drives this toward 0).
+    """
+
+    n_vectors: int
+    error_rate: float
+    mean_absolute_error: float
+    max_absolute_error: int
+    mean_relative_error: float
+    signed_bias: float
+
+    def within_bound(self, bound: int) -> bool:
+        """True when every observed error is strictly below ``bound``."""
+        return self.max_absolute_error < bound
+
+    def __str__(self) -> str:
+        return (f"errors on {self.n_vectors} vectors: rate "
+                f"{self.error_rate:.3f}, mean |e| "
+                f"{self.mean_absolute_error:.2f}, max |e| "
+                f"{self.max_absolute_error}, bias {self.signed_bias:+.2f}")
+
+
+def compare_outputs(exact: np.ndarray, approximate: np.ndarray) -> ErrorReport:
+    """Error statistics between two integer output vectors."""
+    exact = np.asarray(exact, dtype=np.int64)
+    approximate = np.asarray(approximate, dtype=np.int64)
+    if exact.shape != approximate.shape:
+        raise ValueError(
+            f"shape mismatch: {exact.shape} vs {approximate.shape}")
+    if exact.size == 0:
+        raise ValueError("empty output vectors")
+    difference = approximate - exact
+    magnitude = np.abs(difference)
+    denominator = np.maximum(1, np.abs(exact))
+    return ErrorReport(
+        n_vectors=len(exact),
+        error_rate=float(np.mean(difference != 0)),
+        mean_absolute_error=float(magnitude.mean()),
+        max_absolute_error=int(magnitude.max()),
+        mean_relative_error=float(np.mean(magnitude / denominator)),
+        signed_bias=float(difference.mean()))
+
+
+def phi_error_bound(phi_c: int) -> int:
+    """The paper's worst-case magnitude bound for pruning at ``phi_c``.
+
+    Every pruned gate reaches only watched bits up to index ``phi_c``, so
+    any corruption is confined to bits 0..phi_c of the output, changing
+    its value by strictly less than ``2^(phi_c + 1)``.
+    """
+    if phi_c < -1:
+        raise ValueError("phi_c is a bit index (>= -1)")
+    return 1 << (phi_c + 1)

@@ -1,0 +1,74 @@
+"""Plain-text table rendering shared by examples, benches, and the CLI.
+
+A tiny, dependency-free column formatter: collect rows, render aligned
+text.  Keeps the experiment harnesses free of string-width bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TextTable", "format_gain", "format_area_cm2", "format_power_mw"]
+
+
+def format_gain(fraction: float) -> str:
+    """Render a 0..1 reduction as a percentage string."""
+    return f"{100.0 * fraction:.1f}%"
+
+
+def format_area_cm2(area_mm2: float) -> str:
+    return f"{area_mm2 / 100.0:.1f} cm^2"
+
+
+def format_power_mw(power_mw: float) -> str:
+    return f"{power_mw:.1f} mW"
+
+
+@dataclass
+class TextTable:
+    """Aligned fixed-width text table.
+
+    Usage::
+
+        table = TextTable(["circuit", "area", "power"], title="baselines")
+        table.add_row("RW SVM-R", "5.3 cm^2", "16.1 mW")
+        print(table.render())
+    """
+
+    columns: list[str]
+    title: str = ""
+    align_right: set[int] = field(default_factory=set)
+    _rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self._rows.append([str(cell) for cell in cells])
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt(cells: list[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if index in self.align_right:
+                    parts.append(cell.rjust(widths[index]))
+                else:
+                    parts.append(cell.ljust(widths[index]))
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(list(self.columns)))
+        lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)

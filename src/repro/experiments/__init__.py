@@ -1,0 +1,42 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from . import fig1, fig2, fig3, proxy_correlation, table1, table2, table3
+from .paper_data import (
+    CASE_LABELS,
+    EXCLUDED_CASES,
+    PAPER_AVERAGE_GAINS,
+    PAPER_CLOCK_MS,
+    PAPER_PROXY_PEARSON,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3_MINUTES,
+)
+from .runner import explore, explore_case, framework_for
+from .zoo import HIDDEN_UNITS, MODEL_KINDS, CircuitCase, all_cases, case_keys, get_case
+
+__all__ = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "proxy_correlation",
+    "table1",
+    "table2",
+    "table3",
+    "CASE_LABELS",
+    "EXCLUDED_CASES",
+    "PAPER_AVERAGE_GAINS",
+    "PAPER_CLOCK_MS",
+    "PAPER_PROXY_PEARSON",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_MINUTES",
+    "explore",
+    "explore_case",
+    "framework_for",
+    "HIDDEN_UNITS",
+    "MODEL_KINDS",
+    "CircuitCase",
+    "all_cases",
+    "case_keys",
+    "get_case",
+]

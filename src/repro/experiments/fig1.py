@@ -1,0 +1,97 @@
+"""Fig. 1: bespoke multiplier area versus the hardwired coefficient.
+
+Regenerates both subfigures — area of ``BM_w`` for all ``w`` in
+[-128, 127] with 4-bit (a) and 8-bit (b) inputs — plus the conventional
+4x8 / 8x8 multiplier areas quoted in the caption.  The properties both
+approximation layers rely on are summarized: zero-area coefficients
+(powers of two), and the large area variance between neighbouring
+coefficient values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.multiplier_area import BespokeMultiplierLibrary, default_library
+from ..hw.area import area_mm2
+from ..hw.blocks import Value, conventional_multiplier
+from ..hw.netlist import Netlist
+from ..hw.synthesis import synthesize
+
+__all__ = ["Fig1Series", "run", "format_table", "conventional_area_mm2",
+           "PAPER_CONVENTIONAL_AREA"]
+
+# Fig. 1 caption reference values (mm^2).
+PAPER_CONVENTIONAL_AREA = {(4, 8): 83.61, (8, 8): 207.43}
+
+
+@dataclass(frozen=True)
+class Fig1Series:
+    """One subfigure: per-coefficient bespoke multiplier areas."""
+
+    input_bits: int
+    coeff_bits: int
+    coefficients: np.ndarray
+    areas_mm2: np.ndarray
+    conventional_mm2: float
+
+    @property
+    def zero_area_coefficients(self) -> list[int]:
+        return [int(w) for w, a in zip(self.coefficients, self.areas_mm2)
+                if a == 0.0]
+
+    @property
+    def max_area_mm2(self) -> float:
+        return float(self.areas_mm2.max())
+
+    def neighbour_jump_mm2(self) -> float:
+        """Mean |area(w+1) - area(w)|: the jaggedness the paper exploits."""
+        return float(np.mean(np.abs(np.diff(self.areas_mm2))))
+
+
+def conventional_area_mm2(input_bits: int, coeff_bits: int) -> float:
+    """Synthesized area of the generic (both-operands-live) multiplier."""
+    nl = Netlist(name=f"conv_{input_bits}x{coeff_bits}")
+    x = Value.input_bus(nl, "x", input_bits)
+    w_nets = nl.add_input_bus("w", coeff_bits)
+    w = Value(nl, w_nets, -(1 << (coeff_bits - 1)), (1 << (coeff_bits - 1)) - 1)
+    product = conventional_multiplier(x, w)
+    nl.set_output_bus("p", product.nets, signed=True)
+    return area_mm2(synthesize(nl))
+
+
+def run(input_widths: tuple[int, ...] = (4, 8), coeff_bits: int = 8,
+        library: BespokeMultiplierLibrary | None = None) -> list[Fig1Series]:
+    """Measure the area of every bespoke multiplier (both subfigures)."""
+    library = library if library is not None else default_library()
+    series = []
+    for input_bits in input_widths:
+        table = library.area_table(input_bits)
+        coefficients = np.array(sorted(table))
+        areas = np.array([table[w] for w in coefficients])
+        series.append(Fig1Series(
+            input_bits, coeff_bits, coefficients, areas,
+            conventional_area_mm2(input_bits, coeff_bits)))
+    return series
+
+
+def format_table(series: list[Fig1Series]) -> str:
+    lines = ["FIG. 1 - bespoke multiplier area vs coefficient value"]
+    for s in series:
+        paper_conv = PAPER_CONVENTIONAL_AREA.get((s.input_bits, s.coeff_bits))
+        paper_note = (f" (paper {paper_conv:.2f})" if paper_conv else "")
+        lines.append(
+            f"  x:{s.input_bits}-bit w:{s.coeff_bits}-bit  "
+            f"max BM area {s.max_area_mm2:6.1f} mm^2  "
+            f"conventional {s.conventional_mm2:6.1f} mm^2{paper_note}  "
+            f"zero-area coeffs {len(s.zero_area_coefficients):2d}  "
+            f"mean neighbour jump {s.neighbour_jump_mm2():.1f} mm^2")
+        # A sparse profile sample, mirroring the bar plots.
+        table = dict(zip((int(w) for w in s.coefficients), s.areas_mm2))
+        sample = [w for w in (-128, -96, -64, -32, 0, 32, 64, 96, 127)
+                  if w in table]
+        profile = "  ".join(f"{w:+4d}:{table[w]:5.1f}" for w in sample)
+        lines.append(f"    profile: {profile}")
+    return "\n".join(lines)

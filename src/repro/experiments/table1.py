@@ -1,0 +1,85 @@
+"""Table I: characteristics of the exact bespoke baselines.
+
+For all 16 (dataset, model) pairs — including the two Pendigits
+regressors the paper then excludes — this experiment reports accuracy
+(8-bit coefficients, 4-bit inputs), topology, coefficient count, and the
+synthesized area/power of the exact bespoke circuit, next to the paper's
+published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eval.accuracy import CircuitEvaluator
+from ..hw.bespoke import build_bespoke_netlist
+from ..quant import QuantSVM
+from .paper_data import PAPER_TABLE1, PaperTable1Row
+from .zoo import CircuitCase, all_cases
+
+__all__ = ["Table1Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured-vs-paper baseline characteristics of one circuit."""
+
+    label: str
+    dataset: str
+    kind: str
+    accuracy: float
+    topology: str
+    n_coefficients: int
+    area_cm2: float
+    power_mw: float
+    excluded: bool
+    paper: PaperTable1Row
+
+
+def _topology_string(case: CircuitCase) -> str:
+    model = case.quant_model
+    if isinstance(model, QuantSVM):
+        return str(model.n_pairwise_classifiers)
+    return "(" + ",".join(str(v) for v in model.topology) + ")"
+
+
+def run(cases: list[CircuitCase] | None = None) -> list[Table1Row]:
+    """Build and measure every exact bespoke baseline."""
+    if cases is None:
+        cases = all_cases(include_excluded=True)
+    rows = []
+    for case in cases:
+        split = case.split
+        evaluator = CircuitEvaluator.from_split(
+            case.quant_model, split.X_train, split.X_test, split.y_test,
+            clock_ms=case.clock_ms)
+        netlist = build_bespoke_netlist(case.quant_model, name=case.label)
+        record = evaluator.evaluate(netlist)
+        rows.append(Table1Row(
+            label=case.label, dataset=case.dataset, kind=case.kind,
+            accuracy=record.accuracy, topology=_topology_string(case),
+            n_coefficients=case.quant_model.n_coefficients,
+            area_cm2=record.area_cm2, power_mw=record.power_mw,
+            excluded=case.excluded, paper=PAPER_TABLE1[case.key]))
+    return rows
+
+
+def format_table(rows: list[Table1Row]) -> str:
+    """Render the paper-vs-measured Table I."""
+    header = (f"{'circuit':12s} {'T':>9s} {'#C':>4s} "
+              f"{'acc':>6s} {'paper':>6s}  {'area cm2':>9s} {'paper':>7s}  "
+              f"{'power mW':>9s} {'paper':>7s}")
+    lines = ["TABLE I - exact bespoke baselines (measured vs paper)", header,
+             "-" * len(header)]
+    for row in rows:
+        paper_area = ("-" if row.paper.area_cm2 is None
+                      else f"{row.paper.area_cm2:7.1f}")
+        paper_power = ("-" if row.paper.power_mw is None
+                       else f"{row.paper.power_mw:7.1f}")
+        note = "  (excluded)" if row.excluded else ""
+        lines.append(
+            f"{row.label:12s} {row.topology:>9s} {row.n_coefficients:4d} "
+            f"{row.accuracy:6.2f} {row.paper.accuracy:6.2f}  "
+            f"{row.area_cm2:9.1f} {paper_area:>7s}  "
+            f"{row.power_mw:9.1f} {paper_power:>7s}{note}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Table II: area/power of the area-optimal designs at <1% accuracy loss.
+
+For each circuit and each technique (cross-layer, only coefficient
+approximation, only pruning) the minimum-area design losing less than 1%
+accuracy against the exact bespoke baseline is selected; gains are
+reported against that baseline, and designs powerable by a single printed
+Molex 30 mW battery are flagged — the paper's headline system result is
+that cross-layer approximation newly enables several circuits to run from
+one printed battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import DesignPoint
+from ..eval.battery import MOLEX_BATTERY_MW, battery_powerable
+from .paper_data import PAPER_AVERAGE_GAINS, PAPER_TABLE2, PaperTable2Row
+from .runner import explore
+from .zoo import CircuitCase, all_cases
+
+__all__ = ["TechniqueSelection", "Table2Row", "run", "format_table",
+           "average_gains"]
+
+ACCURACY_LOSS_LIMIT = 0.01
+
+
+@dataclass(frozen=True)
+class TechniqueSelection:
+    """The Table II cell for one (circuit, technique)."""
+
+    point: DesignPoint
+    area_cm2: float
+    power_mw: float
+    area_gain_pct: float
+    power_gain_pct: float
+    battery_ok: bool
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One circuit's measured Table II row plus the paper's values."""
+
+    label: str
+    dataset: str
+    kind: str
+    baseline_accuracy: float
+    baseline_area_cm2: float
+    baseline_power_mw: float
+    baseline_battery_ok: bool
+    cross: TechniqueSelection
+    coeff: TechniqueSelection
+    prune: TechniqueSelection
+    paper: PaperTable2Row
+
+
+def _select(result, technique: str, baseline: DesignPoint) -> TechniqueSelection:
+    point = result.best_within_loss(technique, ACCURACY_LOSS_LIMIT)
+    return TechniqueSelection(
+        point=point,
+        area_cm2=point.area_cm2,
+        power_mw=point.power_mw,
+        area_gain_pct=100.0 * (1.0 - point.area_mm2 / baseline.area_mm2),
+        power_gain_pct=100.0 * (1.0 - point.power_mw / baseline.power_mw),
+        battery_ok=battery_powerable(point.power_mw))
+
+
+def run(cases: list[CircuitCase] | None = None) -> list[Table2Row]:
+    if cases is None:
+        cases = all_cases()
+    rows = []
+    for case in cases:
+        result = explore(case)
+        baseline = result.baseline
+        rows.append(Table2Row(
+            label=case.label, dataset=case.dataset, kind=case.kind,
+            baseline_accuracy=baseline.accuracy,
+            baseline_area_cm2=baseline.area_cm2,
+            baseline_power_mw=baseline.power_mw,
+            baseline_battery_ok=battery_powerable(baseline.power_mw),
+            cross=_select(result, "cross", baseline),
+            coeff=_select(result, "coeff", baseline),
+            prune=_select(result, "prune", baseline),
+            paper=PAPER_TABLE2[case.key]))
+    return rows
+
+
+def average_gains(rows: list[Table2Row]) -> dict[str, tuple[float, float]]:
+    """Mean (area gain %, power gain %) per technique across circuits."""
+    gains = {}
+    for technique in ("cross", "coeff", "prune"):
+        selections = [getattr(row, technique) for row in rows]
+        gains[technique] = (
+            sum(s.area_gain_pct for s in selections) / len(selections),
+            sum(s.power_gain_pct for s in selections) / len(selections))
+    return gains
+
+
+def format_table(rows: list[Table2Row]) -> str:
+    header = (f"{'circuit':12s} | {'cross A/P/AG/PG':>24s} | "
+              f"{'coeff A/P/AG/PG':>24s} | {'prune A/P/AG/PG':>24s}")
+    lines = [
+        "TABLE II - area (cm2) / power (mW) / gains (%) at <1% accuracy "
+        "loss; * = fits one Molex 30 mW printed battery",
+        header, "-" * len(header)]
+
+    def cell(sel: TechniqueSelection) -> str:
+        star = "*" if sel.battery_ok else " "
+        return (f"{sel.area_cm2:5.1f}/{sel.power_mw:5.1f}/"
+                f"{sel.area_gain_pct:4.0f}/{sel.power_gain_pct:4.0f}{star}")
+
+    def paper_cell(values: tuple[float, float, float, float]) -> str:
+        return (f"{values[0]:5.1f}/{values[1]:5.1f}/"
+                f"{values[2]:4.0f}/{values[3]:4.0f} ")
+
+    for row in rows:
+        lines.append(f"{row.label:12s} | {cell(row.cross):>24s} | "
+                     f"{cell(row.coeff):>24s} | {cell(row.prune):>24s}")
+        lines.append(f"{'  (paper)':12s} | {paper_cell(row.paper.cross):>24s} | "
+                     f"{paper_cell(row.paper.coeff):>24s} | "
+                     f"{paper_cell(row.paper.prune):>24s}")
+    gains = average_gains(rows)
+    for technique in ("cross", "coeff", "prune"):
+        area_gain, power_gain = gains[technique]
+        paper_area, paper_power = PAPER_AVERAGE_GAINS[technique]
+        lines.append(
+            f"average {technique:5s}: area {area_gain:5.1f}% power "
+            f"{power_gain:5.1f}%   (paper: {paper_area:.0f}% / {paper_power:.0f}%)")
+    newly_enabled = [row.label for row in rows
+                     if row.cross.battery_ok and not row.baseline_battery_ok]
+    lines.append(f"circuits newly powerable by one {MOLEX_BATTERY_MW:.0f} mW "
+                 f"battery via cross-layer: {', '.join(newly_enabled) or 'none'}")
+    return "\n".join(lines)

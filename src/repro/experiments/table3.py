@@ -1,0 +1,64 @@
+"""Table III: execution time of the framework per circuit.
+
+The paper stresses that the full design-space exploration must stay cheap
+because printed circuits are fabricated on demand at the point of use; it
+reports 12 minutes on average (48 minutes worst case, Pendigits MLP-C) on
+a dual-Xeon server running Synopsys tools.  Here the whole flow — both
+approximation layers, synthesis, simulation, and the full pruning search —
+runs inside this package, so the measured times are seconds, not minutes;
+the comparison column shows the paper's values for scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .paper_data import PAPER_TABLE3_MINUTES
+from .runner import explore
+from .zoo import CircuitCase, all_cases
+
+__all__ = ["Table3Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    label: str
+    dataset: str
+    kind: str
+    runtime_s: float
+    n_designs: int
+    paper_minutes: float | None
+
+    @property
+    def runtime_minutes(self) -> float:
+        return self.runtime_s / 60.0
+
+
+def run(cases: list[CircuitCase] | None = None) -> list[Table3Row]:
+    if cases is None:
+        cases = all_cases()
+    rows = []
+    for case in cases:
+        result = explore(case)
+        rows.append(Table3Row(
+            label=case.label, dataset=case.dataset, kind=case.kind,
+            runtime_s=result.runtime_s, n_designs=result.n_designs,
+            paper_minutes=PAPER_TABLE3_MINUTES[case.key]))
+    return rows
+
+
+def format_table(rows: list[Table3Row]) -> str:
+    header = (f"{'circuit':12s} {'designs':>8s} {'runtime':>10s} "
+              f"{'paper':>8s}")
+    lines = ["TABLE III - full-framework execution time per circuit",
+             header, "-" * len(header)]
+    for row in rows:
+        paper = ("-" if row.paper_minutes is None
+                 else f"{row.paper_minutes:5.0f} min")
+        lines.append(f"{row.label:12s} {row.n_designs:8d} "
+                     f"{row.runtime_s:8.1f} s {paper:>8s}")
+    total = sum(row.runtime_s for row in rows)
+    mean = total / len(rows)
+    lines.append(f"mean {mean:.1f} s per circuit, total {total:.1f} s "
+                 f"(paper: mean 12 min, worst 48 min)")
+    return "\n".join(lines)

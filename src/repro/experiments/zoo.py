@@ -1,0 +1,98 @@
+"""The model zoo: the 14 (+2 excluded) circuits of the paper's evaluation.
+
+One :class:`CircuitCase` per (dataset, model kind) pair, with the paper's
+topologies (Table I): MLP hidden sizes 3/5/2/4 for cardio / pendigits /
+redwine / whitewine, linear SVMs with per-class score units.  Training is
+deterministic (fixed seeds) and results are cached per process, so every
+experiment and benchmark shares the same trained and quantized models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..datasets import Split, load_dataset
+from ..ml import (
+    LinearSVMClassifier,
+    LinearSVMRegressor,
+    MLPClassifier,
+    MLPRegressor,
+)
+from ..quant import quantize_model
+from .paper_data import CASE_LABELS, EXCLUDED_CASES, PAPER_CLOCK_MS
+
+__all__ = ["CircuitCase", "MODEL_KINDS", "HIDDEN_UNITS", "get_case",
+           "all_cases", "case_keys"]
+
+MODEL_KINDS = ("mlp_c", "mlp_r", "svm_c", "svm_r")
+
+# Paper topologies (Table I): fewest hidden nodes at near-max accuracy.
+HIDDEN_UNITS = {"cardio": 3, "pendigits": 5, "redwine": 2, "whitewine": 4}
+
+_SPLIT_SEED = 0
+_TRAIN_SEED = 1
+
+
+@dataclass(frozen=True)
+class CircuitCase:
+    """A trained + quantized circuit of the paper's evaluation set."""
+
+    dataset: str
+    kind: str
+    label: str
+    split: Split
+    float_model: object
+    quant_model: object
+    clock_ms: float
+    excluded: bool
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.dataset, self.kind)
+
+    def float_accuracy(self) -> float:
+        return self.float_model.score(self.split.X_test, self.split.y_test)
+
+
+def _train(dataset: str, kind: str, split: Split):
+    hidden = HIDDEN_UNITS[dataset]
+    if kind == "mlp_c":
+        model = MLPClassifier(hidden_layer_sizes=(hidden,),
+                              seed=_TRAIN_SEED, max_epochs=250)
+    elif kind == "mlp_r":
+        model = MLPRegressor(hidden_layer_sizes=(hidden,),
+                             seed=_TRAIN_SEED, max_epochs=400)
+    elif kind == "svm_c":
+        model = LinearSVMClassifier(seed=_TRAIN_SEED)
+    elif kind == "svm_r":
+        model = LinearSVMRegressor(seed=_TRAIN_SEED)
+    else:
+        raise ValueError(f"unknown model kind {kind!r}; use {MODEL_KINDS}")
+    return model.fit(split.X_train, split.y_train)
+
+
+@lru_cache(maxsize=None)
+def get_case(dataset: str, kind: str) -> CircuitCase:
+    """Train (once per process) and quantize one circuit case."""
+    split = load_dataset(dataset).standard_split(seed=_SPLIT_SEED)
+    float_model = _train(dataset, kind, split)
+    quant_model = quantize_model(float_model)
+    key = (dataset, kind)
+    return CircuitCase(
+        dataset=dataset, kind=kind, label=CASE_LABELS[key], split=split,
+        float_model=float_model, quant_model=quant_model,
+        clock_ms=PAPER_CLOCK_MS[key], excluded=key in EXCLUDED_CASES)
+
+
+def case_keys(include_excluded: bool = False) -> list[tuple[str, str]]:
+    """All (dataset, kind) pairs, in the paper's Table ordering."""
+    keys = list(CASE_LABELS)
+    if not include_excluded:
+        keys = [key for key in keys if key not in EXCLUDED_CASES]
+    return keys
+
+
+def all_cases(include_excluded: bool = False) -> list[CircuitCase]:
+    """The paper's 14 evaluated circuits (16 with the excluded ones)."""
+    return [get_case(*key) for key in case_keys(include_excluded)]

@@ -1,0 +1,78 @@
+"""Printed-hardware substrate: cells, netlists, synthesis, simulation."""
+
+from .area import AreaReport, area_cm2, area_mm2
+from .bespoke_tree import build_bespoke_tree_netlist
+from .bespoke import (
+    CLASS_OUTPUT,
+    REGRESSOR_OUTPUT,
+    build_bespoke_multiplier_netlist,
+    build_bespoke_netlist,
+    build_weighted_sum_netlist,
+    input_payload,
+)
+from .blocks import (
+    Value,
+    argmax,
+    balanced_sum,
+    bespoke_multiplier,
+    bits_for_range,
+    conventional_multiplier,
+    csd_digits,
+    one_vs_one_votes,
+)
+from .cells import EGT_LIBRARY, TECHNOLOGY, CellSpec, Technology, cell_area_mm2
+from .netlist import CONST0, CONST1, Netlist
+from .netlist_io import load_netlist, netlist_from_dict, netlist_to_dict, save_netlist
+from .power import PowerReport, power_mw, power_uw
+from .simulate import ActivityReport, SimulationResult, pack_vectors, simulate, unpack_bits
+from .synthesis import rebuild_folded, strip_dead, synthesize
+from .timing import TimingReport, critical_path_ms
+from .verilog import emit_cell_models, to_verilog
+
+__all__ = [
+    "AreaReport",
+    "area_cm2",
+    "area_mm2",
+    "CLASS_OUTPUT",
+    "REGRESSOR_OUTPUT",
+    "build_bespoke_multiplier_netlist",
+    "build_bespoke_netlist",
+    "build_bespoke_tree_netlist",
+    "build_weighted_sum_netlist",
+    "input_payload",
+    "Value",
+    "argmax",
+    "balanced_sum",
+    "bespoke_multiplier",
+    "bits_for_range",
+    "conventional_multiplier",
+    "csd_digits",
+    "one_vs_one_votes",
+    "EGT_LIBRARY",
+    "TECHNOLOGY",
+    "CellSpec",
+    "Technology",
+    "cell_area_mm2",
+    "CONST0",
+    "CONST1",
+    "Netlist",
+    "PowerReport",
+    "power_mw",
+    "power_uw",
+    "ActivityReport",
+    "SimulationResult",
+    "pack_vectors",
+    "simulate",
+    "unpack_bits",
+    "rebuild_folded",
+    "strip_dead",
+    "synthesize",
+    "TimingReport",
+    "critical_path_ms",
+    "load_netlist",
+    "netlist_from_dict",
+    "netlist_to_dict",
+    "save_netlist",
+    "emit_cell_models",
+    "to_verilog",
+]

@@ -1,0 +1,50 @@
+"""Area analysis for printed netlists.
+
+Printed-circuit area is the primary optimization goal of the paper
+(Section IV): Table I reports baseline bespoke areas in cm^2 and every
+figure normalizes against them.  Area here is the sum of EGT cell areas,
+which is what Design Compiler reports for a mapped netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cells import EGT_LIBRARY, TECHNOLOGY
+from .netlist import Netlist
+
+__all__ = ["area_mm2", "area_cm2", "AreaReport"]
+
+
+def area_mm2(nl: Netlist) -> float:
+    """Total mapped cell area in mm^2."""
+    transistors = sum(EGT_LIBRARY[cell].transistors for cell in nl.gate_type)
+    return transistors * TECHNOLOGY.area_per_transistor_mm2
+
+
+def area_cm2(nl: Netlist) -> float:
+    """Total mapped cell area in cm^2 (the unit of Tables I and II)."""
+    return area_mm2(nl) / 100.0
+
+
+@dataclass
+class AreaReport:
+    """Detailed per-cell-type area breakdown."""
+
+    total_mm2: float
+    by_cell_mm2: dict[str, float]
+    n_gates: int
+
+    @staticmethod
+    def from_netlist(nl: Netlist) -> "AreaReport":
+        by_cell: dict[str, float] = {}
+        for cell, count in nl.gate_histogram().items():
+            by_cell[cell] = (count * EGT_LIBRARY[cell].transistors
+                             * TECHNOLOGY.area_per_transistor_mm2)
+        return AreaReport(sum(by_cell.values()), by_cell, nl.n_gates)
+
+    def __str__(self) -> str:
+        lines = [f"area total: {self.total_mm2:10.2f} mm^2  ({self.n_gates} gates)"]
+        for cell in sorted(self.by_cell_mm2):
+            lines.append(f"  {cell:6s} {self.by_cell_mm2[cell]:10.2f} mm^2")
+        return "\n".join(lines)

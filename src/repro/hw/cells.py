@@ -1,0 +1,130 @@
+"""Printed Electrolyte-Gated-Transistor (EGT) standard-cell library model.
+
+The paper maps every circuit to the open-source inkjet-printed EGT library
+of Bleier et al. (ISCA'20) using Synopsys Design Compiler.  Neither the PDK
+nor the EDA tools are available here, so this module provides a calibrated
+stand-in: a small combinational cell set whose area, power, and delay are
+proportional to transistor count, with the proportionality constants chosen
+so that reference circuits land on the areas the paper reports.
+
+Calibration anchors (paper, Fig. 1 caption):
+
+* conventional 8x8 multiplier  ~ 207.43 mm^2
+* conventional 4x8 multiplier  ~  83.61 mm^2
+* full bespoke circuits        ~ 2.9-3.8 mW per cm^2 (Table I)
+
+EGT is a low-voltage (~1 V) n-type-only resistive-load technology, so the
+static current drawn while a gate output is pulled low dominates total power
+at the Hz-kHz clock rates of printed circuits.  The power model therefore
+has a large state-dependent static term and a small dynamic (toggle) term,
+which reproduces the paper's observation that power gains closely track
+area gains (44% vs 47% on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CellSpec",
+    "EGT_LIBRARY",
+    "TECHNOLOGY",
+    "Technology",
+    "cell_area_mm2",
+    "cell_spec",
+    "GATE_TYPES",
+]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static description of one combinational standard cell.
+
+    Attributes:
+        name: cell identifier used throughout the netlist IR.
+        n_inputs: number of input pins.
+        transistors: EGT transistor count; area and power scale with it.
+        delay_ms: pin-to-pin propagation delay in milliseconds.  Printed
+            EGT gates switch in the millisecond range (ring oscillators in
+            the Hz-kHz band, paper Section II).
+    """
+
+    name: str
+    n_inputs: int
+    transistors: int
+    delay_ms: float
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Technology-level calibration constants for the printed EGT process.
+
+    Attributes:
+        area_per_transistor_mm2: printed-cell area per transistor.  Chosen
+            so an optimized conventional 8x8 array multiplier measures about
+            207 mm^2, matching the paper's Fig. 1 caption.
+        static_power_uw_per_transistor: average static draw per transistor.
+            Calibrated to ~3 mW/cm^2 of logic, the Table I power density.
+        static_low_factor / static_high_factor: state weighting of the
+            static term.  A resistive-load EGT gate burns current while its
+            output is pulled low, so time spent at '0' costs more.
+        toggle_energy_nj_per_transistor: dynamic energy per output toggle.
+        default_clock_ms: the paper's relaxed clock (200 ms; 250 ms is used
+            for the Pendigits MLP-C).
+        supply_v: nominal supply voltage (EGT is low-voltage, ~1 V).
+    """
+
+    area_per_transistor_mm2: float = 0.0888
+    static_power_uw_per_transistor: float = 2.58
+    static_low_factor: float = 1.30
+    static_high_factor: float = 0.70
+    toggle_energy_nj_per_transistor: float = 5.0
+    default_clock_ms: float = 200.0
+    supply_v: float = 1.0
+
+    def static_power_uw(self, transistors: int, p_low: float) -> float:
+        """Static power of a cell spending ``p_low`` of the time at '0'."""
+        weight = self.static_low_factor * p_low + self.static_high_factor * (1.0 - p_low)
+        return self.static_power_uw_per_transistor * transistors * weight
+
+    def dynamic_power_uw(self, transistors: int, toggles_per_cycle: float,
+                         clock_ms: float | None = None) -> float:
+        """Dynamic power of a cell toggling ``toggles_per_cycle`` per cycle."""
+        period_s = (clock_ms if clock_ms is not None else self.default_clock_ms) / 1e3
+        energy_nj = self.toggle_energy_nj_per_transistor * transistors
+        return energy_nj * toggles_per_cycle / period_s * 1e-3  # nJ/s -> uW
+
+
+TECHNOLOGY = Technology()
+
+# The combinational cell set.  Transistor counts follow the resistive-load
+# EGT style (n-type pull-down network plus one load): an inverter is 2
+# devices, NAND2/NOR2 are 3, and AND/OR/XOR pay for the extra output stage.
+# Delays grow with stack depth; XOR-class cells are the slowest.
+EGT_LIBRARY: dict[str, CellSpec] = {
+    "BUF": CellSpec("BUF", 1, 4, 0.8),
+    "INV": CellSpec("INV", 1, 2, 0.4),
+    "NAND2": CellSpec("NAND2", 2, 3, 0.55),
+    "NOR2": CellSpec("NOR2", 2, 3, 0.55),
+    "AND2": CellSpec("AND2", 2, 5, 0.9),
+    "OR2": CellSpec("OR2", 2, 5, 0.9),
+    "XOR2": CellSpec("XOR2", 2, 9, 1.3),
+    "XNOR2": CellSpec("XNOR2", 2, 9, 1.3),
+    # MUX2 selects in1 when the select pin (pin index 2) is high.
+    "MUX2": CellSpec("MUX2", 3, 11, 1.4),
+}
+
+GATE_TYPES = tuple(sorted(EGT_LIBRARY))
+
+
+def cell_spec(name: str) -> CellSpec:
+    """Return the :class:`CellSpec` for ``name``, raising on unknown cells."""
+    try:
+        return EGT_LIBRARY[name]
+    except KeyError:
+        raise KeyError(f"unknown EGT cell {name!r}; available: {GATE_TYPES}") from None
+
+
+def cell_area_mm2(name: str) -> float:
+    """Printed area of one cell instance in mm^2."""
+    return cell_spec(name).transistors * TECHNOLOGY.area_per_transistor_mm2

@@ -1,0 +1,381 @@
+"""Gate-level netlist intermediate representation.
+
+A :class:`Netlist` is a combinational DAG of standard cells from the EGT
+library (:mod:`repro.hw.cells`).  Nets are dense integer ids; nets ``0`` and
+``1`` are the constant-zero and constant-one ties.  Gates are stored in
+construction order, and because a gate may only reference nets that already
+exist, the gate list is always topologically sorted — simulation and all
+analysis passes are single linear sweeps.
+
+The builder methods (:meth:`Netlist.and_`, :meth:`Netlist.xor_`, ...) apply
+local peephole folding (constant propagation, operand deduplication,
+double-inversion removal) and structural hashing at construction time.  This
+mirrors what a synthesis tool does to RTL with hardwired constants and is
+what makes *bespoke* circuits cheap: a multiplier by a power-of-two constant
+folds to pure wiring and zero gates, the effect the paper's Fig. 1 shows and
+both approximation layers exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .cells import EGT_LIBRARY, cell_spec
+
+__all__ = ["Netlist", "CONST0", "CONST1"]
+
+CONST0 = 0
+CONST1 = 1
+
+# Driver kind tags for nets.
+_DRIVER_CONST = 0
+_DRIVER_INPUT = 1
+_DRIVER_GATE = 2
+
+
+class Netlist:
+    """A combinational gate-level netlist over the printed EGT cell set.
+
+    Typical construction::
+
+        nl = Netlist()
+        x = nl.add_input_bus("x", 4)
+        s = nl.xor_(x[0], x[1])
+        nl.set_output_bus("parity", [s])
+
+    The instance exposes parallel gate arrays (``gate_type``, ``gate_inputs``,
+    ``gate_out``) that downstream passes (simulation, pruning, power) index
+    directly for speed.
+    """
+
+    def __init__(self, name: str = "netlist", cse: bool = True) -> None:
+        self.name = name
+        # Net 0 / net 1 are the constant ties.
+        self._driver_kind: list[int] = [_DRIVER_CONST, _DRIVER_CONST]
+        self._driver_info: list = [0, 1]
+        self.gate_type: list[str] = []
+        self.gate_inputs: list[tuple[int, ...]] = []
+        self.gate_out: list[int] = []
+        self.input_buses: dict[str, list[int]] = {}
+        self.output_buses: dict[str, list[int]] = {}
+        self.output_signed: dict[str, bool] = {}
+        # Free-form builder metadata (e.g. pre-argmax watch buses).
+        self.meta: dict = {}
+        self._cse_enabled = cse
+        self._cse: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_nets(self) -> int:
+        return len(self._driver_kind)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_type)
+
+    def add_input_bus(self, name: str, width: int) -> list[int]:
+        """Declare a primary input bus and return its nets, LSB first."""
+        if name in self.input_buses:
+            raise ValueError(f"input bus {name!r} already exists")
+        if width < 1:
+            raise ValueError("bus width must be positive")
+        nets = []
+        for bit in range(width):
+            net = self.n_nets
+            self._driver_kind.append(_DRIVER_INPUT)
+            self._driver_info.append((name, bit))
+            nets.append(net)
+        self.input_buses[name] = nets
+        return nets
+
+    def set_output_bus(self, name: str, nets: Sequence[int],
+                       signed: bool = False) -> None:
+        """Declare a primary output bus (LSB first)."""
+        if name in self.output_buses:
+            raise ValueError(f"output bus {name!r} already exists")
+        for net in nets:
+            self._check_net(net)
+        self.output_buses[name] = list(nets)
+        self.output_signed[name] = signed
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < self.n_nets:
+            raise ValueError(f"net {net} does not exist (n_nets={self.n_nets})")
+
+    def add_gate(self, cell: str, *inputs: int) -> int:
+        """Instantiate ``cell`` driven by ``inputs``; return the output net.
+
+        No folding is applied — use the builder helpers for that.  Inputs
+        must already exist, which keeps the gate list topologically sorted.
+        """
+        spec = cell_spec(cell)
+        if len(inputs) != spec.n_inputs:
+            raise ValueError(
+                f"{cell} expects {spec.n_inputs} inputs, got {len(inputs)}")
+        for net in inputs:
+            self._check_net(net)
+        if self._cse_enabled:
+            key = self._cse_key(cell, inputs)
+            hit = self._cse.get(key)
+            if hit is not None:
+                return hit
+        out = self.n_nets
+        gate_idx = self.n_gates
+        self._driver_kind.append(_DRIVER_GATE)
+        self._driver_info.append(gate_idx)
+        self.gate_type.append(cell)
+        self.gate_inputs.append(tuple(inputs))
+        self.gate_out.append(out)
+        if self._cse_enabled:
+            self._cse[key] = out
+        return out
+
+    @staticmethod
+    def _cse_key(cell: str, inputs: tuple[int, ...] | Sequence[int]) -> tuple:
+        # Commutative cells hash with sorted operands.
+        if cell in ("AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2"):
+            a, b = inputs
+            if a > b:
+                a, b = b, a
+            return (cell, a, b)
+        return (cell, *inputs)
+
+    # ------------------------------------------------------------------
+    # Driver queries
+    # ------------------------------------------------------------------
+    def driver_gate(self, net: int) -> int | None:
+        """Index of the gate driving ``net``, or None for inputs/constants."""
+        if self._driver_kind[net] == _DRIVER_GATE:
+            return self._driver_info[net]
+        return None
+
+    def is_const(self, net: int) -> bool:
+        return self._driver_kind[net] == _DRIVER_CONST
+
+    def const_value(self, net: int) -> int | None:
+        """0 or 1 if ``net`` is a constant tie, else None."""
+        if self._driver_kind[net] == _DRIVER_CONST:
+            return self._driver_info[net]
+        return None
+
+    # ------------------------------------------------------------------
+    # Folding builders
+    # ------------------------------------------------------------------
+    def not_(self, a: int) -> int:
+        ca = self.const_value(a)
+        if ca is not None:
+            return CONST1 - a
+        gate = self.driver_gate(a)
+        if gate is not None and self.gate_type[gate] == "INV":
+            return self.gate_inputs[gate][0]
+        return self.add_gate("INV", a)
+
+    def buf_(self, a: int) -> int:
+        return a
+
+    def and_(self, a: int, b: int) -> int:
+        ca, cb = self.const_value(a), self.const_value(b)
+        if ca == 0 or cb == 0:
+            return CONST0
+        if ca == 1:
+            return b
+        if cb == 1:
+            return a
+        if a == b:
+            return a
+        if self._is_complement(a, b):
+            return CONST0
+        return self.add_gate("AND2", a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        ca, cb = self.const_value(a), self.const_value(b)
+        if ca == 1 or cb == 1:
+            return CONST1
+        if ca == 0:
+            return b
+        if cb == 0:
+            return a
+        if a == b:
+            return a
+        if self._is_complement(a, b):
+            return CONST1
+        return self.add_gate("OR2", a, b)
+
+    def nand_(self, a: int, b: int) -> int:
+        ca, cb = self.const_value(a), self.const_value(b)
+        if ca == 0 or cb == 0:
+            return CONST1
+        if ca == 1:
+            return self.not_(b)
+        if cb == 1:
+            return self.not_(a)
+        if a == b:
+            return self.not_(a)
+        if self._is_complement(a, b):
+            return CONST1
+        return self.add_gate("NAND2", a, b)
+
+    def nor_(self, a: int, b: int) -> int:
+        ca, cb = self.const_value(a), self.const_value(b)
+        if ca == 1 or cb == 1:
+            return CONST0
+        if ca == 0:
+            return self.not_(b)
+        if cb == 0:
+            return self.not_(a)
+        if a == b:
+            return self.not_(a)
+        if self._is_complement(a, b):
+            return CONST0
+        return self.add_gate("NOR2", a, b)
+
+    def xor_(self, a: int, b: int) -> int:
+        ca, cb = self.const_value(a), self.const_value(b)
+        if ca == 0:
+            return b
+        if cb == 0:
+            return a
+        if ca == 1:
+            return self.not_(b)
+        if cb == 1:
+            return self.not_(a)
+        if a == b:
+            return CONST0
+        if self._is_complement(a, b):
+            return CONST1
+        return self.add_gate("XOR2", a, b)
+
+    def xnor_(self, a: int, b: int) -> int:
+        return self.not_(self.xor_(a, b))
+
+    def mux_(self, a: int, b: int, sel: int) -> int:
+        """Two-way multiplexer: returns ``b`` when ``sel`` is 1, else ``a``."""
+        cs = self.const_value(sel)
+        if cs == 0:
+            return a
+        if cs == 1:
+            return b
+        if a == b:
+            return a
+        ca, cb = self.const_value(a), self.const_value(b)
+        if ca == 0:
+            return self.and_(b, sel)
+        if ca == 1:
+            return self.or_(b, self.not_(sel))
+        if cb == 0:
+            return self.and_(a, self.not_(sel))
+        if cb == 1:
+            return self.or_(a, sel)
+        if b == sel:  # sel ? sel : a  ==  a | sel
+            return self.or_(a, sel)
+        if a == sel:  # sel ? b : sel  ==  b & sel
+            return self.and_(b, sel)
+        return self.add_gate("MUX2", a, b, sel)
+
+    def _is_complement(self, a: int, b: int) -> bool:
+        ga, gb = self.driver_gate(a), self.driver_gate(b)
+        if ga is not None and self.gate_type[ga] == "INV" \
+                and self.gate_inputs[ga][0] == b:
+            return True
+        if gb is not None and self.gate_type[gb] == "INV" \
+                and self.gate_inputs[gb][0] == a:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def gate_histogram(self) -> dict[str, int]:
+        """Cell-type usage counts."""
+        hist: dict[str, int] = {}
+        for cell in self.gate_type:
+            hist[cell] = hist.get(cell, 0) + 1
+        return hist
+
+    def fanout_map(self) -> list[list[int]]:
+        """For every net, the list of gate indices that consume it."""
+        fanout: list[list[int]] = [[] for _ in range(self.n_nets)]
+        for gate_idx, inputs in enumerate(self.gate_inputs):
+            for net in inputs:
+                fanout[net].append(gate_idx)
+        return fanout
+
+    def live_gates(self) -> list[bool]:
+        """Mark gates in the transitive fan-in of any primary output."""
+        live = [False] * self.n_gates
+        stack: list[int] = []
+        for nets in self.output_buses.values():
+            for net in nets:
+                gate = self.driver_gate(net)
+                if gate is not None and not live[gate]:
+                    live[gate] = True
+                    stack.append(gate)
+        while stack:
+            gate = stack.pop()
+            for net in self.gate_inputs[gate]:
+                pred = self.driver_gate(net)
+                if pred is not None and not live[pred]:
+                    live[pred] = True
+                    stack.append(pred)
+        return live
+
+    def stats(self) -> dict:
+        """Summary statistics used by reports and tests."""
+        return {
+            "name": self.name,
+            "gates": self.n_gates,
+            "nets": self.n_nets,
+            "inputs": {k: len(v) for k, v in self.input_buses.items()},
+            "outputs": {k: len(v) for k, v in self.output_buses.items()},
+            "histogram": self.gate_histogram(),
+        }
+
+    def to_dot(self, max_gates: int = 2000) -> str:
+        """Graphviz dump for small netlists (debugging aid)."""
+        if self.n_gates > max_gates:
+            raise ValueError(
+                f"netlist too large for DOT export ({self.n_gates} gates)")
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for name, nets in self.input_buses.items():
+            for bit, net in enumerate(nets):
+                lines.append(f'  n{net} [label="{name}[{bit}]" shape=box];')
+        for gate_idx, cell in enumerate(self.gate_type):
+            out = self.gate_out[gate_idx]
+            lines.append(f'  n{out} [label="{cell}#{gate_idx}"];')
+            for net in self.gate_inputs[gate_idx]:
+                lines.append(f"  n{net} -> n{out};")
+        for name, nets in self.output_buses.items():
+            for bit, net in enumerate(nets):
+                lines.append(
+                    f'  o_{name}_{bit} [label="{name}[{bit}]" shape=box];')
+                lines.append(f"  n{net} -> o_{name}_{bit};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Internal consistency check (used by tests)."""
+        for gate_idx, inputs in enumerate(self.gate_inputs):
+            spec = EGT_LIBRARY[self.gate_type[gate_idx]]
+            if len(inputs) != spec.n_inputs:
+                raise AssertionError(f"gate {gate_idx} arity mismatch")
+            out = self.gate_out[gate_idx]
+            for net in inputs:
+                if net >= out:
+                    raise AssertionError(
+                        f"gate {gate_idx} input net {net} not before output {out}")
+        for nets in self.output_buses.values():
+            for net in nets:
+                self._check_net(net)
+
+
+def bus_value(bits: Iterable[int], signed: bool = False) -> int:
+    """Interpret a list of 0/1 integers (LSB first) as a bus value."""
+    bits = list(bits)
+    value = 0
+    for position, bit in enumerate(bits):
+        value |= (bit & 1) << position
+    if signed and bits and bits[-1]:
+        value -= 1 << len(bits)
+    return value

@@ -1,0 +1,80 @@
+"""Netlist serialization (JSON).
+
+Bespoke circuits are designs a user may want to keep: the exact baseline,
+the Pareto-optimal pruned variant selected for printing, intermediate
+points of a long exploration.  This module round-trips a
+:class:`~repro.hw.netlist.Netlist` — structure, ports, signedness, and the
+``meta`` used by the pruning pass — through a plain JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .netlist import Netlist
+
+__all__ = ["netlist_to_dict", "netlist_from_dict", "save_netlist",
+           "load_netlist"]
+
+_FORMAT_VERSION = 1
+
+
+def netlist_to_dict(nl: Netlist) -> dict:
+    """Plain-data description of a netlist (stable across sessions)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": nl.name,
+        "inputs": {name: len(nets) for name, nets in nl.input_buses.items()},
+        "input_nets": {name: list(nets)
+                       for name, nets in nl.input_buses.items()},
+        "gates": [
+            {"cell": nl.gate_type[i],
+             "inputs": list(nl.gate_inputs[i]),
+             "out": nl.gate_out[i]}
+            for i in range(nl.n_gates)
+        ],
+        "outputs": {name: list(nets)
+                    for name, nets in nl.output_buses.items()},
+        "output_signed": dict(nl.output_signed),
+        "meta": {
+            "kind": nl.meta.get("kind"),
+            "watch_buses": nl.meta.get("watch_buses"),
+        },
+    }
+
+
+def netlist_from_dict(data: dict) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported netlist format version {version!r}")
+    nl = Netlist(name=data["name"], cse=False)
+    net_map: dict[int, int] = {0: 0, 1: 1}
+    for name, old_nets in data["input_nets"].items():
+        new_nets = nl.add_input_bus(name, len(old_nets))
+        for old, new in zip(old_nets, new_nets):
+            net_map[old] = new
+    for gate in data["gates"]:
+        mapped = [net_map[net] for net in gate["inputs"]]
+        net_map[gate["out"]] = nl.add_gate(gate["cell"], *mapped)
+    for name, nets in data["outputs"].items():
+        nl.set_output_bus(name, [net_map[net] for net in nets],
+                          signed=data["output_signed"][name])
+    meta = data.get("meta") or {}
+    if meta.get("kind") is not None:
+        nl.meta["kind"] = meta["kind"]
+    if meta.get("watch_buses") is not None:
+        nl.meta["watch_buses"] = [
+            [net_map[net] for net in bus] for bus in meta["watch_buses"]]
+    return nl
+
+
+def save_netlist(nl: Netlist, path: str | Path) -> None:
+    """Write a netlist to a JSON file."""
+    Path(path).write_text(json.dumps(netlist_to_dict(nl)))
+
+
+def load_netlist(path: str | Path) -> Netlist:
+    """Read a netlist back from :func:`save_netlist` output."""
+    return netlist_from_dict(json.loads(Path(path).read_text()))

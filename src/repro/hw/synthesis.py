@@ -1,0 +1,124 @@
+"""Netlist optimization — the stand-in for Design Compiler's compile step.
+
+The flow in the paper synthesizes (a) the bespoke RTL emitted for each model
+and (b) every pruned netlist variant, relying on the tool's constant
+propagation to shrink logic after gates are tied to constants (Section
+III-C, step 5).  :func:`synthesize` reproduces that: it replays a netlist
+through the folding builder of :class:`~repro.hw.netlist.Netlist` (constant
+propagation, algebraic simplification, double-inverter removal, structural
+hashing) and then strips every gate outside the fan-in cone of the primary
+outputs.  Gate pruning is expressed through ``force_constants``, which ties
+selected gate outputs to '0'/'1' before the rebuild, exactly like replacing
+the gate with a tie cell.
+"""
+
+from __future__ import annotations
+
+from .netlist import CONST0, CONST1, Netlist
+
+__all__ = ["synthesize", "rebuild_folded", "strip_dead"]
+
+_BUILDERS = {
+    "INV": "not_",
+    "BUF": "buf_",
+    "AND2": "and_",
+    "OR2": "or_",
+    "XOR2": "xor_",
+    "XNOR2": "xnor_",
+    "NAND2": "nand_",
+    "NOR2": "nor_",
+    "MUX2": "mux_",
+}
+
+
+def rebuild_folded(nl: Netlist,
+                   force_constants: dict[int, int] | None = None) -> Netlist:
+    """Replay ``nl`` through the folding builder.
+
+    ``force_constants`` maps *gate indices* of ``nl`` to 0/1; those gates are
+    not re-instantiated and their outputs become constant ties, letting the
+    folding cascade through the fanout cone (the pruning transform).
+    """
+    force_constants = force_constants or {}
+    new = Netlist(name=nl.name, cse=True)
+    net_map: list[int] = [0] * nl.n_nets
+    net_map[CONST0] = CONST0
+    net_map[CONST1] = CONST1
+    for name, nets in nl.input_buses.items():
+        new_nets = new.add_input_bus(name, len(nets))
+        for old, fresh in zip(nets, new_nets):
+            net_map[old] = fresh
+    for gate_idx in range(nl.n_gates):
+        out_net = nl.gate_out[gate_idx]
+        forced = force_constants.get(gate_idx)
+        if forced is not None:
+            net_map[out_net] = CONST1 if forced else CONST0
+            continue
+        builder = getattr(new, _BUILDERS[nl.gate_type[gate_idx]])
+        mapped = [net_map[net] for net in nl.gate_inputs[gate_idx]]
+        net_map[out_net] = builder(*mapped)
+    for name, nets in nl.output_buses.items():
+        new.set_output_bus(name, [net_map[net] for net in nets],
+                           signed=nl.output_signed[name])
+    new.meta = _remap_meta(nl.meta, net_map)
+    return new
+
+
+def strip_dead(nl: Netlist) -> Netlist:
+    """Remove every gate not reachable backwards from a primary output."""
+    live = nl.live_gates()
+    new = Netlist(name=nl.name, cse=False)
+    net_map: list[int] = [0] * nl.n_nets
+    net_map[CONST0] = CONST0
+    net_map[CONST1] = CONST1
+    for name, nets in nl.input_buses.items():
+        new_nets = new.add_input_bus(name, len(nets))
+        for old, fresh in zip(nets, new_nets):
+            net_map[old] = fresh
+    for gate_idx in range(nl.n_gates):
+        if not live[gate_idx]:
+            continue
+        mapped = [net_map[net] for net in nl.gate_inputs[gate_idx]]
+        net_map[nl.gate_out[gate_idx]] = new.add_gate(
+            nl.gate_type[gate_idx], *mapped)
+    for name, nets in nl.output_buses.items():
+        new.set_output_bus(name, [net_map[net] for net in nets],
+                           signed=nl.output_signed[name])
+    new.meta = _remap_meta(nl.meta, net_map)
+    return new
+
+
+def synthesize(nl: Netlist,
+               force_constants: dict[int, int] | None = None,
+               max_passes: int = 4) -> Netlist:
+    """Optimize a netlist (optionally pruning gates) to a fixpoint.
+
+    Repeated folding passes are needed because structural hashing can
+    expose new constant/duplicate patterns; netlists converge in two to
+    three passes in practice.
+    """
+    current = rebuild_folded(nl, force_constants)
+    for _ in range(max_passes):
+        folded = rebuild_folded(current)
+        if folded.n_gates == current.n_gates:
+            current = folded
+            break
+        current = folded
+    return strip_dead(current)
+
+
+def _remap_meta(meta: dict, net_map: list[int]) -> dict:
+    """Carry builder metadata across a rebuild, remapping net references.
+
+    Only the ``watch_buses`` key (lists of nets observed by the pruning
+    pass, e.g. pre-argmax neuron buses) contains nets; everything else is
+    copied verbatim.
+    """
+    if not meta:
+        return {}
+    remapped = dict(meta)
+    if "watch_buses" in meta:
+        remapped["watch_buses"] = [
+            [net_map[net] for net in bus] for bus in meta["watch_buses"]
+        ]
+    return remapped

@@ -1,0 +1,65 @@
+"""Static timing analysis for printed netlists.
+
+The paper synthesizes every circuit at a relaxed clock — 250 ms for the
+Pendigits MLP-C and 200 ms for everything else — consistent with the
+Hz-to-kHz performance of printed EGT circuits (Sections II and III-A).
+This pass computes the combinational critical path with the per-cell
+delays of the EGT library so experiments can assert the relaxed-clock
+constraint holds for every generated design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cells import EGT_LIBRARY, TECHNOLOGY
+from .netlist import Netlist
+
+__all__ = ["critical_path_ms", "TimingReport"]
+
+
+def _arrival_times(nl: Netlist) -> list[float]:
+    arrival = [0.0] * nl.n_nets
+    for gate_idx in range(nl.n_gates):
+        delay = EGT_LIBRARY[nl.gate_type[gate_idx]].delay_ms
+        worst_input = max(
+            (arrival[net] for net in nl.gate_inputs[gate_idx]), default=0.0)
+        arrival[nl.gate_out[gate_idx]] = worst_input + delay
+    return arrival
+
+
+def critical_path_ms(nl: Netlist) -> float:
+    """Longest input-to-output combinational delay in milliseconds."""
+    arrival = _arrival_times(nl)
+    worst = 0.0
+    for nets in nl.output_buses.values():
+        for net in nets:
+            if arrival[net] > worst:
+                worst = arrival[net]
+    return worst
+
+
+@dataclass
+class TimingReport:
+    """Critical-path summary against a target clock."""
+
+    critical_path_ms: float
+    clock_ms: float
+
+    @property
+    def slack_ms(self) -> float:
+        return self.clock_ms - self.critical_path_ms
+
+    @property
+    def meets_clock(self) -> bool:
+        return self.slack_ms >= 0.0
+
+    @staticmethod
+    def from_netlist(nl: Netlist, clock_ms: float | None = None) -> "TimingReport":
+        clock = clock_ms if clock_ms is not None else TECHNOLOGY.default_clock_ms
+        return TimingReport(critical_path_ms(nl), clock)
+
+    def __str__(self) -> str:
+        status = "MET" if self.meets_clock else "VIOLATED"
+        return (f"critical path {self.critical_path_ms:.1f} ms vs clock "
+                f"{self.clock_ms:.1f} ms -> {status} (slack {self.slack_ms:.1f} ms)")

@@ -1,0 +1,46 @@
+"""From-scratch training stack standing in for scikit-learn (Section III-A)."""
+
+from .base import BaseEstimator, clone
+from .metrics import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    regression_label_accuracy,
+    round_to_labels,
+)
+from .mlp import MLPClassifier, MLPRegressor
+from .model_selection import (
+    KFold,
+    ParameterSampler,
+    RandomizedSearchCV,
+    train_test_split,
+)
+from .preprocessing import MinMaxScaler
+from .svm import LinearSVMClassifier, LinearSVMRegressor, one_vs_one_predict
+from .tree import DecisionTreeClassifier, TreeNode
+
+__all__ = [
+    "BaseEstimator",
+    "clone",
+    "accuracy_score",
+    "confusion_matrix",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "regression_label_accuracy",
+    "round_to_labels",
+    "MLPClassifier",
+    "MLPRegressor",
+    "KFold",
+    "ParameterSampler",
+    "RandomizedSearchCV",
+    "train_test_split",
+    "MinMaxScaler",
+    "LinearSVMClassifier",
+    "LinearSVMRegressor",
+    "one_vs_one_predict",
+    "DecisionTreeClassifier",
+    "TreeNode",
+]

@@ -1,0 +1,58 @@
+"""Minimal estimator protocol shared by the training stack.
+
+The paper trains its models with scikit-learn and RandomizedSearchCV
+(Section III-A).  scikit-learn is not available offline, so this package
+implements the needed subset from scratch; :class:`BaseEstimator` supplies
+the ``get_params``/``set_params``/``clone`` contract that the model
+selection utilities rely on, mirroring the sklearn protocol.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+__all__ = ["BaseEstimator", "clone"]
+
+
+class BaseEstimator:
+    """Parameter introspection base for all estimators in :mod:`repro.ml`.
+
+    Subclasses must accept all hyperparameters as keyword arguments in
+    ``__init__`` and store them under the same attribute names, exactly
+    like scikit-learn estimators.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [name for name, param in signature.parameters.items()
+                if name != "self"
+                and param.kind != inspect.Parameter.VAR_KEYWORD]
+
+    def get_params(self) -> dict:
+        """All constructor hyperparameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Update hyperparameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"unknown parameter {name!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}")
+            setattr(self, name, value)
+        return self
+
+    def is_fitted(self) -> bool:
+        """True once ``fit`` has produced learned attributes."""
+        return any(name.endswith("_") and not name.startswith("_")
+                   for name in vars(self))
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Fresh unfitted copy with identical hyperparameters."""
+    params = {name: copy.deepcopy(value)
+              for name, value in estimator.get_params().items()}
+    return type(estimator)(**params)

@@ -1,0 +1,79 @@
+"""Evaluation metrics.
+
+Classification accuracy is the paper's sole quality metric (Fig. 3,
+Tables I and II).  Regressors (MLP-R, SVM-R) are scored as classifiers by
+rounding the predicted value to the nearest label and clipping into the
+label range — the convention of the printed-ML baseline the paper builds
+on (Mubarik et al., MICRO'20), which is why Table I can report "accuracy"
+for regressors at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "regression_label_accuracy",
+    "round_to_labels",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "confusion_matrix",
+]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def round_to_labels(y_pred: np.ndarray, y_min: int, y_max: int) -> np.ndarray:
+    """Round continuous predictions to integer labels within a range."""
+    return np.clip(np.rint(np.asarray(y_pred, dtype=float)), y_min, y_max).astype(np.int64)
+
+
+def regression_label_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                              y_min: int | None = None,
+                              y_max: int | None = None) -> float:
+    """Accuracy of a regressor used as a classifier (round and clip)."""
+    y_true = np.asarray(y_true)
+    lo = int(y_true.min()) if y_min is None else y_min
+    hi = int(y_true.max()) if y_max is None else y_max
+    return accuracy_score(y_true, round_to_labels(y_pred, lo, hi))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.mean(np.abs(np.asarray(y_true, float) - np.asarray(y_pred, float))))
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    diff = np.asarray(y_true, float) - np.asarray(y_pred, float)
+    return float(np.mean(diff * diff))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, float)
+    residual = np.sum((y_true - np.asarray(y_pred, float)) ** 2)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    if total == 0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: int | None = None) -> np.ndarray:
+    """Counts[i, j] = samples with true class i predicted as j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix

@@ -1,0 +1,159 @@
+"""Data splitting and hyperparameter search.
+
+Reproduces the training protocol of Section III-A: a random 70%/30%
+train/test split and randomized hyperparameter optimization
+(``RandomizedSearchCV``) with 5-fold cross validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "ParameterSampler",
+    "RandomizedSearchCV",
+]
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_size: float = 0.3,
+                     seed: int = 0, stratify: bool = False
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split (default 70/30, the paper's protocol).
+
+    With ``stratify`` the per-class proportions are preserved, which
+    matters for the heavily imbalanced cardiotocography and wine datasets.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y lengths differ")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if stratify:
+        test_idx: list[int] = []
+        train_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            members = members[rng.permutation(len(members))]
+            n_test = int(round(len(members) * test_size))
+            test_idx.extend(members[:n_test])
+            train_idx.extend(members[n_test:])
+        train = np.array(sorted(train_idx))
+        test = np.array(sorted(test_idx))
+    else:
+        order = rng.permutation(len(X))
+        n_test = int(round(len(X) * test_size))
+        test, train = order[:n_test], order[n_test:]
+    return X[train], X[test], y[train], y[test]
+
+
+class KFold:
+    """Deterministic shuffled k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("need at least 2 folds")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError("more folds than samples")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for held_out in range(self.n_splits):
+            test = np.sort(folds[held_out])
+            train = np.sort(np.concatenate(
+                [folds[i] for i in range(self.n_splits) if i != held_out]))
+            yield train, test
+
+
+class ParameterSampler:
+    """Sample hyperparameter dicts from lists or scipy-style distributions.
+
+    Each value in ``distributions`` is either a sequence (uniform choice)
+    or an object with an ``rvs(random_state=...)`` method.
+    """
+
+    def __init__(self, distributions: dict, n_iter: int, seed: int = 0) -> None:
+        self.distributions = distributions
+        self.n_iter = n_iter
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[dict]:
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.n_iter):
+            sample = {}
+            for name, spec in self.distributions.items():
+                if hasattr(spec, "rvs"):
+                    sample[name] = spec.rvs(
+                        random_state=int(rng.integers(0, 2 ** 31)))
+                else:
+                    options = list(spec)
+                    sample[name] = options[int(rng.integers(0, len(options)))]
+            yield sample
+
+    def __len__(self) -> int:
+        return self.n_iter
+
+
+@dataclass
+class SearchResult:
+    """One evaluated hyperparameter configuration."""
+
+    params: dict
+    mean_score: float
+    fold_scores: list[float] = field(default_factory=list)
+
+
+class RandomizedSearchCV:
+    """Randomized hyperparameter optimization with k-fold cross validation.
+
+    The scoring function defaults to the estimator's own ``score`` method
+    (accuracy for classifiers, label accuracy for regressors), matching the
+    paper's use of sklearn's ``RandomizedSearchCV`` with 5-fold CV.
+    """
+
+    def __init__(self, estimator: BaseEstimator, distributions: dict,
+                 n_iter: int = 10, cv: int = 5, seed: int = 0,
+                 scorer: Callable | None = None) -> None:
+        self.estimator = estimator
+        self.distributions = distributions
+        self.n_iter = n_iter
+        self.cv = cv
+        self.seed = seed
+        self.scorer = scorer
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomizedSearchCV":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        folds = KFold(self.cv, seed=self.seed)
+        self.results_: list[SearchResult] = []
+        sampler = ParameterSampler(self.distributions, self.n_iter, self.seed)
+        for params in sampler:
+            scores = []
+            for train_idx, valid_idx in folds.split(len(X)):
+                model = clone(self.estimator).set_params(**params)
+                model.fit(X[train_idx], y[train_idx])
+                if self.scorer is not None:
+                    score = self.scorer(model, X[valid_idx], y[valid_idx])
+                else:
+                    score = model.score(X[valid_idx], y[valid_idx])
+                scores.append(float(score))
+            self.results_.append(
+                SearchResult(params, float(np.mean(scores)), scores))
+        best = max(self.results_, key=lambda result: result.mean_score)
+        self.best_params_ = best.params
+        self.best_score_ = best.mean_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best.params)
+        self.best_estimator_.fit(X, y)
+        return self

@@ -1,0 +1,47 @@
+"""Feature scaling utilities.
+
+The paper normalizes all inputs to [0, 1] before training and quantization
+(Section III-A); :class:`MinMaxScaler` reproduces scikit-learn's behaviour,
+including clipping at transform time so test samples outside the training
+range stay inside the 4-bit input domain of the bespoke circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator
+
+__all__ = ["MinMaxScaler"]
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to [0, 1] based on the training range.
+
+    Args:
+        clip: clamp transformed values into [0, 1]; bespoke circuits need
+            this because a 4-bit input bus cannot encode out-of-range
+            samples.
+    """
+
+    def __init__(self, clip: bool = True) -> None:
+        self.clip = clip
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        # Constant features map to 0 instead of dividing by zero.
+        self.scale_ = np.where(span > 0, 1.0 / np.where(span > 0, span, 1.0), 0.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        scaled = (X - self.data_min_) * self.scale_
+        if self.clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

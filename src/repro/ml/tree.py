@@ -1,0 +1,163 @@
+"""Decision-tree classifier (CART with Gini impurity).
+
+The printed-ML baseline the paper builds on (Mubarik et al., MICRO'20 —
+reference [1]) could only afford Decision Trees and SVM regressors in
+printed electronics; MLPs and multiclass SVMs were out of reach until the
+paper's cross-layer approximation.  This trainer provides that baseline
+model family so examples can compare "printable before" against
+"printable now": a bespoke decision-tree circuit is just threshold
+comparators and multiplexers (see
+:func:`repro.hw.bespoke_tree.build_bespoke_tree_netlist`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BaseEstimator
+from .metrics import accuracy_score
+
+__all__ = ["DecisionTreeClassifier", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree.
+
+    Internal nodes route samples with ``x[feature] <= threshold`` to
+    ``left`` and the rest to ``right``; leaves carry a class index.
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    class_index: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.class_index >= 0
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def n_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.n_nodes() + self.right.n_nodes()
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions * proportions))
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """Greedy CART classifier with Gini impurity splits.
+
+    Args:
+        max_depth: depth budget; printed circuits favour shallow trees
+            (Mubarik et al. print depth-3..5 trees).
+        min_samples_leaf: minimum samples on each side of a split.
+    """
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 5,
+                 seed: int = 0) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D and aligned with y")
+        self.classes_ = np.unique(y)
+        indices = {label: i for i, label in enumerate(self.classes_)}
+        encoded = np.array([indices[label] for label in y])
+        self.root_ = self._build(X, encoded, depth=0)
+        return self
+
+    # ------------------------------------------------------------------
+    def _leaf(self, encoded: np.ndarray) -> TreeNode:
+        counts = np.bincount(encoded, minlength=len(self.classes_))
+        return TreeNode(class_index=int(np.argmax(counts)))
+
+    def _build(self, X: np.ndarray, encoded: np.ndarray,
+               depth: int) -> TreeNode:
+        if depth >= self.max_depth or len(np.unique(encoded)) == 1 \
+                or len(encoded) < 2 * self.min_samples_leaf:
+            return self._leaf(encoded)
+        split = self._best_split(X, encoded)
+        if split is None:
+            return self._leaf(encoded)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        return TreeNode(
+            feature=feature, threshold=threshold,
+            left=self._build(X[mask], encoded[mask], depth + 1),
+            right=self._build(X[~mask], encoded[~mask], depth + 1))
+
+    def _best_split(self, X: np.ndarray,
+                    encoded: np.ndarray) -> tuple[int, float] | None:
+        n_samples, n_features = X.shape
+        n_classes = len(self.classes_)
+        parent_counts = np.bincount(encoded, minlength=n_classes)
+        best_gain = 1e-9
+        best: tuple[int, float] | None = None
+        parent_impurity = _gini(parent_counts)
+        for feature in range(n_features):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            labels = encoded[order]
+            left_counts = np.zeros(n_classes)
+            right_counts = parent_counts.astype(float).copy()
+            for position in range(n_samples - 1):
+                label = labels[position]
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                n_left = position + 1
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf \
+                        or n_right < self.min_samples_leaf:
+                    continue
+                if values[position] == values[position + 1]:
+                    continue  # cannot split between equal values
+                weighted = (n_left * _gini(left_counts)
+                            + n_right * _gini(right_counts)) / n_samples
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    midpoint = (values[position] + values[position + 1]) / 2.0
+                    best = (feature, float(midpoint))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X), dtype=self.classes_.dtype)
+        for row, sample in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if sample[node.feature] <= node.threshold \
+                    else node.right
+            out[row] = self.classes_[node.class_index]
+        return out
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return accuracy_score(y, self.predict(X))
+
+    @property
+    def depth(self) -> int:
+        return self.root_.depth()
+
+    @property
+    def n_nodes(self) -> int:
+        return self.root_.n_nodes()

@@ -1,0 +1,36 @@
+"""Fixed-point quantization and exact-integer golden models."""
+
+from .fixed_point import (
+    DEFAULT_COEFF_BITS,
+    DEFAULT_INPUT_BITS,
+    coeff_range,
+    coeff_scale,
+    input_scale,
+    quantize_coeffs,
+    quantize_inputs,
+)
+from .qtree import QuantDecisionTree, QuantTreeNode
+from .qmodel import (
+    DEFAULT_HIDDEN_BITS,
+    QuantMLP,
+    QuantSVM,
+    WeightedSumSpec,
+    quantize_model,
+)
+
+__all__ = [
+    "DEFAULT_COEFF_BITS",
+    "DEFAULT_INPUT_BITS",
+    "DEFAULT_HIDDEN_BITS",
+    "coeff_range",
+    "coeff_scale",
+    "input_scale",
+    "quantize_coeffs",
+    "quantize_inputs",
+    "QuantMLP",
+    "QuantSVM",
+    "WeightedSumSpec",
+    "quantize_model",
+    "QuantDecisionTree",
+    "QuantTreeNode",
+]

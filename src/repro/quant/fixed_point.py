@@ -1,0 +1,63 @@
+"""Fixed-point quantization helpers.
+
+The bespoke circuits of the paper use fixed-point arithmetic with 8-bit
+coefficients and 4-bit inputs, values that delivered close-to-float
+accuracy for all models (Section III-A).  Inputs are normalized to [0, 1]
+then mapped to unsigned integers; coefficients are scaled per layer so the
+largest magnitude uses the full signed 8-bit range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_INPUT_BITS",
+    "DEFAULT_COEFF_BITS",
+    "input_scale",
+    "quantize_inputs",
+    "coeff_scale",
+    "quantize_coeffs",
+    "coeff_range",
+]
+
+DEFAULT_INPUT_BITS = 4
+DEFAULT_COEFF_BITS = 8
+
+
+def input_scale(bits: int = DEFAULT_INPUT_BITS) -> int:
+    """Integer scale applied to [0, 1] inputs (15 for 4-bit buses)."""
+    if bits < 1:
+        raise ValueError("input bits must be positive")
+    return (1 << bits) - 1
+
+
+def quantize_inputs(X: np.ndarray, bits: int = DEFAULT_INPUT_BITS) -> np.ndarray:
+    """Map [0, 1] features to unsigned ``bits``-bit integers."""
+    X = np.asarray(X, dtype=float)
+    if X.size and (X.min() < -1e-9 or X.max() > 1.0 + 1e-9):
+        raise ValueError("inputs must be normalized to [0, 1] before "
+                         "quantization (the paper's Section III-A protocol)")
+    scale = input_scale(bits)
+    return np.clip(np.rint(X * scale), 0, scale).astype(np.int64)
+
+
+def coeff_range(bits: int = DEFAULT_COEFF_BITS) -> tuple[int, int]:
+    """Inclusive signed range of a ``bits``-bit coefficient."""
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def coeff_scale(weights: np.ndarray, bits: int = DEFAULT_COEFF_BITS) -> float:
+    """Scale mapping float weights onto the signed ``bits``-bit grid."""
+    magnitude = float(np.max(np.abs(weights))) if np.asarray(weights).size else 0.0
+    if magnitude == 0.0:
+        return 1.0
+    return coeff_range(bits)[1] / magnitude
+
+
+def quantize_coeffs(weights: np.ndarray, scale: float,
+                    bits: int = DEFAULT_COEFF_BITS) -> np.ndarray:
+    """Round-and-clip float weights to signed ``bits``-bit integers."""
+    lo, hi = coeff_range(bits)
+    return np.clip(np.rint(np.asarray(weights, dtype=float) * scale),
+                   lo, hi).astype(np.int64)

@@ -1,0 +1,366 @@
+"""Exact-integer quantized models (the golden reference for every circuit).
+
+A quantized model holds the hardwired integer coefficients of a bespoke
+circuit together with the scales needed to interpret its outputs.  Its
+``predict_int`` implements, in NumPy, *exactly* the arithmetic the
+generated netlist performs — same truncation, same argmax tie breaking,
+same 1-vs-1 voting — so tests can assert netlist-vs-golden equality on
+every sample, and the approximation framework can evaluate accuracy
+without simulating gates when it only needs model-level numbers.
+
+Coefficient approximation (Section III-B) operates on these models: the
+:meth:`weighted_sums` views expose every neuron / SVM score unit as a list
+of integer coefficients plus the input bit-width that determines each
+bespoke multiplier's area, and :meth:`replace_coefficients` produces the
+approximated model with everything else (scales, shifts, intercepts)
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+import numpy as np
+
+from ..ml.mlp import MLPClassifier, MLPRegressor
+from ..ml.svm import LinearSVMClassifier, LinearSVMRegressor, one_vs_one_predict
+from .fixed_point import (
+    DEFAULT_COEFF_BITS,
+    DEFAULT_INPUT_BITS,
+    coeff_scale,
+    input_scale,
+    quantize_coeffs,
+    quantize_inputs,
+)
+
+__all__ = [
+    "WeightedSumSpec",
+    "QuantMLP",
+    "QuantSVM",
+    "DEFAULT_HIDDEN_BITS",
+    "quantize_model",
+]
+
+# Hidden activations are truncated to this width before feeding the next
+# layer's bespoke multipliers (arithmetic right shift — free in hardware).
+# 8 bits matches the paper's Fig. 1b/2c "x: 8-bit" multiplier study.
+DEFAULT_HIDDEN_BITS = 8
+
+
+def _unsigned_bits(value: int) -> int:
+    """Bits needed to represent the non-negative ``value``."""
+    return max(1, int(value).bit_length())
+
+
+@dataclass(frozen=True)
+class WeightedSumSpec:
+    """One weighted sum: a neuron (MLP) or per-class score unit (SVM).
+
+    Attributes:
+        layer: 0-based layer index (always 0 for SVMs).
+        unit: neuron / class index within the layer.
+        coefficients: the hardwired integer coefficients, input order.
+        input_bits: width of the multiplier input buses feeding this sum,
+            which is what the bespoke multiplier area depends on (Fig. 1).
+    """
+
+    layer: int
+    unit: int
+    coefficients: tuple[int, ...]
+    input_bits: int
+
+
+class QuantMLP:
+    """Integer MLP with per-layer coefficient scales and hidden truncation.
+
+    Args:
+        weights: per-layer integer matrices, shape (fan_in, fan_out).
+        biases: per-layer integer vectors (already scaled to the layer's
+            accumulator domain).
+        weight_scales: float scale used to quantize each layer.
+        shifts: right-shift applied after ReLU of each hidden layer.
+        activation_bits: width of each layer's input buses (element 0 is
+            the primary input width).
+        kind: ``"classifier"`` or ``"regressor"``.
+        classes: label values (classifier) — argmax index maps into this.
+        y_min / y_max: label range for regressor rounding.
+        input_bits / coeff_bits: quantization configuration.
+    """
+
+    def __init__(self, weights: list[np.ndarray], biases: list[np.ndarray],
+                 weight_scales: list[float], shifts: list[int],
+                 activation_bits: list[int], kind: str,
+                 classes: np.ndarray | None = None,
+                 y_min: int = 0, y_max: int = 0,
+                 input_bits: int = DEFAULT_INPUT_BITS,
+                 coeff_bits: int = DEFAULT_COEFF_BITS,
+                 hidden_bits: int = DEFAULT_HIDDEN_BITS) -> None:
+        if kind not in ("classifier", "regressor"):
+            raise ValueError(f"unknown model kind {kind!r}")
+        if kind == "classifier" and classes is None:
+            raise ValueError("classifier needs class labels")
+        self.weights = [np.asarray(w, dtype=np.int64) for w in weights]
+        self.biases = [np.asarray(b, dtype=np.int64) for b in biases]
+        self.weight_scales = list(weight_scales)
+        self.shifts = list(shifts)
+        self.activation_bits = list(activation_bits)
+        self.kind = kind
+        self.classes = None if classes is None else np.asarray(classes)
+        self.y_min = y_min
+        self.y_max = y_max
+        self.input_bits = input_bits
+        self.coeff_bits = coeff_bits
+        self.hidden_bits = hidden_bits
+
+    # ------------------------------------------------------------------
+    # Construction from float models
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_mlp(mlp: MLPClassifier | MLPRegressor,
+                 input_bits: int = DEFAULT_INPUT_BITS,
+                 coeff_bits: int = DEFAULT_COEFF_BITS,
+                 hidden_bits: int = DEFAULT_HIDDEN_BITS) -> "QuantMLP":
+        """Quantize a trained float MLP (8-bit coeffs, 4-bit inputs)."""
+        weights: list[np.ndarray] = []
+        biases: list[np.ndarray] = []
+        weight_scales: list[float] = []
+        shifts: list[int] = []
+        activation_bits = [input_bits]
+        sigma = float(input_scale(input_bits))  # scale of current activations
+        act_hi = input_scale(input_bits)        # max integer activation value
+        n_layers = len(mlp.coefs_)
+        for layer in range(n_layers):
+            scale = coeff_scale(mlp.coefs_[layer], coeff_bits)
+            w_int = quantize_coeffs(mlp.coefs_[layer], scale, coeff_bits)
+            b_int = np.rint(mlp.intercepts_[layer] * scale * sigma).astype(np.int64)
+            weights.append(w_int)
+            biases.append(b_int)
+            weight_scales.append(scale)
+            if layer < n_layers - 1:
+                relu_hi = _layer_output_hi(w_int, b_int, act_hi)
+                width = _unsigned_bits(relu_hi)
+                shift = max(0, width - hidden_bits)
+                shifts.append(shift)
+                act_hi = relu_hi >> shift
+                activation_bits.append(_unsigned_bits(act_hi))
+                sigma = sigma * scale / (1 << shift)
+        if isinstance(mlp, MLPClassifier):
+            return QuantMLP(weights, biases, weight_scales, shifts,
+                            activation_bits, "classifier",
+                            classes=mlp.classes_, input_bits=input_bits,
+                            coeff_bits=coeff_bits, hidden_bits=hidden_bits)
+        return QuantMLP(weights, biases, weight_scales, shifts,
+                        activation_bits, "regressor",
+                        y_min=mlp.y_min_, y_max=mlp.y_max_,
+                        input_bits=input_bits, coeff_bits=coeff_bits,
+                        hidden_bits=hidden_bits)
+
+    # ------------------------------------------------------------------
+    # Integer inference (bit-exact with the generated circuits)
+    # ------------------------------------------------------------------
+    @property
+    def output_scale(self) -> float:
+        """Integer-output units per float-model output unit."""
+        sigma = float(input_scale(self.input_bits))
+        for layer, scale in enumerate(self.weight_scales):
+            sigma *= scale
+            if layer < len(self.shifts):
+                sigma /= 1 << self.shifts[layer]
+        return sigma
+
+    def output_ints(self, X_quant: np.ndarray) -> np.ndarray:
+        """Final-layer integer outputs, shape (n, n_outputs)."""
+        activations = np.asarray(X_quant, dtype=np.int64)
+        last = len(self.weights) - 1
+        for layer, (w_int, b_int) in enumerate(zip(self.weights, self.biases)):
+            sums = activations @ w_int + b_int
+            if layer < last:
+                activations = np.maximum(sums, 0) >> self.shifts[layer]
+            else:
+                return sums
+        return sums
+
+    def predict_int(self, X_quant: np.ndarray) -> np.ndarray:
+        """Predicted labels from quantized inputs (circuit semantics)."""
+        outputs = self.output_ints(X_quant)
+        if self.kind == "classifier":
+            return self.classes[np.argmax(outputs, axis=1)]
+        decoded = outputs[:, 0] / self.output_scale
+        return np.clip(np.rint(decoded), self.y_min, self.y_max).astype(np.int64)
+
+    def predict(self, X_normalized: np.ndarray) -> np.ndarray:
+        """Predict from [0, 1] floats (quantizing on the way in)."""
+        return self.predict_int(quantize_inputs(X_normalized, self.input_bits))
+
+    # ------------------------------------------------------------------
+    # Coefficient-approximation interface
+    # ------------------------------------------------------------------
+    def weighted_sums(self) -> list[WeightedSumSpec]:
+        """Every neuron as a (coefficients, input width) view."""
+        specs = []
+        for layer, w_int in enumerate(self.weights):
+            width = self.activation_bits[layer]
+            for unit in range(w_int.shape[1]):
+                specs.append(WeightedSumSpec(
+                    layer, unit, tuple(int(v) for v in w_int[:, unit]), width))
+        return specs
+
+    def replace_coefficients(
+            self, updates: dict[tuple[int, int], tuple[int, ...]]) -> "QuantMLP":
+        """New model with selected neurons' coefficients replaced.
+
+        ``updates`` maps (layer, unit) to the new integer coefficient
+        tuple.  Scales, shifts, and intercepts are untouched — exactly the
+        paper's coefficient approximation, which only swaps ``w`` for
+        ``w~`` (Section III-B).
+        """
+        new_weights = [w.copy() for w in self.weights]
+        for (layer, unit), coefficients in updates.items():
+            column = np.asarray(coefficients, dtype=np.int64)
+            if column.shape != (new_weights[layer].shape[0],):
+                raise ValueError(
+                    f"layer {layer} unit {unit}: expected "
+                    f"{new_weights[layer].shape[0]} coefficients")
+            new_weights[layer][:, unit] = column
+        clone = QuantMLP(new_weights, self.biases, self.weight_scales,
+                         self.shifts, self.activation_bits, self.kind,
+                         classes=self.classes, y_min=self.y_min,
+                         y_max=self.y_max, input_bits=self.input_bits,
+                         coeff_bits=self.coeff_bits,
+                         hidden_bits=self.hidden_bits)
+        return clone
+
+    # ------------------------------------------------------------------
+    @property
+    def n_coefficients(self) -> int:
+        """Coefficient count as reported in Table I (#C)."""
+        return int(sum(w.size for w in self.weights))
+
+    @property
+    def topology(self) -> tuple[int, ...]:
+        """Layer sizes, e.g. (21, 3, 3) for the Cardio MLP-C."""
+        return (self.weights[0].shape[0],
+                *(w.shape[1] for w in self.weights))
+
+    def __repr__(self) -> str:
+        return (f"QuantMLP(topology={self.topology}, kind={self.kind!r}, "
+                f"coeffs={self.n_coefficients})")
+
+
+def _layer_output_hi(w_int: np.ndarray, b_int: np.ndarray, act_hi: int) -> int:
+    """Largest post-ReLU value any unit of a layer can produce."""
+    positive = np.where(w_int > 0, w_int, 0).sum(axis=0) * act_hi + b_int
+    return int(max(0, positive.max()))
+
+
+class QuantSVM:
+    """Integer linear SVM (classifier with 1-vs-1 voting, or regressor)."""
+
+    def __init__(self, weights: np.ndarray, biases: np.ndarray,
+                 weight_scale: float, kind: str,
+                 classes: np.ndarray | None = None,
+                 y_min: int = 0, y_max: int = 0,
+                 input_bits: int = DEFAULT_INPUT_BITS,
+                 coeff_bits: int = DEFAULT_COEFF_BITS) -> None:
+        if kind not in ("classifier", "regressor"):
+            raise ValueError(f"unknown model kind {kind!r}")
+        if kind == "classifier" and classes is None:
+            raise ValueError("classifier needs class labels")
+        self.weights = np.asarray(weights, dtype=np.int64)
+        self.biases = np.atleast_1d(np.asarray(biases, dtype=np.int64))
+        self.weight_scale = float(weight_scale)
+        self.kind = kind
+        self.classes = None if classes is None else np.asarray(classes)
+        self.y_min = y_min
+        self.y_max = y_max
+        self.input_bits = input_bits
+        self.coeff_bits = coeff_bits
+
+    @staticmethod
+    def from_svm(svm: LinearSVMClassifier | LinearSVMRegressor,
+                 input_bits: int = DEFAULT_INPUT_BITS,
+                 coeff_bits: int = DEFAULT_COEFF_BITS) -> "QuantSVM":
+        scale = coeff_scale(svm.coef_, coeff_bits)
+        w_int = quantize_coeffs(svm.coef_, scale, coeff_bits)
+        sigma = float(input_scale(input_bits))
+        b_int = np.rint(np.atleast_1d(svm.intercept_) * scale * sigma)
+        if isinstance(svm, LinearSVMClassifier):
+            return QuantSVM(w_int, b_int.astype(np.int64), scale, "classifier",
+                            classes=svm.classes_, input_bits=input_bits,
+                            coeff_bits=coeff_bits)
+        return QuantSVM(w_int.reshape(-1, 1), b_int.astype(np.int64), scale,
+                        "regressor", y_min=svm.y_min_, y_max=svm.y_max_,
+                        input_bits=input_bits, coeff_bits=coeff_bits)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return self.weights.shape[1] if self.kind == "classifier" else 0
+
+    @property
+    def n_pairwise_classifiers(self) -> int:
+        """Table I's "number of classifiers": k*(k-1)/2 comparators."""
+        if self.kind == "regressor":
+            return 1
+        k = self.n_classes
+        return k * (k - 1) // 2
+
+    @property
+    def output_scale(self) -> float:
+        return self.weight_scale * input_scale(self.input_bits)
+
+    def output_ints(self, X_quant: np.ndarray) -> np.ndarray:
+        return np.asarray(X_quant, dtype=np.int64) @ self.weights + self.biases
+
+    def predict_int(self, X_quant: np.ndarray) -> np.ndarray:
+        scores = self.output_ints(X_quant)
+        if self.kind == "classifier":
+            return self.classes[one_vs_one_predict(scores)]
+        decoded = scores[:, 0] / self.output_scale
+        return np.clip(np.rint(decoded), self.y_min, self.y_max).astype(np.int64)
+
+    def predict(self, X_normalized: np.ndarray) -> np.ndarray:
+        return self.predict_int(quantize_inputs(X_normalized, self.input_bits))
+
+    # ------------------------------------------------------------------
+    def weighted_sums(self) -> list[WeightedSumSpec]:
+        specs = []
+        for unit in range(self.weights.shape[1]):
+            specs.append(WeightedSumSpec(
+                0, unit, tuple(int(v) for v in self.weights[:, unit]),
+                self.input_bits))
+        return specs
+
+    def replace_coefficients(
+            self, updates: dict[tuple[int, int], tuple[int, ...]]) -> "QuantSVM":
+        new_weights = self.weights.copy()
+        for (layer, unit), coefficients in updates.items():
+            if layer != 0:
+                raise ValueError("SVMs only have layer 0")
+            column = np.asarray(coefficients, dtype=np.int64)
+            if column.shape != (new_weights.shape[0],):
+                raise ValueError(f"unit {unit}: wrong coefficient count")
+            new_weights[:, unit] = column
+        return QuantSVM(new_weights, self.biases, self.weight_scale,
+                        self.kind, classes=self.classes, y_min=self.y_min,
+                        y_max=self.y_max, input_bits=self.input_bits,
+                        coeff_bits=self.coeff_bits)
+
+    @property
+    def n_coefficients(self) -> int:
+        return int(self.weights.size)
+
+    def __repr__(self) -> str:
+        return (f"QuantSVM(features={self.weights.shape[0]}, "
+                f"units={self.weights.shape[1]}, kind={self.kind!r})")
+
+
+def quantize_model(model, input_bits: int = DEFAULT_INPUT_BITS,
+                   coeff_bits: int = DEFAULT_COEFF_BITS,
+                   hidden_bits: int = DEFAULT_HIDDEN_BITS):
+    """Quantize any supported trained float model."""
+    if isinstance(model, (MLPClassifier, MLPRegressor)):
+        return QuantMLP.from_mlp(model, input_bits, coeff_bits, hidden_bits)
+    if isinstance(model, (LinearSVMClassifier, LinearSVMRegressor)):
+        return QuantSVM.from_svm(model, input_bits, coeff_bits)
+    raise TypeError(f"cannot quantize {type(model).__name__}")

@@ -1,0 +1,97 @@
+"""Quantized decision tree: the integer golden model of a tree circuit.
+
+A bespoke printed decision tree compares 4-bit quantized features against
+hardwired integer thresholds and routes a class constant through a mux
+network.  ``x <= t`` on [0, 1] floats maps exactly to
+``X <= floor(t * 15)`` on the quantized grid, so the integer tree agrees
+with the float tree everywhere except within one quantization step of a
+threshold — the same input-precision loss every bespoke circuit pays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.tree import DecisionTreeClassifier, TreeNode
+from .fixed_point import DEFAULT_INPUT_BITS, input_scale
+
+__all__ = ["QuantTreeNode", "QuantDecisionTree"]
+
+
+@dataclass
+class QuantTreeNode:
+    """Integer-threshold mirror of :class:`repro.ml.tree.TreeNode`."""
+
+    feature: int = -1
+    threshold: int = 0
+    left: "QuantTreeNode | None" = None
+    right: "QuantTreeNode | None" = None
+    class_index: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.class_index >= 0
+
+    def n_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.n_nodes() + self.right.n_nodes()
+
+
+class QuantDecisionTree:
+    """Integer decision tree with circuit-exact routing semantics."""
+
+    kind = "classifier"
+
+    def __init__(self, root: QuantTreeNode, classes: np.ndarray,
+                 input_bits: int = DEFAULT_INPUT_BITS) -> None:
+        self.root = root
+        self.classes = np.asarray(classes)
+        self.input_bits = input_bits
+
+    @staticmethod
+    def from_tree(tree: DecisionTreeClassifier,
+                  input_bits: int = DEFAULT_INPUT_BITS) -> "QuantDecisionTree":
+        scale = input_scale(input_bits)
+
+        def convert(node: TreeNode) -> QuantTreeNode:
+            if node.is_leaf:
+                return QuantTreeNode(class_index=node.class_index)
+            return QuantTreeNode(
+                feature=node.feature,
+                threshold=int(math.floor(node.threshold * scale)),
+                left=convert(node.left), right=convert(node.right))
+
+        return QuantDecisionTree(convert(tree.root_), tree.classes_,
+                                 input_bits)
+
+    def predict_int(self, X_quant: np.ndarray) -> np.ndarray:
+        X_quant = np.asarray(X_quant)
+        out = np.empty(len(X_quant), dtype=self.classes.dtype)
+        for row, sample in enumerate(X_quant):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if sample[node.feature] <= node.threshold \
+                    else node.right
+            out[row] = self.classes[node.class_index]
+        return out
+
+    @property
+    def n_nodes(self) -> int:
+        return self.root.n_nodes()
+
+    @property
+    def n_features(self) -> int:
+        features = set()
+
+        def walk(node: QuantTreeNode) -> None:
+            if not node.is_leaf:
+                features.add(node.feature)
+                walk(node.left)
+                walk(node.right)
+
+        walk(self.root)
+        return (max(features) + 1) if features else 0

@@ -1,0 +1,96 @@
+"""Tests for the EGT printed cell library model."""
+
+import math
+
+import pytest
+
+from repro.hw.cells import (
+    EGT_LIBRARY,
+    GATE_TYPES,
+    TECHNOLOGY,
+    CellSpec,
+    Technology,
+    cell_area_mm2,
+    cell_spec,
+)
+
+
+class TestCellSpecs:
+    def test_every_cell_has_positive_costs(self):
+        for name, spec in EGT_LIBRARY.items():
+            assert spec.name == name
+            assert spec.transistors > 0
+            assert spec.delay_ms > 0
+            assert spec.n_inputs in (1, 2, 3)
+
+    def test_gate_types_sorted_and_complete(self):
+        assert list(GATE_TYPES) == sorted(EGT_LIBRARY)
+
+    def test_cell_spec_lookup(self):
+        assert cell_spec("INV").n_inputs == 1
+        assert cell_spec("MUX2").n_inputs == 3
+
+    def test_unknown_cell_raises_with_alternatives(self):
+        with pytest.raises(KeyError, match="unknown EGT cell"):
+            cell_spec("AND17")
+
+    def test_inverter_is_cheapest(self):
+        inverter = EGT_LIBRARY["INV"].transistors
+        for name, spec in EGT_LIBRARY.items():
+            if name != "INV":
+                assert spec.transistors >= inverter
+
+    def test_xor_more_expensive_than_nand(self):
+        assert EGT_LIBRARY["XOR2"].transistors > EGT_LIBRARY["NAND2"].transistors
+
+    def test_area_proportional_to_transistors(self):
+        for name, spec in EGT_LIBRARY.items():
+            expected = spec.transistors * TECHNOLOGY.area_per_transistor_mm2
+            assert cell_area_mm2(name) == pytest.approx(expected)
+
+
+class TestTechnologyModel:
+    def test_static_power_state_weighting(self):
+        tech = TECHNOLOGY
+        low = tech.static_power_uw(4, p_low=1.0)
+        high = tech.static_power_uw(4, p_low=0.0)
+        # Resistive-load EGT burns more while pulled low.
+        assert low > high
+        balanced = tech.static_power_uw(4, p_low=0.5)
+        assert balanced == pytest.approx((low + high) / 2)
+
+    def test_static_power_scales_with_transistors(self):
+        one = TECHNOLOGY.static_power_uw(1, 0.5)
+        ten = TECHNOLOGY.static_power_uw(10, 0.5)
+        assert ten == pytest.approx(10 * one)
+
+    def test_dynamic_power_zero_without_toggles(self):
+        assert TECHNOLOGY.dynamic_power_uw(5, 0.0) == 0.0
+
+    def test_dynamic_power_inverse_in_clock(self):
+        fast = TECHNOLOGY.dynamic_power_uw(5, 0.3, clock_ms=100.0)
+        slow = TECHNOLOGY.dynamic_power_uw(5, 0.3, clock_ms=200.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_default_clock_is_paper_relaxed_clock(self):
+        assert TECHNOLOGY.default_clock_ms == 200.0
+
+    def test_static_dominates_dynamic_at_printed_clocks(self):
+        # The EGT power model must be static-dominated so power gains
+        # track area gains (Section IV observation).
+        static = TECHNOLOGY.static_power_uw(4, 0.5)
+        dynamic = TECHNOLOGY.dynamic_power_uw(4, 0.5)
+        assert static > 10 * dynamic
+
+    def test_custom_technology_is_independent(self):
+        custom = Technology(area_per_transistor_mm2=1.0)
+        assert custom.area_per_transistor_mm2 != TECHNOLOGY.area_per_transistor_mm2
+
+    def test_power_density_calibration(self):
+        # ~3 mW/cm^2 of logic (Table I scale): one NAND2 (3 transistors,
+        # ~0.27 mm^2) should draw about 8 uW.
+        nand = EGT_LIBRARY["NAND2"]
+        power = TECHNOLOGY.static_power_uw(nand.transistors, 0.5)
+        area = cell_area_mm2("NAND2")
+        density_mw_per_cm2 = (power / 1e3) / (area / 100.0)
+        assert 2.0 < density_mw_per_cm2 < 4.0

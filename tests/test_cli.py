@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG. 1" in out
+
+    def test_proxy_quick(self, capsys):
+        assert main(["proxy", "--quick"]) == 0
+        assert "Pearson" in capsys.readouterr().out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        assert "FIG. 2" in capsys.readouterr().out
+
+    def test_table1_single_dataset(self, capsys):
+        assert main(["table1", "--datasets", "redwine"]) == 0
+        out = capsys.readouterr().out
+        assert "RW MLP-C" in out
+        assert "Card MLP-C" not in out

@@ -1,0 +1,156 @@
+"""Tests for the hardware-driven coefficient approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coeff_approx import CoefficientApproximator
+from repro.core.multiplier_area import default_library
+from repro.datasets import load_dataset
+from repro.ml import LinearSVMClassifier, MLPClassifier
+from repro.quant import quantize_inputs, quantize_model
+
+
+@pytest.fixture(scope="module")
+def approximator():
+    return CoefficientApproximator(library=default_library(), e=4)
+
+
+class TestCandidatePairs:
+    def test_pair_brackets_the_coefficient(self, approximator):
+        for coefficient in [-100, -5, 0, 37, 85, 127]:
+            minus, plus = approximator.candidate_pair(coefficient, 4)
+            assert coefficient <= minus <= coefficient + 4
+            assert coefficient - 4 <= plus <= coefficient
+
+    def test_clipping_at_borders(self, approximator):
+        minus, plus = approximator.candidate_pair(127, 4)
+        assert minus <= 127  # cannot exceed the 8-bit range
+        minus, plus = approximator.candidate_pair(-128, 4)
+        assert plus >= -128
+
+    def test_optimal_coefficient_not_replaced(self, approximator):
+        """A power of two has zero area: both candidates must be itself."""
+        assert approximator.candidate_pair(64, 4) == (64, 64)
+        assert approximator.candidate_pair(0, 4) == (0, 0)
+
+    def test_candidates_have_minimal_area(self, approximator):
+        library = approximator.library
+        w = 85
+        minus, plus = approximator.candidate_pair(w, 4)
+        for candidate in range(w, w + 5):
+            assert library.area(minus, 4) <= library.area(candidate, 4)
+        for candidate in range(w - 4, w + 1):
+            assert library.area(plus, 4) <= library.area(candidate, 4)
+
+
+class TestSelection:
+    def test_result_never_costs_more_area(self, approximator):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            coefficients = rng.integers(-128, 128, size=8)
+            result = approximator.approximate_coefficients(coefficients, 4)
+            assert result.area_after <= result.area_before + 1e-9
+
+    def test_e_zero_is_identity(self):
+        identity = CoefficientApproximator(e=0)
+        coefficients = [85, -77, 3]
+        result = identity.approximate_coefficients(coefficients, 4)
+        assert result.approximated == tuple(coefficients)
+        assert result.error_sum == 0
+
+    def test_error_sum_is_balanced(self, approximator):
+        """The signed error must be small: each |w - w~| <= e, and the
+        selection minimizes the absolute sum (Section III-B step 3)."""
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            coefficients = rng.integers(-128, 128, size=10)
+            result = approximator.approximate_coefficients(coefficients, 4)
+            for original, approximated in zip(result.original,
+                                              result.approximated):
+                assert abs(original - approximated) <= 4
+            # Balance: with both-sided candidates the optimum is tiny.
+            assert abs(result.error_sum) <= 4 * 10
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=7),
+           st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_dp_equals_exhaustive(self, coefficients, e):
+        """The DP must reproduce the paper's brute force exactly."""
+        exhaustive = CoefficientApproximator(e=e, strategy="exhaustive")
+        dp = CoefficientApproximator(e=e, strategy="dp")
+        result_a = exhaustive.approximate_coefficients(coefficients, 4)
+        result_b = dp.approximate_coefficients(coefficients, 4)
+        assert abs(result_a.error_sum) == abs(result_b.error_sum)
+        assert result_a.area_after == pytest.approx(result_b.area_after)
+
+    def test_greedy_ignores_balance(self):
+        """Ablation: greedy picks the window-wide min-area candidate."""
+        greedy = CoefficientApproximator(e=4, strategy="greedy")
+        library = default_library()
+        coefficients = [85, 85, 85]
+        result = greedy.approximate_coefficients(coefficients, 4)
+        window_best = min(range(81, 90), key=lambda w: library.area(w, 4))
+        assert result.approximated == (window_best,) * 3
+
+    def test_greedy_area_at_most_balanced(self, approximator):
+        greedy = CoefficientApproximator(e=4, strategy="greedy")
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            coefficients = rng.integers(-128, 128, size=6)
+            balanced = approximator.approximate_coefficients(coefficients, 4)
+            unconstrained = greedy.approximate_coefficients(coefficients, 4)
+            assert unconstrained.area_after <= balanced.area_after + 1e-9
+
+    def test_area_reduction_property(self, approximator):
+        result = approximator.approximate_coefficients([85, -77, 109], 4)
+        assert 0.0 <= result.area_reduction <= 1.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            CoefficientApproximator(e=-1)
+        with pytest.raises(ValueError):
+            CoefficientApproximator(strategy="magic")
+
+    def test_exhaustive_width_guard(self):
+        wide = CoefficientApproximator(e=4, strategy="exhaustive")
+        coefficients = [85] * 30  # 30 free pairs
+        with pytest.raises(ValueError, match="too wide"):
+            wide.approximate_coefficients(coefficients, 4)
+
+
+class TestModelLevel:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return load_dataset("redwine").standard_split(seed=0)
+
+    def test_mlp_model_approximation(self, split, approximator):
+        model = MLPClassifier(hidden_layer_sizes=(2,), seed=1,
+                              max_epochs=100).fit(split.X_train, split.y_train)
+        quant = quantize_model(model)
+        approximated, reports = approximator.approximate_model(quant)
+        assert len(reports) == 8  # 2 hidden + 6 output neurons
+        assert approximated.topology == quant.topology
+        # Proxy area must not increase for any weighted sum.
+        for report in reports:
+            assert report.area_after <= report.area_before + 1e-9
+
+    def test_svm_model_approximation_accuracy(self, split, approximator):
+        model = LinearSVMClassifier(seed=1, max_epochs=300).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        approximated, _ = approximator.approximate_model(quant)
+        Xq = quantize_inputs(split.X_test)
+        baseline = np.mean(quant.predict_int(Xq) == split.y_test)
+        approx = np.mean(approximated.predict_int(Xq) == split.y_test)
+        # "Almost identical accuracy" (Section IV): generous bound here.
+        assert approx >= baseline - 0.05
+
+    def test_coefficients_stay_in_range(self, split, approximator):
+        model = LinearSVMClassifier(seed=1, max_epochs=100).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        approximated, _ = approximator.approximate_model(quant)
+        assert approximated.weights.max() <= 127
+        assert approximated.weights.min() >= -128

@@ -1,0 +1,144 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    PROFILES,
+    DatasetProfile,
+    available_datasets,
+    generate,
+    load_dataset,
+    make_clustered,
+    make_ordinal,
+)
+
+
+class TestProfiles:
+    def test_all_four_paper_datasets_present(self):
+        assert set(DATASET_NAMES) == {"cardio", "pendigits", "redwine",
+                                      "whitewine"}
+
+    def test_dimensions_match_uci(self):
+        assert PROFILES["cardio"].n_features == 21
+        assert PROFILES["cardio"].n_classes == 3
+        assert PROFILES["pendigits"].n_features == 16
+        assert PROFILES["pendigits"].n_classes == 10
+        assert PROFILES["redwine"].n_features == 11
+        assert PROFILES["redwine"].n_classes == 6
+        assert PROFILES["whitewine"].n_features == 11
+        assert PROFILES["whitewine"].n_classes == 7
+
+    def test_sample_counts_match_uci(self):
+        assert PROFILES["cardio"].n_samples == 2126
+        assert PROFILES["pendigits"].n_samples == 10992
+        assert PROFILES["redwine"].n_samples == 1599
+        assert PROFILES["whitewine"].n_samples == 4898
+
+    def test_wine_labels_start_at_three(self):
+        assert PROFILES["redwine"].label_base == 3
+        assert PROFILES["whitewine"].label_base == 3
+
+    def test_priors_sum_to_one(self):
+        for profile in PROFILES.values():
+            assert sum(profile.class_priors) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown generator kind"):
+            DatasetProfile("x", "weird", 10, 2, 2, (0.5, 0.5), 0, 2,
+                           0.1, 0.1, 0.1, 0, "")
+        with pytest.raises(ValueError, match="must equal n_classes"):
+            DatasetProfile("x", "ordinal", 10, 2, 2, (1.0,), 0, 2,
+                           0.1, 0.1, 0.1, 0, "")
+        with pytest.raises(ValueError, match="sum to 1"):
+            DatasetProfile("x", "ordinal", 10, 2, 2, (0.9, 0.9), 0, 2,
+                           0.1, 0.1, 0.1, 0, "")
+
+
+class TestGenerators:
+    def test_ordinal_shapes_and_labels(self):
+        profile = PROFILES["redwine"]
+        X, y = make_ordinal(profile)
+        assert X.shape == (1599, 11)
+        assert y.min() >= 3 and y.max() <= 8
+
+    def test_ordinal_priors_respected(self):
+        profile = PROFILES["whitewine"]
+        _, y = make_ordinal(profile)
+        counts = np.bincount(y - 3, minlength=7) / len(y)
+        np.testing.assert_allclose(counts, profile.class_priors, atol=0.02)
+
+    def test_clustered_shapes(self):
+        profile = PROFILES["pendigits"]
+        X, y = make_clustered(profile)
+        assert X.shape == (10992, 16)
+        assert set(np.unique(y)) == set(range(10))
+
+    def test_clustered_feature_range(self):
+        X, _ = make_clustered(PROFILES["pendigits"])
+        assert X.min() >= 0.0
+        assert X.max() <= 100.0
+
+    def test_deterministic_default_seed(self):
+        X1, y1 = generate(PROFILES["cardio"])
+        X2, y2 = generate(PROFILES["cardio"])
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_seed_override_changes_data(self):
+        X1, _ = generate(PROFILES["cardio"], seed=1)
+        X2, _ = generate(PROFILES["cardio"], seed=2)
+        assert not np.array_equal(X1, X2)
+
+    def test_ordinal_signal_is_learnable(self):
+        """A linear probe must beat the majority class on cardio."""
+        X, y = make_ordinal(PROFILES["cardio"])
+        X = (X - X.mean(axis=0)) / X.std(axis=0)
+        # Ridge closed form onto the label.
+        w = np.linalg.solve(X.T @ X + 10 * np.eye(X.shape[1]), X.T @ y)
+        predictions = np.clip(np.rint(X @ w), 0, 2)
+        majority = np.mean(y == np.bincount(y).argmax())
+        assert np.mean(predictions == y) > majority
+
+    def test_nominal_labels_not_regressable(self):
+        """Pendigits shape: regressing the digit label must fail, which is
+        why Table I drops the Pendigits regressors."""
+        X, y = make_clustered(PROFILES["pendigits"])
+        X = (X - X.mean(axis=0)) / (X.std(axis=0) + 1e-9)
+        w = np.linalg.solve(X.T @ X + 10 * np.eye(X.shape[1]), X.T @ y)
+        predictions = np.clip(np.rint(X @ w), 0, 9)
+        assert np.mean(predictions == y) < 0.7
+
+
+class TestRegistry:
+    def test_load_returns_frozen_dataset(self):
+        ds = load_dataset("redwine")
+        assert ds.name == "redwine"
+        assert not ds.X.flags.writeable
+        assert ds.n_features == 11
+        np.testing.assert_array_equal(ds.labels, np.arange(3, 9))
+
+    def test_load_is_cached(self):
+        assert load_dataset("cardio") is load_dataset("cardio")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_available_datasets(self):
+        assert set(available_datasets()) == set(DATASET_NAMES)
+
+    def test_standard_split_protocol(self):
+        """70/30 split, [0, 1] inputs (Section III-A)."""
+        split = load_dataset("redwine").standard_split(seed=0)
+        total = len(split.X_train) + len(split.X_test)
+        assert total == 1599
+        assert len(split.X_test) == pytest.approx(0.3 * total, rel=0.05)
+        assert split.X_train.min() >= 0.0 and split.X_train.max() <= 1.0
+        assert split.X_test.min() >= 0.0 and split.X_test.max() <= 1.0
+
+    def test_split_deterministic(self):
+        a = load_dataset("redwine").standard_split(seed=3)
+        b = load_dataset("redwine").standard_split(seed=3)
+        np.testing.assert_array_equal(a.X_train, b.X_train)

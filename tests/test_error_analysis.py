@@ -1,0 +1,101 @@
+"""Tests for the approximate-circuit error analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.error_analysis import ErrorReport, compare_outputs, phi_error_bound
+
+
+class TestCompareOutputs:
+    def test_identical_outputs(self):
+        exact = np.array([10, -5, 0, 7])
+        report = compare_outputs(exact, exact.copy())
+        assert report.error_rate == 0.0
+        assert report.mean_absolute_error == 0.0
+        assert report.max_absolute_error == 0
+        assert report.signed_bias == 0.0
+
+    def test_known_errors(self):
+        exact = np.array([10, 20, 30, 40])
+        approx = np.array([10, 22, 30, 36])
+        report = compare_outputs(exact, approx)
+        assert report.error_rate == pytest.approx(0.5)
+        assert report.mean_absolute_error == pytest.approx(1.5)
+        assert report.max_absolute_error == 4
+        assert report.signed_bias == pytest.approx(-0.5)
+
+    def test_relative_error_guards_zero(self):
+        report = compare_outputs(np.array([0]), np.array([3]))
+        assert report.mean_relative_error == pytest.approx(3.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            compare_outputs(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            compare_outputs(np.array([]), np.array([]))
+
+    def test_within_bound(self):
+        report = compare_outputs(np.array([0, 0]), np.array([3, -7]))
+        assert report.within_bound(8)
+        assert not report.within_bound(7)
+
+    def test_str_summary(self):
+        report = compare_outputs(np.array([1, 2]), np.array([1, 4]))
+        assert "rate" in str(report)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50),
+           st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, exact_values, approx_values):
+        n = min(len(exact_values), len(approx_values))
+        exact = np.array(exact_values[:n])
+        approx = np.array(approx_values[:n])
+        report = compare_outputs(exact, approx)
+        assert 0.0 <= report.error_rate <= 1.0
+        assert report.mean_absolute_error <= report.max_absolute_error
+        assert abs(report.signed_bias) <= report.mean_absolute_error + 1e-9
+
+
+class TestPhiBound:
+    def test_values(self):
+        assert phi_error_bound(-1) == 1
+        assert phi_error_bound(0) == 2
+        assert phi_error_bound(3) == 16  # the paper's U1 example: < 2^4
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            phi_error_bound(-2)
+
+    def test_matches_pruned_circuit_measurement(self):
+        """End-to-end: measured pruning error obeys the analytic bound."""
+        from repro.core.pruning import NetlistPruner
+        from repro.datasets import load_dataset
+        from repro.eval.accuracy import CircuitEvaluator
+        from repro.hw.bespoke import (REGRESSOR_OUTPUT,
+                                      build_bespoke_netlist, input_payload)
+        from repro.hw.simulate import simulate
+        from repro.ml import LinearSVMRegressor
+        from repro.quant import quantize_inputs, quantize_model
+
+        split = load_dataset("whitewine").standard_split(seed=0)
+        model = LinearSVMRegressor(seed=1, max_epochs=200).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        netlist = build_bespoke_netlist(quant)
+        evaluator = CircuitEvaluator.from_split(
+            quant, split.X_train, split.X_test, split.y_test)
+        pruner = NetlistPruner(netlist, evaluator, tau_grid=(0.9,))
+        space = pruner.space()
+        Xq = quantize_inputs(split.X_test)
+        exact = simulate(netlist, input_payload(Xq)).bus_ints(
+            REGRESSOR_OUTPUT)
+        phi_c = space.phi_levels(0.9)[0]
+        pruned = pruner.prune(0.9, phi_c)
+        approx = simulate(pruned, input_payload(Xq)).bus_ints(
+            REGRESSOR_OUTPUT)
+        report = compare_outputs(exact, approx)
+        assert report.within_bound(phi_error_bound(phi_c))

@@ -1,0 +1,97 @@
+"""Tests for circuit evaluation and battery feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.accuracy import CircuitEvaluator, DecodeSpec, EvaluationRecord
+from repro.eval.battery import (
+    MOLEX_BATTERY_MW,
+    PRINTED_BATTERIES,
+    PrintedBattery,
+    battery_powerable,
+)
+from repro.hw.bespoke import build_bespoke_netlist
+from repro.ml import LinearSVMClassifier, LinearSVMRegressor, accuracy_score
+from repro.quant import quantize_inputs, quantize_model
+
+
+@pytest.fixture(scope="module")
+def classifier_setup():
+    split = load_dataset("redwine").standard_split(seed=0)
+    model = LinearSVMClassifier(seed=1, max_epochs=200).fit(
+        split.X_train, split.y_train)
+    quant = quantize_model(model)
+    return split, quant, build_bespoke_netlist(quant)
+
+
+class TestDecodeSpec:
+    def test_classifier_spec(self, classifier_setup):
+        _, quant, _ = classifier_setup
+        spec = DecodeSpec.from_model(quant)
+        assert spec.kind == "classifier"
+        np.testing.assert_array_equal(spec.classes, quant.classes)
+
+    def test_regressor_spec(self):
+        split = load_dataset("redwine").standard_split(seed=0)
+        model = LinearSVMRegressor(seed=1, max_epochs=100).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        spec = DecodeSpec.from_model(quant)
+        assert spec.kind == "regressor"
+        assert spec.y_min == 3 and spec.y_max == 8
+        assert spec.output_scale == pytest.approx(quant.output_scale)
+
+
+class TestCircuitEvaluator:
+    def test_accuracy_matches_golden_model(self, classifier_setup):
+        split, quant, netlist = classifier_setup
+        evaluator = CircuitEvaluator.from_split(
+            quant, split.X_train, split.X_test, split.y_test)
+        measured = evaluator.accuracy(netlist)
+        golden = accuracy_score(
+            split.y_test, quant.predict_int(quantize_inputs(split.X_test)))
+        assert measured == pytest.approx(golden)
+
+    def test_evaluate_record_fields(self, classifier_setup):
+        split, quant, netlist = classifier_setup
+        evaluator = CircuitEvaluator.from_split(
+            quant, split.X_train, split.X_test, split.y_test, clock_ms=200.0)
+        record = evaluator.evaluate(netlist)
+        assert isinstance(record, EvaluationRecord)
+        assert 0.0 <= record.accuracy <= 1.0
+        assert record.area_mm2 > 0
+        assert record.power_mw > 0
+        assert record.n_gates == netlist.n_gates
+        assert record.area_cm2 == pytest.approx(record.area_mm2 / 100)
+
+    def test_train_activity_covers_all_gates(self, classifier_setup):
+        split, quant, netlist = classifier_setup
+        evaluator = CircuitEvaluator.from_split(
+            quant, split.X_train, split.X_test, split.y_test)
+        activity = evaluator.train_activity(netlist)
+        assert activity.n_gates == netlist.n_gates
+        assert np.all(activity.tau >= 0.5)
+
+
+class TestBattery:
+    def test_molex_threshold(self):
+        assert MOLEX_BATTERY_MW == 30.0
+        assert battery_powerable(29.9)
+        assert battery_powerable(30.0)
+        assert not battery_powerable(30.1)
+
+    def test_custom_budget(self):
+        assert battery_powerable(12.0, budget_mw=15.0)
+        assert not battery_powerable(16.0, budget_mw=15.0)
+
+    def test_battery_catalog(self):
+        assert "molex-30mw" in PRINTED_BATTERIES
+        molex = PRINTED_BATTERIES["molex-30mw"]
+        assert molex.can_power(25.0)
+        assert not molex.can_power(35.0)
+
+    def test_printed_battery_dataclass(self):
+        battery = PrintedBattery("test", 5.0)
+        assert battery.can_power(5.0)
+        assert not battery.can_power(5.1)

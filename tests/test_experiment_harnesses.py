@@ -1,0 +1,96 @@
+"""Tests for the exploration-backed experiment harnesses (fig3, tables 2-3).
+
+The benchmarks run these over all 14 circuits; the tests here exercise the
+same code paths on the cheapest circuit (RW SVM-R) so the suite stays fast
+while still covering the harness logic, the shared exploration cache, and
+the formatting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3, table2, table3
+from repro.experiments.runner import explore, explore_case, framework_for
+from repro.experiments.zoo import get_case
+
+
+@pytest.fixture(scope="module")
+def cheap_case():
+    return get_case("redwine", "svm_r")
+
+
+class TestRunner:
+    def test_explore_is_cached(self, cheap_case):
+        first = explore(cheap_case)
+        second = explore_case("redwine", "svm_r")
+        assert first is second
+
+    def test_framework_uses_case_clock(self, cheap_case):
+        framework = framework_for(cheap_case)
+        assert framework.clock_ms == 200.0
+        pend = get_case("pendigits", "mlp_c")
+        assert framework_for(pend).clock_ms == 250.0
+
+    def test_exploration_has_all_families(self, cheap_case):
+        result = explore(cheap_case)
+        assert {p.technique for p in result.points} == {
+            "exact", "coeff", "prune", "cross"}
+
+
+class TestFig3Harness:
+    def test_panel_series_and_stats(self, cheap_case):
+        panels = fig3.run([cheap_case])
+        (panel,) = panels
+        exact_series = panel.series("exact")
+        assert exact_series == [(1.0, panel.result.baseline.accuracy)]
+        cross_series = panel.series("cross")
+        assert cross_series
+        assert all(0.0 <= area <= 1.0 + 1e-9 for area, _ in cross_series)
+        assert 0.0 <= panel.cross_front_share <= 1.0
+        assert panel.coeff_area_reduction_pct >= 0.0
+
+    def test_max_reduction_monotone_in_loss_budget(self, cheap_case):
+        (panel,) = fig3.run([cheap_case])
+        tight = panel.max_area_reduction_within(0.01)
+        loose = panel.max_area_reduction_within(0.10)
+        assert loose >= tight
+
+    def test_format(self, cheap_case):
+        text = fig3.format_table(fig3.run([cheap_case]))
+        assert "RW SVM-R" in text and "FIG. 3" in text
+
+
+class TestTable2Harness:
+    def test_row_consistency(self, cheap_case):
+        (row,) = table2.run([cheap_case])
+        assert row.label == "RW SVM-R"
+        # Gains are consistent with the reported areas.
+        expected_gain = 100.0 * (1 - row.cross.area_cm2 / row.baseline_area_cm2)
+        assert row.cross.area_gain_pct == pytest.approx(expected_gain, abs=0.2)
+        assert row.cross.area_cm2 <= row.coeff.area_cm2 + 1e-9
+        # Accuracy constraint held.
+        assert row.cross.point.accuracy >= row.baseline_accuracy - 0.01 - 1e-9
+
+    def test_average_gains(self, cheap_case):
+        rows = table2.run([cheap_case])
+        gains = table2.average_gains(rows)
+        assert set(gains) == {"cross", "coeff", "prune"}
+        for area_gain, power_gain in gains.values():
+            assert -1e-9 <= area_gain <= 100.0
+            assert -1e-9 <= power_gain <= 100.0
+
+    def test_format(self, cheap_case):
+        text = table2.format_table(table2.run([cheap_case]))
+        assert "TABLE II" in text and "(paper)" in text and "battery" in text
+
+
+class TestTable3Harness:
+    def test_runtime_row(self, cheap_case):
+        (row,) = table3.run([cheap_case])
+        assert row.runtime_s > 0
+        assert row.runtime_minutes == pytest.approx(row.runtime_s / 60)
+        assert row.paper_minutes == 7
+
+    def test_format(self, cheap_case):
+        text = table3.format_table(table3.run([cheap_case]))
+        assert "TABLE III" in text and "RW SVM-R" in text

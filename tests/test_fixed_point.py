@@ -1,0 +1,87 @@
+"""Tests for the fixed-point quantization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.fixed_point import (
+    coeff_range,
+    coeff_scale,
+    input_scale,
+    quantize_coeffs,
+    quantize_inputs,
+)
+
+
+class TestInputQuantization:
+    def test_scale_values(self):
+        assert input_scale(4) == 15
+        assert input_scale(8) == 255
+        assert input_scale(1) == 1
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            input_scale(0)
+
+    def test_endpoints(self):
+        out = quantize_inputs(np.array([0.0, 1.0]))
+        np.testing.assert_array_equal(out, [0, 15])
+
+    def test_rounding(self):
+        out = quantize_inputs(np.array([0.49 / 15, 0.51 / 15]))
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            quantize_inputs(np.array([1.2]))
+        with pytest.raises(ValueError, match="normalized"):
+            quantize_inputs(np.array([-0.2]))
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_error_bounded(self, values, bits):
+        X = np.array(values)
+        quantized = quantize_inputs(X, bits)
+        scale = input_scale(bits)
+        assert quantized.min() >= 0 and quantized.max() <= scale
+        assert np.all(np.abs(quantized / scale - X) <= 0.5 / scale + 1e-12)
+
+
+class TestCoefficientQuantization:
+    def test_range(self):
+        assert coeff_range(8) == (-128, 127)
+        assert coeff_range(6) == (-32, 31)
+
+    def test_scale_uses_full_range(self):
+        weights = np.array([0.5, -1.0, 0.25])
+        scale = coeff_scale(weights, bits=8)
+        assert scale == pytest.approx(127.0)
+        quantized = quantize_coeffs(weights, scale)
+        assert quantized.max() <= 127 and quantized.min() >= -128
+        assert np.abs(quantized).max() == 127
+
+    def test_zero_weights_scale_one(self):
+        assert coeff_scale(np.zeros(3)) == 1.0
+
+    def test_clipping(self):
+        out = quantize_coeffs(np.array([10.0, -10.0]), scale=100.0)
+        np.testing.assert_array_equal(out, [127, -128])
+
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_quantized_values_in_range(self, values):
+        weights = np.array(values)
+        scale = coeff_scale(weights)
+        quantized = quantize_coeffs(weights, scale)
+        lo, hi = coeff_range()
+        assert quantized.min() >= lo
+        assert quantized.max() <= hi
+
+    def test_paper_defaults(self):
+        """8-bit coefficients, 4-bit inputs (Section III-A)."""
+        from repro.quant.fixed_point import (DEFAULT_COEFF_BITS,
+                                             DEFAULT_INPUT_BITS)
+        assert DEFAULT_COEFF_BITS == 8
+        assert DEFAULT_INPUT_BITS == 4

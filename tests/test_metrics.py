@@ -1,0 +1,90 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    regression_label_accuracy,
+    round_to_labels,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            accuracy_score([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy_score([], [])
+
+
+class TestRegressionLabelAccuracy:
+    def test_rounding(self):
+        y_true = np.array([3, 4, 5])
+        y_pred = np.array([3.4, 4.6, 4.9])
+        assert regression_label_accuracy(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_clipping_into_label_range(self):
+        y_true = np.array([3, 8])
+        y_pred = np.array([-100.0, 100.0])
+        # Clipped to [3, 8] -> predictions become 3 and 8: both correct.
+        assert regression_label_accuracy(y_true, y_pred, 3, 8) == 1.0
+
+    def test_round_to_labels_half_cases(self):
+        # numpy rint rounds half to even, like the paper's toolchain.
+        out = round_to_labels(np.array([0.5, 1.5, 2.5]), 0, 9)
+        np.testing.assert_array_equal(out, [0, 2, 2])
+
+    def test_default_range_from_truth(self):
+        y_true = np.array([2, 4])
+        assert regression_label_accuracy(y_true, np.array([1.0, 5.0])) == 1.0
+
+
+class TestRegressionErrors:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+
+    def test_mse(self):
+        assert mean_squared_error([1, 2], [2, 4]) == pytest.approx(2.5)
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_size(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert matrix.shape == (3, 3)
+        assert matrix.sum() == 1
+
+    def test_diagonal_equals_accuracy(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 100)
+        y_pred = rng.integers(0, 4, 100)
+        matrix = confusion_matrix(y_true, y_pred, 4)
+        assert np.trace(matrix) / 100 == pytest.approx(
+            accuracy_score(y_true, y_pred))

@@ -1,0 +1,56 @@
+"""Tests for the estimator protocol (get_params/set_params/clone)."""
+
+import pytest
+
+from repro.ml.base import BaseEstimator, clone
+
+
+class _Toy(BaseEstimator):
+    def __init__(self, alpha=1.0, hidden=(3,), seed=0):
+        self.alpha = alpha
+        self.hidden = hidden
+        self.seed = seed
+
+    def fit(self):
+        self.fitted_ = True
+        return self
+
+
+class TestParams:
+    def test_get_params_returns_constructor_args(self):
+        toy = _Toy(alpha=2.5, hidden=(4, 2))
+        assert toy.get_params() == {"alpha": 2.5, "hidden": (4, 2), "seed": 0}
+
+    def test_set_params_updates(self):
+        toy = _Toy()
+        toy.set_params(alpha=9.0, seed=3)
+        assert toy.alpha == 9.0
+        assert toy.seed == 3
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            _Toy().set_params(gamma=1.0)
+
+    def test_set_params_returns_self(self):
+        toy = _Toy()
+        assert toy.set_params(alpha=1.5) is toy
+
+    def test_is_fitted(self):
+        toy = _Toy()
+        assert not toy.is_fitted()
+        toy.fit()
+        assert toy.is_fitted()
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        toy = _Toy(alpha=7.0).fit()
+        fresh = clone(toy)
+        assert fresh.alpha == 7.0
+        assert not fresh.is_fitted()
+
+    def test_clone_deep_copies_mutables(self):
+        toy = _Toy(hidden=[5])
+        fresh = clone(toy)
+        fresh.hidden.append(6)
+        assert toy.hidden == [5]

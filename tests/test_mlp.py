@@ -1,0 +1,125 @@
+"""Tests for the MLP trainers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+
+
+def _blobs(n_per_class=80, k=3, spread=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, size=(k, 4))
+    X = np.concatenate([
+        np.clip(center + rng.normal(0, spread / 3, size=(n_per_class, 4)),
+                0, 1)
+        for center in centers])
+    y = np.repeat(np.arange(k), n_per_class)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+class TestMLPClassifier:
+    def test_learns_separable_blobs(self):
+        X, y = _blobs()
+        model = MLPClassifier(hidden_layer_sizes=(4,), seed=0,
+                              max_epochs=200).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_predict_returns_original_labels(self):
+        X, y = _blobs()
+        y = y + 5  # labels 5, 6, 7
+        model = MLPClassifier(hidden_layer_sizes=(4,), seed=0,
+                              max_epochs=100).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {5, 6, 7}
+
+    def test_decision_function_shape(self):
+        X, y = _blobs(k=3)
+        model = MLPClassifier(hidden_layer_sizes=(3,), seed=0,
+                              max_epochs=50).fit(X, y)
+        assert model.decision_function(X).shape == (len(X), 3)
+
+    def test_loss_decreases(self):
+        X, y = _blobs()
+        model = MLPClassifier(hidden_layer_sizes=(4,), seed=0,
+                              max_epochs=100).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_deterministic_given_seed(self):
+        X, y = _blobs()
+        a = MLPClassifier(seed=7, max_epochs=30).fit(X, y)
+        b = MLPClassifier(seed=7, max_epochs=30).fit(X, y)
+        for wa, wb in zip(a.coefs_, b.coefs_):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_single_class_rejected(self):
+        X = np.zeros((10, 2))
+        with pytest.raises(ValueError, match="two classes"):
+            MLPClassifier(max_epochs=1).fit(X, np.zeros(10))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(max_epochs=1).fit(np.zeros(10), np.zeros(10))
+
+    def test_paper_topology_one_hidden_layer(self):
+        """Section III-A: one hidden layer with up to five neurons."""
+        X, y = _blobs(k=3)
+        model = MLPClassifier(hidden_layer_sizes=(5,), seed=0,
+                              max_epochs=50).fit(X, y)
+        assert len(model.coefs_) == 2
+        assert model.coefs_[0].shape == (4, 5)
+        assert model.coefs_[1].shape == (5, 3)
+
+    def test_early_stopping_respects_patience(self):
+        X, y = _blobs(n_per_class=20)
+        model = MLPClassifier(hidden_layer_sizes=(2,), seed=0,
+                              max_epochs=500, patience=5, tol=10.0).fit(X, y)
+        # Huge tol means no epoch ever counts as improvement.
+        assert len(model.loss_curve_) <= 10
+
+
+class TestMLPRegressor:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(300, 3))
+        y = 3.0 * X[:, 0] + 1.0 * X[:, 1] + 2.0
+        model = MLPRegressor(hidden_layer_sizes=(6,), seed=0,
+                             max_epochs=400).fit(X, y)
+        predictions = model.predict(X)
+        assert np.mean((predictions - y) ** 2) < 0.05
+
+    def test_label_range_learned(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(50, 2))
+        y = rng.integers(3, 9, 50)
+        model = MLPRegressor(max_epochs=5, seed=0).fit(X, y)
+        assert model.y_min_ == 3
+        assert model.y_max_ == 8
+
+    def test_score_is_label_accuracy(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(200, 2))
+        y = np.rint(2 * X[:, 0] + 1).astype(int)
+        model = MLPRegressor(hidden_layer_sizes=(4,), seed=0,
+                             max_epochs=300).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_no_dead_relu_collapse_on_imbalanced_targets(self):
+        """Regression guard for the constant-prediction failure mode."""
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(400, 5))
+        score = X @ np.array([2.0, -1.0, 0.5, 0.0, 1.0])
+        y = (score > np.quantile(score, 0.8)).astype(int) \
+            + (score > np.quantile(score, 0.95)).astype(int)
+        model = MLPRegressor(hidden_layer_sizes=(3,), seed=0,
+                             max_epochs=300).fit(X, y)
+        predictions = model.predict(X)
+        assert predictions.std() > 0.05  # not a constant predictor
+
+    def test_output_layer_in_label_units(self):
+        """_post_fit must fold the target standardization back in."""
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(200, 2))
+        y = 100.0 * X[:, 0]  # large-scale targets
+        model = MLPRegressor(hidden_layer_sizes=(4,), seed=0,
+                             max_epochs=300).fit(X, y)
+        assert abs(model.predict(X).mean() - y.mean()) < 10.0

@@ -1,0 +1,73 @@
+"""Tests for the bespoke multiplier area library."""
+
+import pytest
+
+from repro.core.multiplier_area import BespokeMultiplierLibrary, default_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return BespokeMultiplierLibrary()
+
+
+class TestAreaLookup:
+    def test_positive_powers_of_two_are_zero_area(self, library):
+        """Fig. 1: a power-of-two coefficient is pure wiring."""
+        for coefficient in [0, 1, 2, 4, 8, 16, 32, 64]:
+            assert library.area(coefficient, 4) == 0.0
+
+    def test_negative_powers_of_two_cost_only_a_negator(self, library):
+        """-2^k needs an invert+increment stage, far below a dense value."""
+        dense = library.area(85, 4)
+        for coefficient in [-1, -2, -64, -128]:
+            negator = library.area(coefficient, 4)
+            assert 0.0 < negator < dense / 2
+
+    def test_dense_coefficients_cost_area(self, library):
+        for coefficient in [85, -85, 73, 109, -107]:
+            assert library.area(coefficient, 4) > 0.0
+
+    def test_area_grows_with_input_width(self, library):
+        assert library.area(85, 8) > library.area(85, 4)
+
+    def test_out_of_range_coefficient_rejected(self, library):
+        with pytest.raises(ValueError, match="outside"):
+            library.area(200, 4)
+        with pytest.raises(ValueError, match="outside"):
+            library.area(-129, 4)
+
+    def test_cache_hits(self, library):
+        library.area(99, 4)
+        before = library.cache_size
+        library.area(99, 4)
+        assert library.cache_size == before
+
+    def test_area_table_covers_full_range(self, library):
+        table = library.area_table(4)
+        assert set(table) == set(range(-128, 128))
+        assert all(area >= 0.0 for area in table.values())
+
+    def test_areas_array_alignment(self, library):
+        table = library.area_table(4)
+        array = library.areas_array(4)
+        assert array[0] == table[-128]
+        assert array[-1] == table[127]
+
+    def test_sum_area_is_additive(self, library):
+        a = library.area(85, 4)
+        b = library.area(-77, 4)
+        assert library.sum_area([85, -77], 4) == pytest.approx(a + b)
+
+    def test_neighbouring_values_differ(self, library):
+        """Fig. 1: neighbouring coefficients can have very different area."""
+        table = library.area_table(4)
+        jumps = [abs(table[w + 1] - table[w]) for w in range(-128, 127)]
+        assert max(jumps) > 10.0  # mm^2
+
+    def test_smaller_coeff_bits_library(self):
+        library6 = BespokeMultiplierLibrary(coeff_bits=6)
+        table = library6.area_table(4)
+        assert set(table) == set(range(-32, 32))
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()

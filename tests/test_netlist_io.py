@@ -1,0 +1,82 @@
+"""Tests for netlist JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.hw.bespoke import build_bespoke_netlist, input_payload
+from repro.hw.netlist import CONST1, Netlist
+from repro.hw.netlist_io import (
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.hw.simulate import simulate
+from repro.ml import LinearSVMClassifier
+from repro.quant import quantize_inputs, quantize_model
+
+
+def _sample_netlist() -> Netlist:
+    nl = Netlist(name="sample")
+    a, b = nl.add_input_bus("x", 2)
+    left = nl.add_gate("AND2", a, b)
+    right = nl.add_gate("XOR2", a, b)
+    nl.set_output_bus("y", [left, right, CONST1], signed=True)
+    nl.meta["kind"] = "regressor"
+    nl.meta["watch_buses"] = [[left, right]]
+    return nl
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        original = _sample_netlist()
+        restored = netlist_from_dict(netlist_to_dict(original))
+        assert restored.name == "sample"
+        assert restored.n_gates == original.n_gates
+        assert restored.gate_type == original.gate_type
+        assert restored.output_signed == original.output_signed
+        assert restored.meta["kind"] == "regressor"
+        assert len(restored.meta["watch_buses"][0]) == 2
+
+    def test_behaviour_preserved(self):
+        original = _sample_netlist()
+        restored = netlist_from_dict(netlist_to_dict(original))
+        vectors = np.arange(4)
+        a = simulate(original, {"x": vectors}).bus_ints("y")
+        b = simulate(restored, {"x": vectors}).bus_ints("y")
+        np.testing.assert_array_equal(a, b)
+
+    def test_file_roundtrip(self, tmp_path):
+        original = _sample_netlist()
+        path = tmp_path / "sample.json"
+        save_netlist(original, path)
+        restored = load_netlist(path)
+        assert restored.n_gates == original.n_gates
+
+    def test_full_bespoke_circuit_roundtrip(self, tmp_path):
+        split = load_dataset("redwine").standard_split(seed=0)
+        model = LinearSVMClassifier(seed=1, max_epochs=100).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        original = build_bespoke_netlist(quant)
+        path = tmp_path / "circuit.json"
+        save_netlist(original, path)
+        restored = load_netlist(path)
+        Xq = quantize_inputs(split.X_test[:100])
+        a = simulate(original, input_payload(Xq)).bus_ints("class_idx")
+        b = simulate(restored, input_payload(Xq)).bus_ints("class_idx")
+        np.testing.assert_array_equal(a, b)
+        assert len(restored.meta["watch_buses"]) == 6
+
+    def test_unsupported_version_rejected(self):
+        data = netlist_to_dict(_sample_netlist())
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            netlist_from_dict(data)
+
+    def test_meta_absent_is_fine(self):
+        data = netlist_to_dict(_sample_netlist())
+        data["meta"] = {}
+        restored = netlist_from_dict(data)
+        assert "watch_buses" not in restored.meta

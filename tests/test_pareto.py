@@ -1,0 +1,99 @@
+"""Tests for Pareto-front extraction and the Table II selection rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import (
+    best_within_accuracy_loss,
+    is_dominated,
+    pareto_front,
+)
+
+_AREA = lambda p: p[0]
+_ACC = lambda p: p[1]
+
+point_lists = st.lists(
+    st.tuples(st.floats(0.1, 100.0), st.floats(0.0, 1.0)),
+    min_size=1, max_size=40)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert is_dominated((5.0, 0.5), [(4.0, 0.6)])
+
+    def test_equal_point_does_not_dominate(self):
+        assert not is_dominated((5.0, 0.5), [(5.0, 0.5)])
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not is_dominated((5.0, 0.5), [(4.0, 0.4), (6.0, 0.6)])
+
+    def test_partial_tie_with_strict_improvement(self):
+        assert is_dominated((5.0, 0.5), [(5.0, 0.6)])
+        assert is_dominated((5.0, 0.5), [(4.0, 0.5)])
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1.0, 0.3), (2.0, 0.5), (3.0, 0.4), (4.0, 0.9)]
+        front = pareto_front(points, _AREA, _ACC)
+        assert front == [(1.0, 0.3), (2.0, 0.5), (4.0, 0.9)]
+
+    def test_front_sorted_by_area(self):
+        points = [(4.0, 0.9), (1.0, 0.3), (2.0, 0.5)]
+        front = pareto_front(points, _AREA, _ACC)
+        assert front == sorted(front, key=_AREA)
+
+    @given(point_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_front_members_not_dominated(self, points):
+        front = pareto_front(points, _AREA, _ACC)
+        for member in front:
+            assert not is_dominated(member, [p for p in points
+                                             if p is not member])
+
+    @given(point_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_non_members_dominated_or_duplicates(self, points):
+        front = pareto_front(points, _AREA, _ACC)
+        front_set = set(front)
+        for point in points:
+            if point in front_set:
+                continue
+            assert is_dominated(point, front) or point in points
+
+    @given(point_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_front_accuracy_strictly_increasing(self, points):
+        front = pareto_front(points, _AREA, _ACC)
+        accuracies = [_ACC(p) for p in front]
+        assert all(b > a for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_equal_area_keeps_best_accuracy(self):
+        points = [(2.0, 0.4), (2.0, 0.8), (2.0, 0.6)]
+        front = pareto_front(points, _AREA, _ACC)
+        assert front == [(2.0, 0.8)]
+
+
+class TestBestWithinLoss:
+    def test_selects_min_area_above_threshold(self):
+        points = [(10.0, 0.90), (6.0, 0.895), (3.0, 0.85)]
+        best = best_within_accuracy_loss(points, baseline_accuracy=0.90,
+                                         max_loss=0.01, area_of=_AREA,
+                                         accuracy_of=_ACC)
+        assert best == (6.0, 0.895)
+
+    def test_none_when_nothing_qualifies(self):
+        points = [(3.0, 0.5)]
+        best = best_within_accuracy_loss(points, 0.9, 0.01, _AREA, _ACC)
+        assert best is None
+
+    def test_exact_threshold_included(self):
+        points = [(5.0, 0.89)]
+        best = best_within_accuracy_loss(points, 0.90, 0.01, _AREA, _ACC)
+        assert best == (5.0, 0.89)
+
+    def test_accuracy_breaks_area_ties(self):
+        points = [(5.0, 0.92), (5.0, 0.95)]
+        best = best_within_accuracy_loss(points, 0.90, 0.01, _AREA, _ACC)
+        assert best == (5.0, 0.95)

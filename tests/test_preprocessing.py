@@ -1,0 +1,55 @@
+"""Tests for MinMaxScaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ml.preprocessing import MinMaxScaler
+
+
+class TestMinMaxScaler:
+    def test_training_data_maps_to_unit_interval(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0], [2.0, 20.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0)
+
+    def test_transform_uses_training_range(self):
+        scaler = MinMaxScaler(clip=False)
+        scaler.fit(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(
+            scaler.transform(np.array([[5.0], [20.0]])), [[0.5], [2.0]])
+
+    def test_clip_keeps_test_data_in_bounds(self):
+        scaler = MinMaxScaler(clip=True)
+        scaler.fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[-5.0], [50.0]]))
+        np.testing.assert_allclose(out, [[0.0], [1.0]])
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.array([[3.0, 1.0], [3.0, 2.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_get_params(self):
+        assert MinMaxScaler(clip=False).get_params() == {"clip": False}
+
+    @given(npst.arrays(np.float64, (7, 3),
+                       elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_in_unit_interval(self, X):
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(scaled >= 0.0)
+        assert np.all(scaled <= 1.0)
+
+    def test_quantization_ready(self):
+        """Output must be valid input to 4-bit quantization (Section III-A)."""
+        from repro.quant import quantize_inputs
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 4)) * 100
+        scaled = MinMaxScaler().fit_transform(X)
+        quantized = quantize_inputs(scaled)
+        assert quantized.min() >= 0
+        assert quantized.max() <= 15

@@ -1,0 +1,177 @@
+"""Tests for the exact-integer golden models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.ml import (
+    LinearSVMClassifier,
+    LinearSVMRegressor,
+    MLPClassifier,
+    MLPRegressor,
+    accuracy_score,
+)
+from repro.ml.svm import one_vs_one_predict
+from repro.quant import (
+    QuantMLP,
+    QuantSVM,
+    quantize_inputs,
+    quantize_model,
+)
+
+
+@pytest.fixture(scope="module")
+def redwine_split():
+    return load_dataset("redwine").standard_split(seed=0)
+
+
+@pytest.fixture(scope="module")
+def mlp_classifier(redwine_split):
+    sp = redwine_split
+    return MLPClassifier(hidden_layer_sizes=(2,), seed=1,
+                         max_epochs=150).fit(sp.X_train, sp.y_train)
+
+
+@pytest.fixture(scope="module")
+def svm_classifier(redwine_split):
+    sp = redwine_split
+    return LinearSVMClassifier(seed=1, max_epochs=300).fit(
+        sp.X_train, sp.y_train)
+
+
+class TestQuantMLP:
+    def test_quantization_preserves_accuracy(self, redwine_split,
+                                             mlp_classifier):
+        sp = redwine_split
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        float_acc = mlp_classifier.score(sp.X_test, sp.y_test)
+        quant_acc = accuracy_score(
+            sp.y_test, quant.predict(sp.X_test))
+        assert abs(float_acc - quant_acc) < 0.06  # "close to floating point"
+
+    def test_weights_within_coeff_range(self, mlp_classifier):
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        for w in quant.weights:
+            assert w.max() <= 127 and w.min() >= -128
+
+    def test_topology_and_coefficient_count(self, mlp_classifier):
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        assert quant.topology == (11, 2, 6)
+        assert quant.n_coefficients == 11 * 2 + 2 * 6  # Table I RW MLP-C: 34
+
+    def test_weighted_sums_enumeration(self, mlp_classifier):
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        specs = quant.weighted_sums()
+        assert len(specs) == 2 + 6
+        first_layer = [s for s in specs if s.layer == 0]
+        assert all(s.input_bits == 4 for s in first_layer)
+        assert all(len(s.coefficients) == 11 for s in first_layer)
+        second_layer = [s for s in specs if s.layer == 1]
+        assert all(len(s.coefficients) == 2 for s in second_layer)
+        assert all(s.input_bits <= quant.hidden_bits for s in second_layer)
+
+    def test_replace_coefficients_changes_only_target(self, mlp_classifier):
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        new_column = tuple([1] * 11)
+        replaced = quant.replace_coefficients({(0, 0): new_column})
+        np.testing.assert_array_equal(replaced.weights[0][:, 0], 1)
+        np.testing.assert_array_equal(replaced.weights[0][:, 1],
+                                      quant.weights[0][:, 1])
+        np.testing.assert_array_equal(replaced.weights[1], quant.weights[1])
+        # Original untouched (functional update).
+        assert not np.array_equal(quant.weights[0][:, 0], new_column)
+
+    def test_replace_coefficients_validates_shape(self, mlp_classifier):
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        with pytest.raises(ValueError, match="expected"):
+            quant.replace_coefficients({(0, 0): (1, 2)})
+
+    def test_hidden_truncation_bounds_activations(self, redwine_split,
+                                                  mlp_classifier):
+        sp = redwine_split
+        quant = QuantMLP.from_mlp(mlp_classifier, hidden_bits=8)
+        Xq = quantize_inputs(sp.X_test)
+        sums = Xq @ quant.weights[0] + quant.biases[0]
+        hidden = np.maximum(sums, 0) >> quant.shifts[0]
+        assert hidden.max() < 2 ** 8
+
+    def test_regressor_decode(self, redwine_split):
+        sp = redwine_split
+        regressor = MLPRegressor(hidden_layer_sizes=(2,), seed=1,
+                                 max_epochs=200).fit(sp.X_train, sp.y_train)
+        quant = QuantMLP.from_mlp(regressor)
+        predictions = quant.predict(sp.X_test)
+        assert predictions.min() >= 3 and predictions.max() <= 8
+        float_acc = regressor.score(sp.X_test, sp.y_test)
+        quant_acc = accuracy_score(sp.y_test, predictions)
+        assert abs(float_acc - quant_acc) < 0.08
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            QuantMLP([np.zeros((2, 2))], [np.zeros(2)], [1.0], [], [4],
+                     "oracle")
+
+    def test_classifier_requires_classes(self):
+        with pytest.raises(ValueError, match="class labels"):
+            QuantMLP([np.zeros((2, 2))], [np.zeros(2)], [1.0], [], [4],
+                     "classifier")
+
+    def test_repr(self, mlp_classifier):
+        quant = QuantMLP.from_mlp(mlp_classifier)
+        assert "QuantMLP" in repr(quant)
+
+
+class TestQuantSVM:
+    def test_classifier_votes_match_reference(self, redwine_split,
+                                              svm_classifier):
+        sp = redwine_split
+        quant = QuantSVM.from_svm(svm_classifier)
+        Xq = quantize_inputs(sp.X_test)
+        scores = quant.output_ints(Xq)
+        expected = quant.classes[one_vs_one_predict(scores)]
+        np.testing.assert_array_equal(quant.predict_int(Xq), expected)
+
+    def test_pairwise_classifier_count(self, svm_classifier):
+        quant = QuantSVM.from_svm(svm_classifier)
+        assert quant.n_pairwise_classifiers == 15  # Table I RW SVM-C
+        assert quant.n_coefficients == 66          # 6 classes x 11 features
+
+    def test_quantization_preserves_accuracy(self, redwine_split,
+                                             svm_classifier):
+        sp = redwine_split
+        quant = QuantSVM.from_svm(svm_classifier)
+        float_acc = svm_classifier.score(sp.X_test, sp.y_test)
+        quant_acc = accuracy_score(sp.y_test, quant.predict(sp.X_test))
+        assert abs(float_acc - quant_acc) < 0.06
+
+    def test_regressor(self, redwine_split):
+        sp = redwine_split
+        svr = LinearSVMRegressor(seed=1, max_epochs=400).fit(
+            sp.X_train, sp.y_train)
+        quant = QuantSVM.from_svm(svr)
+        assert quant.kind == "regressor"
+        assert quant.weights.shape == (11, 1)
+        predictions = quant.predict(sp.X_test)
+        assert predictions.min() >= 3 and predictions.max() <= 8
+        assert quant.n_pairwise_classifiers == 1  # Table I: T = 1
+
+    def test_replace_coefficients(self, svm_classifier):
+        quant = QuantSVM.from_svm(svm_classifier)
+        replaced = quant.replace_coefficients({(0, 2): tuple([3] * 11)})
+        np.testing.assert_array_equal(replaced.weights[:, 2], 3)
+        with pytest.raises(ValueError, match="layer 0"):
+            quant.replace_coefficients({(1, 0): tuple([0] * 11)})
+        with pytest.raises(ValueError, match="wrong coefficient count"):
+            quant.replace_coefficients({(0, 0): (1,)})
+
+    def test_weighted_sums(self, svm_classifier):
+        quant = QuantSVM.from_svm(svm_classifier)
+        specs = quant.weighted_sums()
+        assert len(specs) == 6
+        assert all(s.input_bits == 4 for s in specs)
+
+    def test_quantize_model_dispatch(self, mlp_classifier, svm_classifier):
+        assert isinstance(quantize_model(mlp_classifier), QuantMLP)
+        assert isinstance(quantize_model(svm_classifier), QuantSVM)
+        with pytest.raises(TypeError):
+            quantize_model("not a model")

@@ -1,0 +1,116 @@
+"""Property tests: random quantized models are circuit-equivalent.
+
+The trained-model equivalence tests exercise realistic coefficient
+distributions; these hypothesis tests attack the corners trained models
+rarely produce — all-zero weight columns, extreme values (-128), single
+features, bias-dominated sums — and assert the central invariant of the
+repository on every draw: the generated bespoke netlist computes exactly
+what the integer golden model computes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.bespoke import (
+    CLASS_OUTPUT,
+    REGRESSOR_OUTPUT,
+    build_bespoke_netlist,
+    input_payload,
+)
+from repro.hw.simulate import simulate
+from repro.quant import QuantMLP, QuantSVM
+
+coefficients = st.integers(-128, 127)
+
+
+@st.composite
+def random_svm(draw):
+    n_features = draw(st.integers(1, 6))
+    n_classes = draw(st.integers(2, 4))
+    weights = np.array(
+        draw(st.lists(st.lists(coefficients, min_size=n_classes,
+                               max_size=n_classes),
+                      min_size=n_features, max_size=n_features)),
+        dtype=np.int64)
+    biases = np.array(
+        draw(st.lists(st.integers(-5000, 5000), min_size=n_classes,
+                      max_size=n_classes)), dtype=np.int64)
+    return QuantSVM(weights, biases, weight_scale=64.0, kind="classifier",
+                    classes=np.arange(n_classes))
+
+
+@st.composite
+def random_mlp(draw):
+    n_features = draw(st.integers(1, 5))
+    n_hidden = draw(st.integers(1, 3))
+    n_outputs = draw(st.integers(2, 3))
+    w1 = np.array(
+        draw(st.lists(st.lists(coefficients, min_size=n_hidden,
+                               max_size=n_hidden),
+                      min_size=n_features, max_size=n_features)),
+        dtype=np.int64)
+    b1 = np.array(
+        draw(st.lists(st.integers(-2000, 2000), min_size=n_hidden,
+                      max_size=n_hidden)), dtype=np.int64)
+    w2 = np.array(
+        draw(st.lists(st.lists(coefficients, min_size=n_outputs,
+                               max_size=n_outputs),
+                      min_size=n_hidden, max_size=n_hidden)),
+        dtype=np.int64)
+    b2 = np.array(
+        draw(st.lists(st.integers(-2000, 2000), min_size=n_outputs,
+                      max_size=n_outputs)), dtype=np.int64)
+    # Shift consistent with the layer's true range, as from_mlp computes.
+    relu_hi = int(max(0, (np.where(w1 > 0, w1, 0).sum(axis=0) * 15
+                          + b1).max()))
+    width = max(1, relu_hi.bit_length())
+    shift = max(0, width - 8)
+    act_hi = relu_hi >> shift
+    activation_bits = [4, max(1, act_hi.bit_length())]
+    return QuantMLP([w1, w2], [b1, b2], [64.0, 64.0], [shift],
+                    activation_bits, "classifier",
+                    classes=np.arange(n_outputs))
+
+
+def _stimulus(n_features: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    exhaustive_corner = np.array([[0] * n_features, [15] * n_features])
+    random_part = rng.integers(0, 16, size=(62, n_features))
+    return np.vstack([exhaustive_corner, random_part])
+
+
+class TestRandomModelEquivalence:
+    @given(random_svm(), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_svm_classifier(self, model, seed):
+        netlist = build_bespoke_netlist(model)
+        Xq = _stimulus(model.weights.shape[0], seed)
+        sim = simulate(netlist, input_payload(Xq))
+        predicted = model.classes[np.clip(sim.bus_ints(CLASS_OUTPUT), 0,
+                                          len(model.classes) - 1)]
+        np.testing.assert_array_equal(predicted, model.predict_int(Xq))
+
+    @given(random_mlp(), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_mlp_classifier(self, model, seed):
+        netlist = build_bespoke_netlist(model)
+        Xq = _stimulus(model.weights[0].shape[0], seed)
+        sim = simulate(netlist, input_payload(Xq))
+        predicted = model.classes[np.clip(sim.bus_ints(CLASS_OUTPUT), 0,
+                                          len(model.classes) - 1)]
+        np.testing.assert_array_equal(predicted, model.predict_int(Xq))
+
+    @given(st.lists(coefficients, min_size=1, max_size=6),
+           st.integers(-5000, 5000), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_svm_regressor_raw_outputs(self, weights, bias, seed):
+        model = QuantSVM(np.array(weights).reshape(-1, 1),
+                         np.array([bias]), weight_scale=64.0,
+                         kind="regressor", y_min=0, y_max=10)
+        netlist = build_bespoke_netlist(model)
+        Xq = _stimulus(len(weights), seed)
+        sim = simulate(netlist, input_payload(Xq))
+        np.testing.assert_array_equal(sim.bus_ints(REGRESSOR_OUTPUT),
+                                      model.output_ints(Xq)[:, 0])

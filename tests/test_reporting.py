@@ -1,0 +1,59 @@
+"""Tests for the text-table reporting helpers."""
+
+import pytest
+
+from repro.eval.reporting import (
+    TextTable,
+    format_area_cm2,
+    format_gain,
+    format_power_mw,
+)
+
+
+class TestFormatters:
+    def test_gain(self):
+        assert format_gain(0.473) == "47.3%"
+        assert format_gain(0.0) == "0.0%"
+
+    def test_area(self):
+        assert format_area_cm2(1234.0) == "12.3 cm^2"
+
+    def test_power(self):
+        assert format_power_mw(36.58) == "36.6 mW"
+
+
+class TestTextTable:
+    def test_alignment_and_structure(self):
+        table = TextTable(["name", "value"], title="demo",
+                          align_right={1})
+        table.add_row("a", "1")
+        table.add_row("longer", "22")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) == {"-"}
+        # Right-aligned numeric column.
+        assert lines[3].endswith(" 1")
+        assert lines[4].endswith("22")
+
+    def test_no_title(self):
+        table = TextTable(["x"])
+        table.add_row("1")
+        assert table.render().splitlines()[0] == "x"
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="expected 2 cells"):
+            table.add_row("only-one")
+
+    def test_n_rows(self):
+        table = TextTable(["a"])
+        assert table.n_rows == 0
+        table.add_row("x")
+        assert table.n_rows == 1
+
+    def test_cells_stringified(self):
+        table = TextTable(["a", "b"])
+        table.add_row(1.5, 42)
+        assert "1.5" in table.render()

@@ -1,0 +1,111 @@
+"""Tests for the linear SVM trainers and 1-vs-1 voting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import (
+    LinearSVMClassifier,
+    LinearSVMRegressor,
+    one_vs_one_predict,
+)
+
+
+def _blobs(n_per_class=60, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.eye(k) * 1.5
+    X = np.concatenate([
+        centers[c] + rng.normal(0, 0.25, size=(n_per_class, k))
+        for c in range(k)])
+    y = np.repeat(np.arange(k), n_per_class)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+class TestOneVsOnePredict:
+    def test_matches_argmax_without_ties(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(500, 6))
+        np.testing.assert_array_equal(one_vs_one_predict(scores),
+                                      np.argmax(scores, axis=1))
+
+    def test_tie_goes_to_lower_class(self):
+        scores = np.array([[1.0, 1.0, 0.0]])
+        assert one_vs_one_predict(scores)[0] == 0
+
+    def test_all_equal_scores(self):
+        scores = np.zeros((3, 4))
+        np.testing.assert_array_equal(one_vs_one_predict(scores), [0, 0, 0])
+
+    def test_two_classes(self):
+        scores = np.array([[0.1, 0.9], [0.9, 0.1], [0.5, 0.5]])
+        np.testing.assert_array_equal(one_vs_one_predict(scores), [1, 0, 0])
+
+
+class TestLinearSVMClassifier:
+    def test_learns_separable_blobs(self):
+        X, y = _blobs()
+        model = LinearSVMClassifier(seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_per_class_weight_matrix(self):
+        """Table I consistency: k weight vectors, k(k-1)/2 comparators."""
+        X, y = _blobs(k=4)
+        model = LinearSVMClassifier(seed=0, max_epochs=50).fit(X, y)
+        assert model.coef_.shape == (4, 4)
+        assert model.intercept_.shape == (4,)
+        assert model.n_pairwise_classifiers == 6
+
+    def test_labels_preserved(self):
+        X, y = _blobs()
+        model = LinearSVMClassifier(seed=0, max_epochs=100).fit(X, y + 10)
+        assert set(np.unique(model.predict(X))) <= {10, 11, 12}
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            LinearSVMClassifier(max_epochs=1).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_deterministic(self):
+        X, y = _blobs()
+        a = LinearSVMClassifier(seed=4, max_epochs=50).fit(X, y)
+        b = LinearSVMClassifier(seed=4, max_epochs=50).fit(X, y)
+        np.testing.assert_array_equal(a.coef_, b.coef_)
+
+    def test_regularization_shrinks_weights(self):
+        X, y = _blobs()
+        tight = LinearSVMClassifier(C=0.001, seed=0, max_epochs=200).fit(X, y)
+        loose = LinearSVMClassifier(C=100.0, seed=0, max_epochs=200).fit(X, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+
+class TestLinearSVMRegressor:
+    def test_fits_linear_target(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(300, 4))
+        true_w = np.array([2.0, -1.0, 0.5, 3.0])
+        y = X @ true_w + 1.5
+        model = LinearSVMRegressor(seed=0, max_epochs=2000, lr=0.02).fit(X, y)
+        predictions = model.predict(X)
+        assert np.mean(np.abs(predictions - y)) < 0.25
+
+    def test_label_range_learned(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(30, 2))
+        y = rng.integers(3, 9, 30)
+        model = LinearSVMRegressor(max_epochs=5).fit(X, y)
+        assert (model.y_min_, model.y_max_) == (3, 8)
+
+    def test_score_is_label_accuracy(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(300, 2))
+        y = np.rint(3 * X[:, 0]).astype(int)
+        model = LinearSVMRegressor(seed=0, max_epochs=1500).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_epsilon_tube_tolerates_small_errors(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(100, 1))
+        y = X[:, 0]
+        wide = LinearSVMRegressor(epsilon=5.0, seed=0, max_epochs=300).fit(X, y)
+        # With everything inside the tube, only regularization acts, so
+        # the weights stay near their tiny initialization.
+        assert np.abs(wide.coef_).max() < 0.1
