@@ -1,0 +1,198 @@
+"""Microbenchmark of the compiled evaluation spine vs the legacy engine.
+
+Two measurement families, both written to ``BENCH_simulate.json`` at the
+repository root so the performance trajectory is machine-readable from
+this PR onward:
+
+* **micro** — simulate / activity-extraction / bus-decode throughput of
+  the compiled word-parallel engine against the legacy bigint loop, on a
+  small circuit and on an MLP-C-sized one (gate-evaluations per second,
+  where one gate-evaluation is one gate over one stimulus vector).
+
+* **end_to_end** — the full netlist-pruning design-space exploration per
+  circuit: the incremental/trie exploration on the compiled engines
+  against the seed pipeline (per-grid-point loop + builder-replay
+  synthesis + bigint simulation), with a design-list equivalence check.
+
+Run standalone (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_simulate.py           # full
+    PYTHONPATH=src python benchmarks/bench_simulate.py --smoke   # CI
+
+Smoke mode shrinks the circuit set and tau grid so the benchmark
+finishes in a few seconds while still exercising both engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pruning import DEFAULT_TAU_GRID, NetlistPruner  # noqa: E402
+from repro.eval.accuracy import CircuitEvaluator  # noqa: E402
+from repro.experiments.zoo import get_case  # noqa: E402
+from repro.hw.bespoke import build_bespoke_netlist, input_payload  # noqa: E402
+from repro.hw.simulate import simulate, simulate_bigint  # noqa: E402
+from repro.quant import quantize_inputs  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_simulate.json"
+
+# (dataset, model kind) pairs; the end-to-end set covers the size classes
+# the tier-1 suite exercises (hundreds to thousands of gates).
+MICRO_CIRCUITS = [("redwine", "svm_r"), ("pendigits", "mlp_c")]
+END_TO_END_CIRCUITS = [
+    ("redwine", "svm_r"),
+    ("redwine", "mlp_c"),
+    ("redwine", "svm_c"),
+    ("whitewine", "svm_c"),
+    ("cardio", "svm_c"),
+]
+SMOKE_MICRO = [("redwine", "svm_r")]
+SMOKE_END_TO_END = [("redwine", "svm_r")]
+
+
+def _repeat(fn, repeats: int) -> float:
+    """Best-of-N wall time (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_micro(dataset: str, kind: str, repeats: int) -> dict:
+    case = get_case(dataset, kind)
+    netlist = build_bespoke_netlist(case.quant_model)
+    payload = input_payload(quantize_inputs(case.split.X_test))
+    n_vectors = len(case.split.X_test)
+    gate_evals = netlist.n_gates * n_vectors
+    output_bus = next(iter(netlist.output_buses))
+
+    rows = {}
+    for engine in ("compiled", "bigint"):
+        sim_s = _repeat(lambda: simulate(netlist, payload, engine=engine),
+                        repeats)
+        sim = simulate(netlist, payload, engine=engine)
+        act_s = _repeat(sim.activity, repeats)
+        dec_s = _repeat(lambda: sim.bus_ints(output_bus), repeats)
+        rows[engine] = {
+            "simulate_s": sim_s,
+            "activity_s": act_s,
+            "decode_s": dec_s,
+            "simulate_gate_evals_per_s": gate_evals / sim_s,
+        }
+    # Spot-check equivalence on this circuit while we are here.
+    fast = simulate(netlist, payload, engine="compiled")
+    oracle = simulate_bigint(netlist, payload)
+    equivalent = bool(
+        (fast.bus_ints(output_bus) == oracle.bus_ints(output_bus)).all())
+    return {
+        "circuit": f"{dataset}/{kind}",
+        "n_gates": netlist.n_gates,
+        "n_vectors": n_vectors,
+        "engines": rows,
+        "simulate_speedup": rows["bigint"]["simulate_s"]
+        / rows["compiled"]["simulate_s"],
+        "activity_speedup": rows["bigint"]["activity_s"]
+        / rows["compiled"]["activity_s"],
+        "equivalent": equivalent,
+    }
+
+
+def bench_end_to_end(dataset: str, kind: str, tau_grid) -> dict:
+    case = get_case(dataset, kind)
+    netlist = build_bespoke_netlist(case.quant_model)
+    split = case.split
+    new_eval = CircuitEvaluator.from_split(
+        case.quant_model, split.X_train, split.X_test, split.y_test)
+    legacy_eval = CircuitEvaluator.from_split(
+        case.quant_model, split.X_train, split.X_test, split.y_test,
+        engine="bigint")
+
+    start = time.perf_counter()
+    new = NetlistPruner(netlist, new_eval, tau_grid).explore()
+    new_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    legacy = NetlistPruner(netlist, legacy_eval, tau_grid).explore_legacy(
+        synthesis="reference")
+    legacy_s = time.perf_counter() - start
+
+    identical = [(d.tau_c, d.phi_c, d.n_pruned, d.record, d.duplicate_of)
+                 for d in legacy] == \
+                [(d.tau_c, d.phi_c, d.n_pruned, d.record, d.duplicate_of)
+                 for d in new]
+    return {
+        "circuit": f"{dataset}/{kind}",
+        "n_gates": netlist.n_gates,
+        "n_designs": len(new),
+        "legacy_s": legacy_s,
+        "new_s": new_s,
+        "legacy_designs_per_s": len(legacy) / legacy_s,
+        "new_designs_per_s": len(new) / new_s,
+        "speedup": legacy_s / new_s,
+        "identical_designs": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small circuit set + reduced grid (CI)")
+    parser.add_argument("--out", type=pathlib.Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    micro_set = SMOKE_MICRO if args.smoke else MICRO_CIRCUITS
+    e2e_set = SMOKE_END_TO_END if args.smoke else END_TO_END_CIRCUITS
+    tau_grid = (0.9, 0.95, 0.99) if args.smoke else DEFAULT_TAU_GRID
+    repeats = 2 if args.smoke else 3
+
+    micro = []
+    for dataset, kind in micro_set:
+        row = bench_micro(dataset, kind, repeats)
+        micro.append(row)
+        print(f"[micro] {row['circuit']}: {row['n_gates']} gates x "
+              f"{row['n_vectors']} vectors -> compiled "
+              f"{row['engines']['compiled']['simulate_gate_evals_per_s']:.3e}"
+              f" gate-evals/s, simulate speedup "
+              f"{row['simulate_speedup']:.1f}x, activity speedup "
+              f"{row['activity_speedup']:.1f}x, equivalent "
+              f"{row['equivalent']}")
+
+    end_to_end = []
+    for dataset, kind in e2e_set:
+        row = bench_end_to_end(dataset, kind, tau_grid)
+        end_to_end.append(row)
+        print(f"[end-to-end] {row['circuit']}: {row['n_designs']} designs, "
+              f"legacy {row['legacy_s']:.2f}s -> new {row['new_s']:.2f}s "
+              f"({row['speedup']:.2f}x, identical="
+              f"{row['identical_designs']})")
+
+    report = {
+        "schema": 1,
+        "smoke": args.smoke,
+        "tau_grid_points": len(tau_grid),
+        "micro": micro,
+        "end_to_end": end_to_end,
+        "best_end_to_end_speedup": max(
+            (row["speedup"] for row in end_to_end), default=0.0),
+        "all_equivalent": all(row["equivalent"] for row in micro)
+        and all(row["identical_designs"] for row in end_to_end),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nbest end-to-end speedup: "
+          f"{report['best_end_to_end_speedup']:.2f}x "
+          f"(all equivalent: {report['all_equivalent']})")
+    print(f"[report saved to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

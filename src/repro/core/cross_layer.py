@@ -147,16 +147,25 @@ class CrossLayerFramework:
         clock_ms: circuit clock for power analysis (the paper uses 200 ms,
             250 ms for the Pendigits MLP-C).
         library: shared bespoke-multiplier area cache.
+        n_workers: fan the pruning explorations' tau_c chains across a
+            process pool (serial when ``None``/``0``/``1``; pool failures
+            fall back to serial automatically).
+        engine: simulation backend for every evaluation (``"auto"``,
+            ``"compiled"``, or the legacy ``"bigint"`` oracle).
     """
 
     def __init__(self, e: int = 4, strategy: str = "auto",
                  tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID,
                  clock_ms: float | None = None,
-                 library: BespokeMultiplierLibrary | None = None) -> None:
+                 library: BespokeMultiplierLibrary | None = None,
+                 n_workers: int | None = None,
+                 engine: str = "auto") -> None:
         self.approximator = CoefficientApproximator(
             library=library, e=e, strategy=strategy)
         self.tau_grid = tau_grid
         self.clock_ms = clock_ms
+        self.n_workers = n_workers
+        self.engine = engine
 
     def explore(self, model, X_train01, X_test01, y_test,
                 name: str = "circuit",
@@ -168,7 +177,8 @@ class CrossLayerFramework:
         """
         start = time.perf_counter()
         evaluator = CircuitEvaluator.from_split(
-            model, X_train01, X_test01, y_test, clock_ms=self.clock_ms)
+            model, X_train01, X_test01, y_test, clock_ms=self.clock_ms,
+            engine=self.engine)
         points: list[DesignPoint] = []
 
         exact_netlist = build_bespoke_netlist(model, name=f"{name}_exact")
@@ -184,7 +194,8 @@ class CrossLayerFramework:
                 "coeff", evaluator.evaluate(coeff_netlist)))
 
         if "prune" in include:
-            pruner = NetlistPruner(exact_netlist, evaluator, self.tau_grid)
+            pruner = NetlistPruner(exact_netlist, evaluator, self.tau_grid,
+                                   n_workers=self.n_workers)
             for design in pruner.explore():
                 points.append(DesignPoint.from_record(
                     "prune", design.record, tau_c=design.tau_c,
@@ -192,7 +203,8 @@ class CrossLayerFramework:
                     duplicate=design.duplicate_of is not None))
 
         if "cross" in include:
-            pruner = NetlistPruner(coeff_netlist, evaluator, self.tau_grid)
+            pruner = NetlistPruner(coeff_netlist, evaluator, self.tau_grid,
+                                   n_workers=self.n_workers)
             for design in pruner.explore():
                 points.append(DesignPoint.from_record(
                     "cross", design.record, tau_c=design.tau_c,

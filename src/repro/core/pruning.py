@@ -22,23 +22,46 @@ Two statistics constrain which gates may be replaced by constants:
   ``phi = -1``, making them prunable under any ``phi_c`` — their damage is
   already bounded in *frequency* by ``tau``.
 
-The exploration is a full search: for every ``tau_c`` only the *unique*
-``phi`` values of the candidate gates are visited (the paper's
-``Phi_tau`` set), every (tau_c, phi_c) pruning is resynthesized so
-constant propagation reclaims the fanout logic, and duplicate prune sets
-are evaluated once.
+The exploration is a full search over the (tau_c, phi_c) grid, organized
+for speed:
+
+* **Incremental chains.** For a fixed tau_c the prune sets grow
+  monotonically with phi_c, so each chain applies only the *delta* gates
+  to the previously pruned-and-synthesized netlist (located through the
+  net map of :func:`~repro.hw.synthesis.synthesize_with_map`) instead of
+  resynthesizing the base circuit from scratch.
+* **Memoized records.** Identical prune sets arising from different
+  (tau_c, phi_c) pairs are evaluated once; the record memo also persists
+  on the pruner across ``explore()`` calls.
+* **Parallel chains.** Independent tau_c chains can fan out across a
+  ``concurrent.futures`` process pool (``n_workers``); any pool failure
+  falls back to the serial path, and both paths produce the identical
+  design list.
+
+``explore_legacy()`` keeps the original one-synthesis-per-grid-point loop
+as the reference the incremental exploration is benchmarked and
+regression-tested against.
 """
 
 from __future__ import annotations
 
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..eval.accuracy import CircuitEvaluator, EvaluationRecord
+from ..hw.compiled import HOST_SUPPORTS_COMPILED
+from ..hw.incremental import IncrementalCircuit, RewriteOverflow
 from ..hw.netlist import Netlist
 from ..hw.simulate import ActivityReport
-from ..hw.synthesis import synthesize
+from ..hw.synthesis import (
+    ArrayCircuit,
+    synthesize,
+    synthesize_arrays,
+    synthesize_reference,
+)
 
 __all__ = [
     "compute_phi",
@@ -91,6 +114,10 @@ class PruneSpace:
     tau: np.ndarray
     const_value: np.ndarray
     phi: np.ndarray
+    # Candidate sets are shared between phi_levels/prune_set/tau_steps, so
+    # one tau_c never recomputes the tau comparison (mutable cache on a
+    # frozen dataclass; excluded from equality).
+    _candidates: dict = field(default_factory=dict, repr=False, compare=False)
 
     @staticmethod
     def from_activity(nl: Netlist, activity: ActivityReport) -> "PruneSpace":
@@ -100,7 +127,12 @@ class PruneSpace:
     def candidates(self, tau_c: float) -> np.ndarray:
         """Gate indices whose output is constant at least ``tau_c`` of the
         time (small epsilon absorbs float rounding on the grid)."""
-        return np.flatnonzero(self.tau >= tau_c - 1e-9)
+        key = round(float(tau_c), 9)
+        cached = self._candidates.get(key)
+        if cached is None:
+            cached = np.flatnonzero(self.tau >= tau_c - 1e-9)
+            self._candidates[key] = cached
+        return cached
 
     def phi_levels(self, tau_c: float) -> list[int]:
         """The paper's ``Phi_tau``: unique phi values among candidates."""
@@ -112,6 +144,30 @@ class PruneSpace:
         gates = self.candidates(tau_c)
         selected = gates[self.phi[gates] <= phi_c]
         return {int(g): int(self.const_value[g]) for g in selected}
+
+    def tau_steps(self, tau_c: float) -> list[tuple[int, dict[int, int]]]:
+        """All (phi_c, prune set) steps of one tau_c chain, ascending.
+
+        Computes the candidate set once per tau_c; successive prune sets
+        are strict supersets (each phi level admits at least one new gate).
+        """
+        gates = self.candidates(tau_c)
+        if gates.size == 0:
+            return []
+        phis = self.phi[gates]
+        consts = self.const_value[gates]
+        # Walking the candidates sorted by phi lets each step extend the
+        # previous one with plain list slices (no per-gate re-filtering).
+        order = np.argsort(phis, kind="stable")
+        sorted_gates = gates[order].tolist()
+        sorted_consts = consts[order].tolist()
+        sorted_phis = phis[order]
+        steps = []
+        for phi_c in sorted(int(v) for v in np.unique(phis)):
+            count = int(np.searchsorted(sorted_phis, phi_c, side="right"))
+            force = dict(zip(sorted_gates[:count], sorted_consts[:count]))
+            steps.append((phi_c, force))
+        return steps
 
 
 @dataclass(frozen=True)
@@ -125,6 +181,176 @@ class PrunedDesign:
     duplicate_of: tuple[float, int] | None = None
 
 
+def _needs_netlist(evaluator: CircuitEvaluator) -> bool:
+    """True when the evaluator cannot consume array-form variants directly."""
+    engine = getattr(evaluator, "engine", "auto")
+    return engine == "bigint" or (engine == "auto"
+                                  and not HOST_SUPPORTS_COMPILED)
+
+
+def _apply_step(base: ArrayCircuit, state: tuple | None,
+                force: dict[int, int],
+                incremental: bool) -> tuple[tuple, ArrayCircuit]:
+    """Synthesize one prune set, reusing the previous chain state.
+
+    ``state`` is ``(incremental circuit, base-node → state-node map,
+    pruned gate set)`` of the previous (subset) prune step, or ``None``
+    for the first step.  With ``incremental`` enabled, only the delta
+    gates are tied onto the previous (mutable, already-folded) circuit —
+    located through the node map — instead of resynthesizing the base
+    circuit; state node ids are stable, so the root map serves the whole
+    chain.  Returns the new chain state and the compacted variant for
+    evaluation.
+
+    The step falls back to a from-scratch synthesis whenever a delta
+    gate's surviving signal already folded to the *opposite* constant, or
+    a rewrite cascade trips the safety cap — correctness first, reuse
+    second.
+    """
+    n_fixed = base.n_fixed
+    if incremental and state is not None:
+        inc, base_map, prev_gates = state
+        ties: dict[int, int] = {}
+        consistent = True
+        for gate_idx, value in force.items():
+            if gate_idx in prev_gates:
+                continue
+            node = base_map[n_fixed + gate_idx]
+            if node < 0:
+                continue  # already stripped as dead at the chain root
+            if ties.get(node, value) != value:
+                consistent = False  # two deltas merged onto one node
+                break
+            ties[node] = value
+        if consistent:
+            try:
+                inc.tie(ties)
+            except (ValueError, RewriteOverflow):
+                pass  # degenerate disagreement: rebuild from scratch
+            else:
+                return (inc, base_map, set(force)), inc.snapshot()
+    force_by_node = {n_fixed + gate_idx: value
+                     for gate_idx, value in force.items()}
+    pruned, chain_map = synthesize_arrays(base, force_by_node)
+    if not incremental:
+        # No chain state to carry (and nothing for the trie to fork).
+        return None, pruned
+    state = (IncrementalCircuit.from_arrays(pruned), chain_map, set(force))
+    return state, pruned
+
+
+def _evaluate_variant(evaluator: CircuitEvaluator, circ: ArrayCircuit,
+                      as_netlist: bool) -> EvaluationRecord:
+    """Score one variant, materializing a netlist only when required."""
+    return evaluator.evaluate(circ.to_netlist() if as_netlist else circ)
+
+
+def _root_state(base: ArrayCircuit) -> tuple:
+    """Fold the base once and wrap it as the shared chain-root state.
+
+    Every chain root forks this state and ties its first prune set onto
+    it — the cone rewrite replaces a from-scratch synthesis per chain.
+    """
+    folded, node_map = synthesize_arrays(base, None)
+    return (IncrementalCircuit.from_arrays(folded), node_map, frozenset())
+
+
+def _explore_chain(base: ArrayCircuit, evaluator: CircuitEvaluator,
+                   tau_c: float,
+                   steps: list[tuple[int, dict[int, int]]],
+                   incremental: bool,
+                   known_records: dict | None = None,
+                   root_state: tuple | None = None) -> list[tuple]:
+    """Evaluate one tau_c chain; returns (phi_c, key, n_pruned, record) rows."""
+    rows = []
+    state: tuple | None = root_state
+    as_netlist = _needs_netlist(evaluator)
+    for phi_c, force in steps:
+        if not force:
+            continue
+        key = frozenset(force)
+        state, variant = _apply_step(base, state, force, incremental)
+        if known_records is not None and key in known_records:
+            record = known_records[key]
+        else:
+            record = _evaluate_variant(evaluator, variant, as_netlist)
+            if known_records is not None:
+                known_records[key] = record
+        rows.append((phi_c, key, len(force), record))
+    return rows
+
+
+def _explore_trie(base: ArrayCircuit, evaluator: CircuitEvaluator,
+                  chains: list[tuple[float, list]],
+                  incremental: bool,
+                  known_records: dict | None = None,
+                  root_state: tuple | None = None) -> list[list[tuple]]:
+    """Evaluate all chains at once, sharing work across equal prefixes.
+
+    Chains whose prune-set sequences share a prefix (extremely common:
+    neighboring tau_c values usually select identical candidate sets)
+    are walked as one trie, so every unique prefix is synthesized and
+    evaluated exactly once.  Because a chain's state is a deterministic
+    function of its step-key prefix, sharing is exact — each chain's rows
+    are identical to what :func:`_explore_chain` would produce alone.
+    """
+    results: list[list[tuple]] = [[] for _ in chains]
+    as_netlist = _needs_netlist(evaluator)
+
+    def visit(chain_ids: list[int], depth: int, state: tuple | None) -> None:
+        groups: dict[frozenset, list[int]] = {}
+        for ci in chain_ids:
+            steps = chains[ci][1]
+            if depth < len(steps) and steps[depth][1]:
+                groups.setdefault(frozenset(steps[depth][1]), []).append(ci)
+        group_items = list(groups.items())
+        for position, (key, ids) in enumerate(group_items):
+            # Sibling branches mutate the chain state in place, so every
+            # branch but the last works on a fork of the shared prefix.
+            if state is not None and position < len(group_items) - 1:
+                branch_state = (state[0].fork(), state[1], state[2])
+            else:
+                branch_state = state
+            force = chains[ids[0]][1][depth][1]
+            next_state, variant = _apply_step(base, branch_state, force,
+                                              incremental)
+            if known_records is not None and key in known_records:
+                record = known_records[key]
+            else:
+                record = _evaluate_variant(evaluator, variant, as_netlist)
+                if known_records is not None:
+                    known_records[key] = record
+            for ci in ids:
+                phi_c = chains[ci][1][depth][0]
+                results[ci].append((phi_c, key, len(key), record))
+            visit(ids, depth + 1, next_state)
+
+    visit(list(range(len(chains))), 0, root_state)
+    return results
+
+
+# Worker-side state for the process pool: the (netlist, evaluator,
+# incremental) triple is shipped once per worker through the initializer
+# instead of once per chain task.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_chain_worker(base: Netlist, evaluator: CircuitEvaluator,
+                       incremental: bool) -> None:
+    circ, _ = ArrayCircuit.from_netlist(base)
+    root = _root_state(circ) if incremental else None
+    _WORKER_CONTEXT["args"] = (circ, evaluator, incremental, root)
+
+
+def _run_chain_task(task: tuple) -> list[tuple]:
+    base, evaluator, incremental, root = _WORKER_CONTEXT["args"]
+    tau_c, steps = task
+    chain_root = (root[0].fork(), root[1], root[2]) if root is not None \
+        else None
+    return _explore_chain(base, evaluator, tau_c, steps, incremental,
+                          root_state=chain_root)
+
+
 @dataclass
 class NetlistPruner:
     """Full-search pruning exploration over one base netlist.
@@ -135,12 +361,21 @@ class NetlistPruner:
         evaluator: stimulus/scoring context; training activity defines
             tau, the test set scores every pruned variant.
         tau_grid: the tau_c sweep (defaults to the paper's 80..99%).
+        incremental: reuse each chain's previous pruned netlist when
+            applying the next (superset) prune set.
+        n_workers: fan independent tau_c chains across a process pool;
+            ``None``/``0``/``1`` stays serial, and pool failures fall
+            back to the serial path automatically.
     """
 
     netlist: Netlist
     evaluator: CircuitEvaluator
     tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID
+    incremental: bool = True
+    n_workers: int | None = None
     _space: PruneSpace | None = field(default=None, repr=False)
+    _record_memo: dict = field(default_factory=dict, repr=False)
+    _base_arrays: ArrayCircuit | None = field(default=None, repr=False)
 
     def space(self) -> PruneSpace:
         """Lazily simulate the training set and build the statistics."""
@@ -149,21 +384,94 @@ class NetlistPruner:
             self._space = PruneSpace.from_activity(self.netlist, activity)
         return self._space
 
+    def _base_circuit(self) -> ArrayCircuit:
+        """The base netlist in array form (chain synthesis operates on it)."""
+        if self._base_arrays is None:
+            self._base_arrays = ArrayCircuit.from_netlist(self.netlist)[0]
+        return self._base_arrays
+
     def prune(self, tau_c: float, phi_c: int) -> Netlist:
         """One pruned and resynthesized variant."""
         force = self.space().prune_set(tau_c, phi_c)
         return synthesize(self.netlist, force_constants=force)
 
-    def explore(self, deduplicate: bool = True) -> list[PrunedDesign]:
+    def explore(self, deduplicate: bool = True,
+                n_workers: int | None = None) -> list[PrunedDesign]:
         """Evaluate the full (tau_c, phi_c) design space.
 
         Identical prune sets arising from different (tau_c, phi_c) pairs
         are evaluated once and recorded as duplicates, so the result list
-        still enumerates the paper's full grid.
+        still enumerates the paper's full grid.  The list is identical
+        whether chains run serially or on a worker pool.
         """
         space = self.space()
+        chains = [(float(tau_c), space.tau_steps(tau_c))
+                  for tau_c in self.tau_grid]
+        chains = [(tau_c, steps) for tau_c, steps in chains if steps]
+
+        workers = n_workers if n_workers is not None else self.n_workers
+        chain_rows = None
+        if workers and workers > 1 and len(chains) > 1:
+            chain_rows = self._run_chains_parallel(chains, workers)
+        if chain_rows is None:
+            memo = self._record_memo if deduplicate else None
+            base_circ = self._base_circuit()
+            root = _root_state(base_circ) if self.incremental else None
+            chain_rows = _explore_trie(base_circ, self.evaluator, chains,
+                                       self.incremental, memo,
+                                       root_state=root)
+
         designs: list[PrunedDesign] = []
-        seen: dict[frozenset[int], tuple[PrunedDesign, tuple[float, int]]] = {}
+        seen: dict[frozenset, tuple[PrunedDesign, tuple[float, int]]] = {}
+        for (tau_c, _), rows in zip(chains, chain_rows):
+            for phi_c, key, n_pruned, record in rows:
+                if deduplicate and key in seen:
+                    first, origin = seen[key]
+                    designs.append(PrunedDesign(
+                        tau_c, phi_c, n_pruned, first.record,
+                        duplicate_of=origin))
+                    continue
+                design = PrunedDesign(tau_c, phi_c, n_pruned, record)
+                designs.append(design)
+                seen[key] = (design, (tau_c, phi_c))
+                if deduplicate:
+                    self._record_memo[key] = record
+        return designs
+
+    def _run_chains_parallel(self, chains: list,
+                             workers: int) -> list[list[tuple]] | None:
+        """Map chains over a process pool; ``None`` signals serial fallback."""
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(chains)),
+                    initializer=_init_chain_worker,
+                    initargs=(self.netlist, self.evaluator,
+                              self.incremental)) as pool:
+                return list(pool.map(_run_chain_task, chains))
+        except Exception as exc:  # pool/pickling/OS limits: stay correct
+            warnings.warn(
+                f"parallel pruning exploration failed ({exc!r}); "
+                "falling back to the serial path", RuntimeWarning,
+                stacklevel=3)
+            return None
+
+    def explore_legacy(self, deduplicate: bool = True,
+                       synthesis: str = "compiled") -> list[PrunedDesign]:
+        """The original per-grid-point exploration (reference oracle).
+
+        Resynthesizes every prune set from the base netlist and shares no
+        work between grid points; kept for equivalence tests and as the
+        baseline of ``benchmarks/bench_simulate.py``.  ``synthesis``
+        selects the compiled array engine (default) or the builder-replay
+        ``"reference"`` implementation — the seed pipeline is recovered
+        with ``synthesis="reference"`` plus a ``"bigint"``-engine
+        evaluator.
+        """
+        synth = synthesize_reference if synthesis == "reference" \
+            else synthesize
+        space = self.space()
+        designs: list[PrunedDesign] = []
+        seen: dict[frozenset, tuple[PrunedDesign, tuple[float, int]]] = {}
         for tau_c in self.tau_grid:
             for phi_c in space.phi_levels(tau_c):
                 force = space.prune_set(tau_c, phi_c)
@@ -176,7 +484,7 @@ class NetlistPruner:
                         float(tau_c), phi_c, len(force), first.record,
                         duplicate_of=origin))
                     continue
-                pruned = synthesize(self.netlist, force_constants=force)
+                pruned = synth(self.netlist, force_constants=force)
                 record = self.evaluator.evaluate(pruned)
                 design = PrunedDesign(float(tau_c), phi_c, len(force), record)
                 designs.append(design)

@@ -16,15 +16,22 @@ the label range.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..hw.area import area_mm2
 from ..hw.bespoke import CLASS_OUTPUT, REGRESSOR_OUTPUT, input_payload
+from ..hw.compiled import HOST_SUPPORTS_COMPILED, pack_stimulus
 from ..hw.netlist import Netlist
 from ..hw.power import power_mw
-from ..hw.simulate import ActivityReport, SimulationResult, simulate
+from ..hw.simulate import (
+    ActivityReport,
+    SimulationResult,
+    _validate_inputs,
+    simulate,
+)
 from ..ml.metrics import accuracy_score
 from ..quant.fixed_point import quantize_inputs
 
@@ -87,32 +94,78 @@ class CircuitEvaluator:
     test_inputs: dict[str, np.ndarray]
     y_test: np.ndarray
     clock_ms: float | None = None
+    engine: str = "auto"
     _n_features: int = field(default=0)
+    # One-entry cache of the last test-set simulation, keyed by netlist
+    # identity: evaluate() and accuracy() on the same variant share a
+    # single simulation instead of re-running it.
+    _test_sim: tuple | None = field(default=None, repr=False, compare=False)
+    # Validated + word-packed test stimulus, shared by every variant of
+    # the circuit (the bus layout is invariant under synthesis).
+    _packed_test: tuple | None = field(default=None, repr=False,
+                                       compare=False)
 
     @staticmethod
     def from_split(model, X_train01: np.ndarray, X_test01: np.ndarray,
                    y_test: np.ndarray,
-                   clock_ms: float | None = None) -> "CircuitEvaluator":
+                   clock_ms: float | None = None,
+                   engine: str = "auto") -> "CircuitEvaluator":
         """Build from [0, 1]-normalized splits and a quantized model."""
         Xq_train = quantize_inputs(X_train01, model.input_bits)
         Xq_test = quantize_inputs(X_test01, model.input_bits)
         return CircuitEvaluator(
             DecodeSpec.from_model(model),
             input_payload(Xq_train), input_payload(Xq_test),
-            np.asarray(y_test), clock_ms, Xq_train.shape[1])
+            np.asarray(y_test), clock_ms, engine, Xq_train.shape[1])
+
+    def __getstate__(self):
+        # Drop the simulation cache (it holds a weakref, which does not
+        # pickle) so evaluators ship cleanly to exploration workers.
+        state = self.__dict__.copy()
+        state["_test_sim"] = None
+        state["_packed_test"] = None
+        return state
+
+    def _test_simulation(self, nl: Netlist):
+        cached = self._test_sim
+        if cached is not None and cached[0]() is nl \
+                and cached[2] == (nl.n_gates, nl.n_nets):
+            return cached[1]
+        engine = self.engine
+        if engine == "auto":
+            engine = "compiled" if HOST_SUPPORTS_COMPILED else "bigint"
+        if engine == "compiled":
+            # Validate and word-pack the (fixed) test stimulus once; every
+            # variant scatters the same rows into its value matrix.
+            prepared = self._packed_test
+            if prepared is None:
+                n, arrays = _validate_inputs(nl, self.test_inputs)
+                widths = {name: len(nets)
+                          for name, nets in nl.input_buses.items()}
+                prepared = (n, arrays, pack_stimulus(arrays, widths, n))
+                self._packed_test = prepared
+            n, arrays, packed = prepared
+            sim = nl.compiled().simulate(arrays, n, packed=packed)
+        else:
+            sim = simulate(nl, self.test_inputs, engine=engine)
+        # Shape keys invalidate the cache if the netlist is mutated
+        # (gates appended) between evaluations.
+        self._test_sim = (weakref.ref(nl), sim, (nl.n_gates, nl.n_nets))
+        return sim
 
     def train_activity(self, nl: Netlist) -> ActivityReport:
         """Training-set switching activity (the pruning SAIF input)."""
-        return simulate(nl, self.train_inputs).activity()
+        return simulate(nl, self.train_inputs, engine=self.engine).activity()
 
     def evaluate(self, nl: Netlist) -> EvaluationRecord:
         """Accuracy, area, and power of one netlist variant."""
-        sim = simulate(nl, self.test_inputs)
+        sim = self._test_simulation(nl)
         predictions = self.decode.decode(sim)
         accuracy = accuracy_score(self.y_test, predictions)
         power = power_mw(nl, sim.activity(), self.clock_ms)
         return EvaluationRecord(accuracy, area_mm2(nl), power, nl.n_gates)
 
     def accuracy(self, nl: Netlist) -> float:
-        sim = simulate(nl, self.test_inputs)
+        """Test-set accuracy only — skips the activity/power pass."""
+        sim = self._test_simulation(nl)
         return accuracy_score(self.y_test, self.decode.decode(sim))

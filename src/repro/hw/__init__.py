@@ -21,11 +21,28 @@ from .blocks import (
     one_vs_one_votes,
 )
 from .cells import EGT_LIBRARY, TECHNOLOGY, CellSpec, Technology, cell_area_mm2
+from .compiled import CompiledNetlist, CompiledSimulation, pack_stimulus
+from .incremental import IncrementalCircuit
 from .netlist import CONST0, CONST1, Netlist
 from .netlist_io import load_netlist, netlist_from_dict, netlist_to_dict, save_netlist
 from .power import PowerReport, power_mw, power_uw
-from .simulate import ActivityReport, SimulationResult, pack_vectors, simulate, unpack_bits
-from .synthesis import rebuild_folded, strip_dead, synthesize
+from .simulate import (
+    ActivityReport,
+    SimulationResult,
+    pack_vectors,
+    simulate,
+    simulate_bigint,
+    unpack_bits,
+)
+from .synthesis import (
+    ArrayCircuit,
+    rebuild_folded,
+    strip_dead,
+    synthesize,
+    synthesize_arrays,
+    synthesize_reference,
+    synthesize_with_map,
+)
 from .timing import TimingReport, critical_path_ms
 from .verilog import emit_cell_models, to_verilog
 
@@ -60,13 +77,22 @@ __all__ = [
     "power_mw",
     "power_uw",
     "ActivityReport",
+    "ArrayCircuit",
+    "CompiledNetlist",
+    "CompiledSimulation",
+    "IncrementalCircuit",
     "SimulationResult",
+    "pack_stimulus",
     "pack_vectors",
     "simulate",
+    "simulate_bigint",
     "unpack_bits",
     "rebuild_folded",
     "strip_dead",
     "synthesize",
+    "synthesize_arrays",
+    "synthesize_reference",
+    "synthesize_with_map",
     "TimingReport",
     "critical_path_ms",
     "load_netlist",

@@ -17,8 +17,16 @@ __all__ = ["area_mm2", "area_cm2", "AreaReport"]
 
 
 def area_mm2(nl: Netlist) -> float:
-    """Total mapped cell area in mm^2."""
-    transistors = sum(EGT_LIBRARY[cell].transistors for cell in nl.gate_type)
+    """Total mapped cell area in mm^2.
+
+    Accepts a :class:`Netlist` or any circuit view exposing ``gate_type``
+    /``ops`` (the exploration's array-form variants); the reduction runs
+    vectorized over per-gate transistor counts.
+    """
+    if nl.n_gates == 0:
+        return 0.0
+    from .power import _transistor_array  # shared opcode/cell tables
+    transistors = int(_transistor_array(nl).sum())
     return transistors * TECHNOLOGY.area_per_transistor_mm2
 
 

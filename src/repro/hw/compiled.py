@@ -1,0 +1,433 @@
+"""Compiled word-parallel netlist simulation engine.
+
+This is the fast evaluation backend behind :func:`repro.hw.simulate.simulate`.
+Instead of carrying one arbitrary-precision Python integer per net (the
+legacy reference engine, kept in :mod:`repro.hw.simulate` as an equivalence
+oracle), the stimulus is packed into a dense ``(n_nets, n_words)`` ``uint64``
+matrix: bit *i* of the row of a net is the net's logic value for test vector
+*i* (vector *i* lives in word ``i // 64``, bit ``i % 64``).
+
+A :class:`CompiledNetlist` is a reusable evaluation plan built once per
+netlist (and cached on it via :meth:`repro.hw.netlist.Netlist.compiled`):
+the gate DAG is levelized so that every level only reads nets produced by
+earlier levels, and each level is split into per-opcode gate groups.  One
+simulation is then a short sequence of vectorized NumPy bitwise operations
+— gather the operand rows of a group, apply a single ``&``/``|``/``^``/
+``~``/mux expression across all of its gates and all stimulus words at
+once, scatter into the value matrix.  Switching-activity statistics
+(``prob_one``, ``tau``, toggle rates) and output-bus decoding become
+popcount/unpack array reductions instead of per-net bigint loops.
+
+Bits of the last stimulus word past ``n_vectors`` ("tail" bits) are allowed
+to hold garbage between operations; every reduction masks them out, which
+keeps the per-gate inner loop free of masking work.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CompiledNetlist",
+    "CompiledSimulation",
+    "HOST_SUPPORTS_COMPILED",
+    "pack_bit_matrix",
+    "pack_stimulus",
+    "unpack_bit_matrix",
+]
+
+# The word layout (uint8 views of uint64 words) assumes a little-endian
+# host; on anything else :func:`repro.hw.simulate.simulate` silently falls
+# back to the bigint reference engine.
+HOST_SUPPORTS_COMPILED = sys.byteorder == "little"
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# Opcodes of the evaluation plan, shared with the legacy engine's tables.
+OP_INV, OP_BUF, OP_AND, OP_OR, OP_XOR, OP_XNOR, OP_NAND, OP_NOR, OP_MUX = \
+    range(9)
+
+OPCODES = {
+    "INV": OP_INV, "BUF": OP_BUF, "AND2": OP_AND, "OR2": OP_OR,
+    "XOR2": OP_XOR, "XNOR2": OP_XNOR, "NAND2": OP_NAND, "NOR2": OP_NOR,
+    "MUX2": OP_MUX,
+}
+
+
+if hasattr(np, "bitwise_count"):
+    def _popcount_rows(words: np.ndarray) -> np.ndarray:
+        """Total set bits per row of a 2-D uint64 array."""
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+else:  # NumPy < 2.0
+    _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
+                          dtype=np.uint8)
+
+    def _popcount_rows(words: np.ndarray) -> np.ndarray:
+        as_bytes = words.reshape(words.shape[0], -1).view(np.uint8)
+        return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _valid_mask(n_bits: int, n_words: int) -> np.ndarray:
+    """Per-word mask with the first ``n_bits`` global bit positions set."""
+    mask = np.zeros(n_words, dtype=np.uint64)
+    full = n_bits // _WORD_BITS
+    mask[:full] = _ALL_ONES
+    rem = n_bits % _WORD_BITS
+    if rem and full < n_words:
+        mask[full] = np.uint64((1 << rem) - 1)
+    return mask
+
+
+def pack_bit_matrix(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a ``(rows, n_vectors)`` 0/1 matrix into ``(rows, n_words)`` words."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    out = np.zeros((bits.shape[0], n_words * 8), dtype=np.uint8)
+    out[:, :packed.shape[1]] = packed
+    return out.view(np.uint64)
+
+
+def unpack_bit_matrix(words: np.ndarray, n_vectors: int) -> np.ndarray:
+    """Inverse of :func:`pack_bit_matrix`: ``(rows, n_vectors)`` 0/1 bits."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=-1, bitorder="little")[..., :n_vectors]
+
+
+def pack_stimulus(arrays: dict[str, np.ndarray], widths: dict[str, int],
+                  n_vectors: int) -> dict[str, np.ndarray]:
+    """Pack per-bus integer stimulus into word rows, one matrix per bus.
+
+    The result only depends on the stimulus and bus widths — not on any
+    particular netlist variant — so callers that score many variants of
+    one circuit (the pruning exploration) pack once and pass the rows to
+    :meth:`CompiledNetlist.simulate`.
+    """
+    n_words = max(1, (n_vectors + _WORD_BITS - 1) // _WORD_BITS)
+    packed: dict[str, np.ndarray] = {}
+    for name, data in arrays.items():
+        positions = np.arange(widths[name], dtype=np.int64)
+        bits = (data[None, :] >> positions[:, None]) & 1
+        packed[name] = pack_bit_matrix(bits, n_words)
+    return packed
+
+
+class CompiledNetlist:
+    """Levelized per-opcode evaluation plan for one circuit.
+
+    The plan is immutable and only depends on circuit structure, so it is
+    built once and reused across every simulation of the circuit (training
+    activity, test-set scoring, benchmarks).  Construction is a single
+    linear sweep over the topologically-sorted gate list — from either a
+    :class:`~repro.hw.netlist.Netlist` or the flat-array form the
+    synthesis engine produces (:meth:`from_arrays`), so the exploration
+    hot path never has to materialize netlist objects just to simulate.
+    """
+
+    def __init__(self, nl) -> None:
+        self.netlist = nl
+        self.n_nets = nl.n_nets
+        self.n_gates = nl.n_gates
+        self.gate_out = np.asarray(nl.gate_out, dtype=np.int64) \
+            if nl.n_gates else np.zeros(0, dtype=np.int64)
+
+        n_gates = nl.n_gates
+        if n_gates == 0:
+            self._empty_plan()
+            return
+
+        # Levelize: a net's level is the level of its driving gate (inputs
+        # and constants sit at level 0), a gate is one past its deepest
+        # operand.  Plain lists here: this constructor runs once per
+        # evaluated design variant, and NumPy scalar stores would triple
+        # its cost.
+        net_level = [0] * nl.n_nets
+        gate_inputs = nl.gate_inputs
+        gate_out = nl.gate_out
+        gate_type = nl.gate_type
+        opcodes = OPCODES
+        levels = [0] * n_gates
+        ops = [0] * n_gates
+        in0 = [0] * n_gates
+        in1 = [0] * n_gates
+        in2 = [0] * n_gates
+        for i in range(n_gates):
+            ins = gate_inputs[i]
+            depth = net_level[ins[0]]
+            in0[i] = ins[0]
+            if len(ins) > 1:
+                in1[i] = ins[1]
+                other = net_level[ins[1]]
+                if other > depth:
+                    depth = other
+                if len(ins) > 2:
+                    in2[i] = ins[2]
+                    other = net_level[ins[2]]
+                    if other > depth:
+                        depth = other
+            depth += 1
+            net_level[gate_out[i]] = depth
+            levels[i] = depth
+            ops[i] = opcodes[gate_type[i]]
+        self._build_plan(np.array(ops, dtype=np.int64),
+                         np.array(in0, dtype=np.int64),
+                         np.array(in1, dtype=np.int64),
+                         np.array(in2, dtype=np.int64),
+                         self.gate_out,
+                         np.array(levels, dtype=np.int64))
+
+    def _empty_plan(self) -> None:
+        self.levels_plan = []
+        self.n_levels = 0
+        self.max_level_width = 0
+
+    def _build_plan(self, ops: np.ndarray, ina: np.ndarray, inb: np.ndarray,
+                    inc: np.ndarray, out: np.ndarray,
+                    levels: np.ndarray) -> None:
+        """Group gates into per-level slabs with per-opcode segments.
+
+        One simulation step then needs only a gather, a few in-place
+        ufuncs over contiguous segment views, and one scatter *per
+        level* — NumPy call count scales with circuit depth, not with
+        (depth × opcode) group count.
+        """
+        n_gates = len(ops)
+        combined = levels << np.int64(4) | ops
+        if not np.all(combined[1:] >= combined[:-1]):
+            order = np.lexsort((ops, levels))
+            ops = ops[order]
+            ina = ina[order]
+            inb = inb[order]
+            inc = inc[order]
+            out = out[order]
+            levels = levels[order]
+        level_bounds = np.flatnonzero(np.diff(levels) != 0)
+        level_starts = np.concatenate(([0], level_bounds + 1))
+        level_ends = np.concatenate((level_bounds + 1, [n_gates]))
+        op_bounds = np.flatnonzero((np.diff(levels) != 0)
+                                   | (np.diff(ops) != 0))
+        seg_starts = np.concatenate(([0], op_bounds + 1)).tolist()
+        seg_ends = np.concatenate((op_bounds + 1, [n_gates])).tolist()
+
+        plan = []
+        seg_idx = 0
+        n_segs = len(seg_starts)
+        for ls, le in zip(level_starts.tolist(), level_ends.tolist()):
+            segments = []
+            needs_b = False
+            while seg_idx < n_segs and seg_starts[seg_idx] < le:
+                s, e = seg_starts[seg_idx], seg_ends[seg_idx]
+                op = int(ops[s])
+                c = inc[s:e] if op == OP_MUX else None
+                if op != OP_INV and op != OP_BUF:
+                    needs_b = True
+                segments.append((op, s - ls, e - ls, c))
+                seg_idx += 1
+            plan.append((out[ls:le], ina[ls:le],
+                         inb[ls:le] if needs_b else None, segments))
+        self.levels_plan = plan
+        self.n_levels = len(plan)
+        self.max_level_width = int(
+            (level_ends - level_starts).max()) if n_gates else 0
+
+    @staticmethod
+    def from_arrays(circ) -> "CompiledNetlist":
+        """Build a plan straight from a synthesis-engine array circuit.
+
+        ``circ`` is an :class:`~repro.hw.synthesis.ArrayCircuit`: opcodes
+        and operand node ids in flat lists, node ``n_fixed + k`` owned by
+        gate *k*.  Skipping the netlist round-trip roughly halves the
+        per-variant evaluation cost of the pruning exploration.
+        """
+        plan = CompiledNetlist.__new__(CompiledNetlist)
+        plan.netlist = circ
+        n_fixed = circ.n_fixed
+        ops, ina, inb, inc = circ.ops, circ.ina, circ.inb, circ.inc
+        n_gates = len(ops)
+        plan.n_nets = n_fixed + n_gates
+        plan.n_gates = n_gates
+        plan.gate_out = np.arange(n_fixed, n_fixed + n_gates, dtype=np.int64)
+
+        if n_gates == 0:
+            plan._empty_plan()
+            return plan
+
+        levels = getattr(circ, "levels", None)
+        if levels is None:
+            # Derive per-gate depth (synthesis-produced circuits carry it).
+            levels = [0] * n_gates
+            net_level = [0] * (n_fixed + n_gates)
+            for k in range(n_gates):
+                op = ops[k]
+                depth = net_level[ina[k]]
+                if op != OP_INV and op != OP_BUF:
+                    other = net_level[inb[k]]
+                    if other > depth:
+                        depth = other
+                    if op == OP_MUX:
+                        other = net_level[inc[k]]
+                        if other > depth:
+                            depth = other
+                depth += 1
+                net_level[n_fixed + k] = depth
+                levels[k] = depth
+
+        # asarray: the exploration's snapshots already arrive as sorted
+        # ndarrays, so this path is copy- and sort-free for them.
+        plan._build_plan(np.asarray(ops, dtype=np.int64),
+                         np.asarray(ina, dtype=np.int64),
+                         np.asarray(inb, dtype=np.int64),
+                         np.asarray(inc, dtype=np.int64),
+                         plan.gate_out,
+                         np.asarray(levels, dtype=np.int64))
+        return plan
+
+    # ------------------------------------------------------------------
+    def simulate(self, inputs: dict[str, np.ndarray], n_vectors: int,
+                 packed: dict[str, np.ndarray] | None = None
+                 ) -> "CompiledSimulation":
+        """Evaluate pre-validated input arrays over the whole stimulus set.
+
+        ``inputs`` maps each input bus to an ``int64`` array of bus values
+        (one per vector); validation lives in :func:`repro.hw.simulate.simulate`.
+        ``packed`` optionally supplies the word rows per bus as produced
+        by :func:`pack_stimulus` — the evaluator packs its fixed test set
+        once and reuses it for every explored variant.
+        """
+        n_words = max(1, (n_vectors + _WORD_BITS - 1) // _WORD_BITS)
+        words = np.zeros((self.n_nets, n_words), dtype=np.uint64)
+        words[1, :] = _ALL_ONES  # constant-one tie; tail bits masked later
+
+        nl = self.netlist
+        for name, nets in nl.input_buses.items():
+            if packed is not None:
+                rows = packed[name]
+            else:
+                data = inputs[name]
+                positions = np.arange(len(nets), dtype=np.int64)
+                bits = (data[None, :] >> positions[:, None]) & 1
+                rows = pack_bit_matrix(bits, n_words)
+            words[np.asarray(nets, dtype=np.int64)] = rows
+
+        # One gather, a handful of in-place ufuncs over contiguous
+        # opcode segments, and one scatter per *level*; scratch slabs
+        # sized to the widest level avoid per-level reallocation.
+        max_rows = self.max_level_width
+        scratch_a = np.empty((max_rows, n_words), dtype=np.uint64)
+        scratch_b = np.empty((max_rows, n_words), dtype=np.uint64)
+        take = np.take
+        for out, a, b, segments in self.levels_plan:
+            rows = len(a)
+            va_all = take(words, a, 0, out=scratch_a[:rows])
+            vb_all = take(words, b, 0, out=scratch_b[:rows]) \
+                if b is not None else None
+            for op, s, e, c in segments:
+                va = va_all[s:e]
+                if op == OP_AND:
+                    np.bitwise_and(va, vb_all[s:e], out=va)
+                elif op == OP_XOR:
+                    np.bitwise_xor(va, vb_all[s:e], out=va)
+                elif op == OP_OR:
+                    np.bitwise_or(va, vb_all[s:e], out=va)
+                elif op == OP_INV:
+                    np.invert(va, out=va)
+                elif op == OP_NAND:
+                    np.bitwise_and(va, vb_all[s:e], out=va)
+                    np.invert(va, out=va)
+                elif op == OP_NOR:
+                    np.bitwise_or(va, vb_all[s:e], out=va)
+                    np.invert(va, out=va)
+                elif op == OP_XNOR:
+                    np.bitwise_xor(va, vb_all[s:e], out=va)
+                    np.invert(va, out=va)
+                elif op == OP_MUX:
+                    sel = words[c]
+                    va[:] = (va & ~sel) | (vb_all[s:e] & sel)
+                # OP_BUF: va already holds the source rows
+            words[out] = va_all
+        return CompiledSimulation(nl, n_vectors, words, self)
+
+
+@dataclass
+class CompiledSimulation:
+    """All net waveforms of one compiled simulation run.
+
+    Mirrors the read API of the legacy
+    :class:`~repro.hw.simulate.SimulationResult` (``bus_ints``,
+    ``decode_bus``, ``prob_one``, ``activity``) on top of the packed word
+    matrix, so every consumer works with either engine.
+    """
+
+    netlist: object
+    n_vectors: int
+    words: np.ndarray  # (n_nets, n_words) uint64, tail bits undefined
+    plan: CompiledNetlist
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[1]
+
+    def net_bits(self, net: int) -> np.ndarray:
+        """The 0/1 waveform of one net across all vectors."""
+        return unpack_bit_matrix(self.words[net:net + 1],
+                                 self.n_vectors)[0]
+
+    def bus_ints(self, name: str) -> np.ndarray:
+        """Decode an output bus to per-vector integers (LSB-first bus)."""
+        nets = self.netlist.output_buses[name]
+        signed = self.netlist.output_signed[name]
+        return self.decode_bus(nets, signed)
+
+    def decode_bus(self, nets: list[int], signed: bool) -> np.ndarray:
+        if not nets:
+            return np.zeros(self.n_vectors, dtype=np.int64)
+        rows = self.words[np.asarray(nets, dtype=np.int64)]
+        bits = unpack_bit_matrix(rows, self.n_vectors).astype(np.int64)
+        weights = np.int64(1) << np.arange(len(nets), dtype=np.int64)
+        values = weights @ bits
+        if signed:
+            values -= bits[-1] << np.int64(len(nets))
+        return values
+
+    def prob_one(self, net: int) -> float:
+        mask = _valid_mask(self.n_vectors, self.n_words)
+        ones = _popcount_rows(self.words[net:net + 1] & mask)
+        return float(ones[0]) / self.n_vectors
+
+    def activity(self):
+        """Per-gate :class:`~repro.hw.simulate.ActivityReport` (SAIF stand-in)."""
+        from .simulate import ActivityReport  # deferred: avoids module cycle
+
+        n = self.n_vectors
+        n_gates = self.plan.n_gates
+        if n_gates == 0:
+            empty = np.zeros(0)
+            zeros_int = np.zeros(0, dtype=np.int64)
+            return ActivityReport(0, empty, empty,
+                                  np.zeros(0, dtype=np.int8), empty,
+                                  zeros_int, zeros_int, n)
+        vals = self.words[self.plan.gate_out]
+        vals &= _valid_mask(n, self.n_words)[None, :]
+        ones = _popcount_rows(vals)
+        prob = ones / n
+        if n > 1:
+            # Toggle i compares vectors i and i+1: XOR each row with its
+            # one-bit right shift (carrying bit 0 of the next word into
+            # bit 63), then drop the invalid flip at position n-1.
+            shifted = vals >> np.uint64(1)
+            if self.n_words > 1:
+                shifted[:, :-1] |= vals[:, 1:] << np.uint64(_WORD_BITS - 1)
+            flipped = vals ^ shifted
+            flipped &= _valid_mask(n - 1, self.n_words)[None, :]
+            flips = _popcount_rows(flipped)
+            toggles = flips / (n - 1)
+        else:
+            flips = np.zeros(n_gates, dtype=np.int64)
+            toggles = np.zeros(n_gates)
+        tau = np.maximum(prob, 1.0 - prob)
+        const_value = (prob >= 0.5).astype(np.int8)
+        return ActivityReport(n_gates, prob, tau, const_value, toggles,
+                              ones, flips, n)

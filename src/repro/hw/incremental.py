@@ -1,0 +1,723 @@
+"""Incremental constant-tie rewriting on a folded circuit.
+
+The pruning exploration applies a *growing* sequence of constant ties to
+one base circuit.  Re-folding the whole circuit per prune set costs
+O(circuit) per design; this module maintains a mutable, already-folded
+circuit and applies each tie by rewriting only the affected fanout cone
+(plus the dead fanin it leaves behind), which is typically a few dozen
+gates.
+
+Correctness rests on a property of the folding rules in
+:mod:`repro.hw.synthesis`: their outcome is determined by circuit
+*structure*, not by gate visit order.  Operands always precede their
+consumers, every INV pair is registered before any gate that could fold
+over it, and structural hashing is keyed purely on (opcode, operands).
+The rewriter maintains the same three indices the batch fold builds
+(structural-hash table, inverse pairs, reference counts) as circuit
+invariants, so draining a tie's worklist reaches the same live-gate
+multiset the batch fold would produce from scratch — pinned down by the
+exploration equivalence tests against ``explore_legacy``.
+
+Node ids are *stable*: a rewritten gate keeps its id, a folded-away gate
+leaves a forwarding pointer to its replacement, and dead slots simply
+stop being live.  :meth:`IncrementalCircuit.snapshot` compacts the live
+gates (in topological ``(level, slot)`` order) into an
+:class:`~repro.hw.synthesis.ArrayCircuit` for evaluation.
+
+A conservative work cap guards against any unforeseen rewrite cascade;
+hitting it raises :class:`RewriteOverflow` and the exploration falls
+back to the batch fold for that step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compiled import (
+    OP_AND,
+    OP_BUF,
+    OP_INV,
+    OP_MUX,
+    OP_NAND,
+    OP_NOR,
+    OP_OR,
+    OP_XOR,
+)
+
+__all__ = ["IncrementalCircuit", "RewriteOverflow"]
+
+
+class RewriteOverflow(RuntimeError):
+    """Raised when a tie's rewrite cascade exceeds the safety cap."""
+
+
+def _key2(op: int, a: int, b: int) -> int:
+    """Structural-hash key; same packing as the batch fold pass."""
+    return (op | (b << 4) | (a << 34)) if a > b else (op | (a << 4) | (b << 34))
+
+
+def _key3(a: int, b: int, c: int) -> int:
+    return OP_MUX | (a << 4) | (b << 34) | (c << 64)
+
+
+class IncrementalCircuit:
+    """A folded circuit under incremental constant-tie rewriting."""
+
+    __slots__ = ("n_fixed", "ops", "ina", "inb", "inc", "level", "alive",
+                 "rc", "fanout", "fanout_owned", "cse", "inv_of", "forward",
+                 "outputs", "signed", "watch", "input_buses", "meta", "name",
+                 "n_live", "_work", "_np_cache", "_dirty")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_arrays(circ) -> "IncrementalCircuit":
+        """Build the mutable state from a freshly folded ArrayCircuit."""
+        self = IncrementalCircuit()
+        n_fixed = circ.n_fixed
+        ops = list(circ.ops)
+        ina = list(circ.ina)
+        inb = list(circ.inb)
+        inc = list(circ.inc)
+        n_gates = len(ops)
+        n_nodes = n_fixed + n_gates
+        self.name = circ.name
+        self.n_fixed = n_fixed
+        self.ops, self.ina, self.inb, self.inc = ops, ina, inb, inc
+        levels = circ.levels
+        if levels is not None:
+            self.level = list(levels)
+        else:
+            level = [0] * n_nodes
+            for k in range(n_gates):
+                op = ops[k]
+                depth = level[ina[k]]
+                if op != OP_INV and op != OP_BUF:
+                    other = level[inb[k]]
+                    if other > depth:
+                        depth = other
+                    if op == OP_MUX:
+                        other = level[inc[k]]
+                        if other > depth:
+                            depth = other
+                level[n_fixed + k] = depth + 1
+            self.level = level[n_fixed:]
+        self.alive = bytearray(b"\x01") * n_gates if n_gates else bytearray()
+        self.n_live = n_gates
+        rc = [0] * n_nodes
+        fanout: list[list[int]] = [[] for _ in range(n_nodes)]
+        cse: dict[int, int] = {}
+        inv_of = [-1] * n_nodes
+        for k in range(n_gates):
+            op = ops[k]
+            node = n_fixed + k
+            a = ina[k]
+            rc[a] += 1
+            fanout[a].append(k)
+            if op == OP_INV:
+                cse[_key2(OP_INV, a, 0)] = node
+                inv_of[a] = node
+                inv_of[node] = a
+                continue
+            b = inb[k]
+            rc[b] += 1
+            fanout[b].append(k)
+            if op == OP_MUX:
+                c = inc[k]
+                rc[c] += 1
+                fanout[c].append(k)
+                cse[_key3(a, b, c)] = node
+            else:
+                cse[_key2(op, a, b)] = node
+        self.rc = rc
+        self.fanout = fanout
+        # Copy-on-write ownership: forked states share fanout lists and
+        # privatize them on first mutation (ties touch few nodes).
+        self.fanout_owned = bytearray(b"\x01") * n_nodes if n_nodes \
+            else bytearray()
+        self.cse = cse
+        self.inv_of = inv_of
+        self.forward = {}
+        self.outputs = {nm: list(nodes) for nm, nodes in circ.outputs.items()}
+        self.signed = dict(circ.signed)
+        self.watch = [list(bus) for bus in circ.watch] \
+            if circ.watch is not None else None
+        self.input_buses = circ.input_buses
+        self.meta = circ.meta
+        for nodes in self.outputs.values():
+            for node in nodes:
+                rc[node] += 1
+        self._work = 0
+        # NumPy mirrors of the slot arrays for snapshot(); refreshed
+        # from the dirty-slot list instead of full reconversions.
+        self._np_cache = None
+        self._dirty = []
+        return self
+
+    def fork(self) -> "IncrementalCircuit":
+        """Independent copy (the exploration trie branches on it)."""
+        other = IncrementalCircuit()
+        other.name = self.name
+        other.n_fixed = self.n_fixed
+        other.ops = list(self.ops)
+        other.ina = list(self.ina)
+        other.inb = list(self.inb)
+        other.inc = list(self.inc)
+        other.level = list(self.level)
+        other.alive = bytearray(self.alive)
+        other.n_live = self.n_live
+        other.rc = list(self.rc)
+        # Share the fanout lists; both sides mark them un-owned so any
+        # later mutation (on either side) copies its list first.  A
+        # state is only mutated after every fork taken from it has been
+        # fully consumed, so sharing never leaks writes.
+        other.fanout = list(self.fanout)
+        self.fanout_owned = bytearray(len(self.fanout))
+        other.fanout_owned = bytearray(len(self.fanout))
+        other.cse = dict(self.cse)
+        other.inv_of = list(self.inv_of)
+        other.forward = dict(self.forward)
+        other.outputs = {nm: list(n) for nm, n in self.outputs.items()}
+        other.signed = dict(self.signed)
+        other.watch = [list(b) for b in self.watch] \
+            if self.watch is not None else None
+        other.input_buses = self.input_buses
+        other.meta = self.meta
+        other._work = 0
+        cache = self._np_cache
+        if cache is None:
+            other._np_cache = None
+        else:
+            other._np_cache = tuple(arr.copy() for arr in cache[:-1]) \
+                + (cache[-1],)
+        other._dirty = list(self._dirty)
+        return other
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resolve(self, node: int) -> int:
+        """Follow forwarding pointers to the node's current identity."""
+        forward = self.forward
+        seen = None
+        while node in forward:
+            if seen is None:
+                seen = []
+            seen.append(node)
+            node = forward[node]
+        if seen:
+            for src in seen:  # path compression
+                forward[src] = node
+        return node
+
+    def is_live_signal(self, node: int) -> bool:
+        """True when the node still carries a signal (input or live gate)."""
+        if node < self.n_fixed:
+            return True
+        return bool(self.alive[node - self.n_fixed])
+
+    def _own_fanout(self, node: int) -> list[int]:
+        """The node's fanout list, privatized for mutation (COW)."""
+        fan = self.fanout[node]
+        if not self.fanout_owned[node]:
+            fan = list(fan)
+            self.fanout[node] = fan
+            self.fanout_owned[node] = 1
+        return fan
+
+    # ------------------------------------------------------------------
+    # Tie application
+    # ------------------------------------------------------------------
+    def tie(self, ties: dict[int, int]) -> None:
+        """Tie each (resolved, live) node to its constant and refold.
+
+        ``ties`` may name nodes that already forwarded to the requested
+        constant (no-ops).  A node forwarded to the *opposite* constant
+        raises ValueError — callers treat it like the batch-fold
+        inconsistency fallback.
+        """
+        self._work = 0
+        budget = 64 * (len(self.ops) + self.n_fixed) + 4096
+        created: list[int] = []
+        pending: list[int] = []
+        for node, value in ties.items():
+            target = self.resolve(node)
+            if target < 2:
+                if target != value:
+                    raise ValueError("tie conflicts with folded constant")
+                continue
+            if not self.is_live_signal(target):
+                continue  # the signal was stripped as dead
+            self._replace(target, 1 if value else 0, pending, created,
+                          budget)
+        self._drain(pending, created, budget)
+        # Helper gates whose uses all folded away mirror the batch
+        # fold's final dead-strip.
+        for slot in created:
+            node = self.n_fixed + slot
+            if self.alive[slot] and self.rc[node] == 0:
+                self._kill(slot)
+
+    # ------------------------------------------------------------------
+    # Rewrite machinery
+    # ------------------------------------------------------------------
+    def _operand_count(self, op: int) -> int:
+        if op == OP_INV or op == OP_BUF:
+            return 1
+        return 3 if op == OP_MUX else 2
+
+    def _pop_key(self, slot: int) -> None:
+        op = self.ops[slot]
+        node = self.n_fixed + slot
+        if op == OP_MUX:
+            key = _key3(self.ina[slot], self.inb[slot], self.inc[slot])
+        elif op == OP_INV:
+            key = _key2(OP_INV, self.ina[slot], 0)
+        else:
+            key = _key2(op, self.ina[slot], self.inb[slot])
+        if self.cse.get(key) == node:
+            del self.cse[key]
+
+    def _clear_inv_links(self, slot: int) -> None:
+        node = self.n_fixed + slot
+        partner = self.inv_of[node]
+        if partner >= 0:
+            if self.inv_of[partner] == node:
+                self.inv_of[partner] = -1
+            self.inv_of[node] = -1
+
+    def _kill(self, slot: int) -> None:
+        """Remove a gate with no remaining uses; cascade into its fanin."""
+        ops, ina, inb, inc = self.ops, self.ina, self.inb, self.inc
+        alive, rc, cse, inv_of = self.alive, self.rc, self.cse, self.inv_of
+        n_fixed = self.n_fixed
+        dirty = self._dirty
+        stack = [slot]
+        while stack:
+            s = stack.pop()
+            if not alive[s]:
+                continue
+            alive[s] = 0
+            self.n_live -= 1
+            dirty.append(s)
+            node = n_fixed + s
+            op = ops[s]
+            a = ina[s]
+            if op == OP_MUX:
+                key = _key3(a, inb[s], inc[s])
+            else:
+                b = inb[s] if op != OP_INV else 0
+                key = (op | (b << 4) | (a << 34)) if a > b \
+                    else (op | (a << 4) | (b << 34))
+            if cse.get(key) == node:
+                del cse[key]
+            partner = inv_of[node]
+            if partner >= 0:
+                if inv_of[partner] == node:
+                    inv_of[partner] = -1
+                inv_of[node] = -1
+            rc[a] -= 1
+            if rc[a] == 0 and a >= n_fixed and alive[a - n_fixed]:
+                stack.append(a - n_fixed)
+            if op != OP_INV and op != OP_BUF:
+                b = inb[s]
+                rc[b] -= 1
+                if rc[b] == 0 and b >= n_fixed and alive[b - n_fixed]:
+                    stack.append(b - n_fixed)
+                if op == OP_MUX:
+                    c = inc[s]
+                    rc[c] -= 1
+                    if rc[c] == 0 and c >= n_fixed and alive[c - n_fixed]:
+                        stack.append(c - n_fixed)
+
+    def _replace(self, old: int, new: int, pending: list[int],
+                 created: list[int], budget: int) -> None:
+        """Repoint every use of ``old`` to ``new``; ``old`` dies."""
+        if old == new:
+            return
+        self.forward[old] = new
+        n_fixed = self.n_fixed
+        rc = self.rc
+        alive = self.alive
+        ina, inb, inc = self.ina, self.inb, self.inc
+        consumers = self.fanout[old]
+        self.fanout[old] = []
+        self.fanout_owned[old] = 1
+        new_fan = self._own_fanout(new) if new >= 2 else None
+        for slot in consumers:
+            if not alive[slot]:
+                continue
+            a, b, c = ina[slot], inb[slot], inc[slot]
+            if a != old and b != old and c != old:
+                continue  # stale fanout entry from an earlier rewire
+            self._pop_key(slot)
+            moved = 0
+            if a == old:
+                if self.ops[slot] == OP_INV:
+                    # The gate stops being INV(old); its pairing breaks
+                    # until the refold re-registers it for the new input.
+                    self._clear_inv_links(slot)
+                ina[slot] = new
+                moved += 1
+            if b == old:
+                inb[slot] = new
+                moved += 1
+            if c == old:
+                inc[slot] = new
+                moved += 1
+            rc[old] -= moved
+            rc[new] += moved
+            if new_fan is not None:
+                new_fan.append(slot)
+            if new >= n_fixed \
+                    and self.level[new - n_fixed] >= self.level[slot]:
+                self._raise_level(slot)
+            pending.append(slot)
+            self._dirty.append(slot)
+        # Output buses referencing the old signal follow it.
+        for nodes in self.outputs.values():
+            for i, node in enumerate(nodes):
+                if node == old:
+                    nodes[i] = new
+                    rc[old] -= 1
+                    rc[new] += 1
+        if old >= n_fixed:
+            slot = old - n_fixed
+            if self.alive[slot] and rc[old] == 0:
+                self._kill(slot)
+
+    def _raise_level(self, slot: int) -> None:
+        """Restore level[gate] > level[operands] after a repoint."""
+        n_fixed = self.n_fixed
+        stack = [slot]
+        while stack:
+            s = stack.pop()
+            op = self.ops[s]
+            depth = self._node_level(self.ina[s])
+            if op != OP_INV and op != OP_BUF:
+                other = self._node_level(self.inb[s])
+                if other > depth:
+                    depth = other
+                if op == OP_MUX:
+                    other = self._node_level(self.inc[s])
+                    if other > depth:
+                        depth = other
+            depth += 1
+            if depth > self.level[s]:
+                self.level[s] = depth
+                self._dirty.append(s)
+                node = n_fixed + s
+                for consumer in self.fanout[node]:
+                    if self.alive[consumer] \
+                            and self.level[consumer] <= depth:
+                        stack.append(consumer)
+
+    def _node_level(self, node: int) -> int:
+        return self.level[node - self.n_fixed] if node >= self.n_fixed else 0
+
+    def _new_gate(self, op: int, a: int, b: int, c: int,
+                  created: list[int]) -> int:
+        if op == OP_MUX:
+            key = _key3(a, b, c)
+        else:
+            key = _key2(op, a, b)
+        hit = self.cse.get(key)
+        if hit is not None:
+            return hit
+        slot = len(self.ops)
+        node = self.n_fixed + slot
+        self.ops.append(op)
+        self.ina.append(a)
+        self.inb.append(b)
+        self.inc.append(c)
+        depth = self._node_level(a)
+        count = self._operand_count(op)
+        if count > 1:
+            other = self._node_level(b)
+            if other > depth:
+                depth = other
+            if count > 2:
+                other = self._node_level(c)
+                if other > depth:
+                    depth = other
+        self.level.append(depth + 1)
+        self.alive.append(1)
+        self.n_live += 1
+        self.rc.append(0)
+        self.fanout.append([])
+        self.fanout_owned.append(1)
+        self.inv_of.append(-1)
+        for operand in (a, b, c)[:count]:
+            self.rc[operand] += 1
+            self._own_fanout(operand).append(slot)
+        self.cse[key] = node
+        if op == OP_INV:
+            self.inv_of[a] = node
+            self.inv_of[node] = a
+        created.append(slot)
+        return node
+
+    def _not(self, x: int, created: list[int]) -> int:
+        if x < 2:
+            return 1 - x
+        inv = self.inv_of[x]
+        if inv >= 0:
+            return inv
+        return self._new_gate(OP_INV, x, 0, 0, created)
+
+    def _and(self, a: int, b: int, created: list[int]) -> int:
+        if a == 0 or b == 0:
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        if a == b:
+            return a
+        if self.inv_of[a] == b:
+            return 0
+        return self._new_gate(OP_AND, a, b, 0, created)
+
+    def _or(self, a: int, b: int, created: list[int]) -> int:
+        if a == 1 or b == 1:
+            return 1
+        if a == 0:
+            return b
+        if b == 0:
+            return a
+        if a == b:
+            return a
+        if self.inv_of[a] == b:
+            return 1
+        return self._new_gate(OP_OR, a, b, 0, created)
+
+    def _drain(self, pending: list[int], created: list[int],
+               budget: int) -> None:
+        """Refold every touched gate until the cascade settles."""
+        while pending:
+            self._work += 1
+            if self._work > budget:
+                raise RewriteOverflow("tie rewrite cascade exceeded cap")
+            slot = pending.pop()
+            if not self.alive[slot]:
+                continue
+            self._refold(slot, pending, created, budget)
+
+    def _refold(self, slot: int, pending: list[int], created: list[int],
+                budget: int) -> None:
+        op = self.ops[slot]
+        node = self.n_fixed + slot
+        a = self.ina[slot]
+        inv_of = self.inv_of
+        result = None  # None means: keep this gate with current fields
+        if op == OP_INV:
+            if a < 2:
+                result = 1 - a
+            else:
+                inv = inv_of[a]
+                if inv >= 0 and inv != node:
+                    result = inv
+        elif op == OP_AND:
+            b = self.inb[slot]
+            if a == 0 or b == 0:
+                result = 0
+            elif a == 1:
+                result = b
+            elif b == 1:
+                result = a
+            elif a == b:
+                result = a
+            elif inv_of[a] == b:
+                result = 0
+        elif op == OP_OR:
+            b = self.inb[slot]
+            if a == 1 or b == 1:
+                result = 1
+            elif a == 0:
+                result = b
+            elif b == 0:
+                result = a
+            elif a == b:
+                result = a
+            elif inv_of[a] == b:
+                result = 1
+        elif op == OP_XOR:
+            b = self.inb[slot]
+            if a == 0:
+                result = b
+            elif b == 0:
+                result = a
+            elif a == 1:
+                result = self._not(b, created)
+            elif b == 1:
+                result = self._not(a, created)
+            elif a == b:
+                result = 0
+            elif inv_of[a] == b:
+                result = 1
+        elif op == OP_NAND:
+            b = self.inb[slot]
+            if a == 0 or b == 0:
+                result = 1
+            elif a == 1:
+                result = self._not(b, created)
+            elif b == 1:
+                result = self._not(a, created)
+            elif a == b:
+                result = self._not(a, created)
+            elif inv_of[a] == b:
+                result = 1
+        elif op == OP_NOR:
+            b = self.inb[slot]
+            if a == 1 or b == 1:
+                result = 0
+            elif a == 0:
+                result = self._not(b, created)
+            elif b == 0:
+                result = self._not(a, created)
+            elif a == b:
+                result = self._not(a, created)
+            elif inv_of[a] == b:
+                result = 0
+        elif op == OP_MUX:
+            b = self.inb[slot]
+            sel = self.inc[slot]
+            if sel == 0:
+                result = a
+            elif sel == 1:
+                result = b
+            elif a == b:
+                result = a
+            elif a == 0:
+                result = self._and(b, sel, created)
+            elif a == 1:
+                result = self._or(b, self._not(sel, created), created)
+            elif b == 0:
+                result = self._and(a, self._not(sel, created), created)
+            elif b == 1:
+                result = self._or(a, sel, created)
+            elif b == sel:
+                result = self._or(a, sel, created)
+            elif a == sel:
+                result = self._and(b, sel, created)
+        else:  # OP_BUF or an op the folded form never contains
+            result = a
+
+        if result is None:
+            # Re-canonicalize under the (possibly changed) operands.
+            if op == OP_MUX:
+                key = _key3(a, self.inb[slot], self.inc[slot])
+            elif op == OP_INV:
+                key = _key2(OP_INV, a, 0)
+            else:
+                key = _key2(op, a, self.inb[slot])
+            hit = self.cse.get(key)
+            if hit is None:
+                self.cse[key] = node
+                if op == OP_INV:
+                    self.inv_of[a] = node
+                    self.inv_of[node] = a
+                return
+            if hit == node:
+                return
+            result = hit  # merged with a structurally identical gate
+        if result == node:
+            return
+        self._replace(node, result, pending, created, budget)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Compact the live gates into an ArrayCircuit for evaluation.
+
+        Fully vectorized: the slot arrays convert to NumPy once, live
+        gates sort into topological ``(level, slot)`` order with a stable
+        argsort, and operand remapping is one gather.  The result carries
+        ndarray fields — snapshots feed the evaluator (simulation plan,
+        area, power) and are never folded again, so the list-based fold
+        path is not involved.
+        """
+        from .synthesis import ArrayCircuit
+
+        n_fixed = self.n_fixed
+        n_slots = len(self.ops)
+        cache = self._np_cache
+        if cache is None:
+            ops = np.array(self.ops, dtype=np.int64)
+            ina = np.array(self.ina, dtype=np.int64)
+            inb = np.array(self.inb, dtype=np.int64)
+            inc = np.array(self.inc, dtype=np.int64)
+            level = np.array(self.level, dtype=np.int64)
+            alive = np.frombuffer(bytes(self.alive), dtype=np.uint8).copy()
+        else:
+            ops, ina, inb, inc, level, alive, cached_n = cache
+            if n_slots > cached_n:
+                ops = np.concatenate(
+                    (ops, np.array(self.ops[cached_n:], dtype=np.int64)))
+                ina = np.concatenate(
+                    (ina, np.array(self.ina[cached_n:], dtype=np.int64)))
+                inb = np.concatenate(
+                    (inb, np.array(self.inb[cached_n:], dtype=np.int64)))
+                inc = np.concatenate(
+                    (inc, np.array(self.inc[cached_n:], dtype=np.int64)))
+                level = np.concatenate(
+                    (level, np.array(self.level[cached_n:], dtype=np.int64)))
+                alive = np.concatenate(
+                    (alive,
+                     np.frombuffer(bytes(self.alive[cached_n:]),
+                                   dtype=np.uint8)))
+            for slot in self._dirty:
+                if slot < cached_n:
+                    ina[slot] = self.ina[slot]
+                    inb[slot] = self.inb[slot]
+                    inc[slot] = self.inc[slot]
+                    level[slot] = self.level[slot]
+                    alive[slot] = self.alive[slot]
+        self._np_cache = (ops, ina, inb, inc, level, alive, n_slots)
+        self._dirty.clear()
+        live = np.flatnonzero(alive)
+        # Sort by (level, opcode) so the simulation plan can slice the
+        # arrays directly instead of re-sorting them.
+        order = live[np.argsort(level[live] << np.int64(4) | ops[live],
+                                kind="stable")]
+
+        node_map = np.full(n_fixed + n_slots, -1, dtype=np.int64)
+        node_map[:n_fixed] = np.arange(n_fixed)
+        node_map[n_fixed + order] = np.arange(
+            n_fixed, n_fixed + len(order), dtype=np.int64)
+
+        circ = ArrayCircuit()
+        circ.name = self.name
+        circ.input_buses = self.input_buses
+        circ.n_fixed = n_fixed
+        new_ops = ops[order]
+        single = (new_ops == OP_INV) | (new_ops == OP_BUF)
+        circ.ops = new_ops
+        circ.ina = node_map[ina[order]]
+        circ.inb = np.where(single, 0, node_map[inb[order]])
+        circ.inc = np.where(new_ops == OP_MUX, node_map[inc[order]], 0)
+        circ.levels = level[order]
+
+        def _map_node(node: int) -> int:
+            return int(node_map[node])
+
+        for name, nodes in self.outputs.items():
+            circ.outputs[name] = [_map_node(node) for node in nodes]
+            circ.signed[name] = self.signed[name]
+        circ.meta = self.meta
+        if self.watch is not None:
+            mapped_watch = []
+            for bus in self.watch:
+                mapped_bus = []
+                for node in bus:
+                    node = self.resolve(node)
+                    if node >= n_fixed and node - n_fixed >= 0 \
+                            and not self.alive[node - n_fixed]:
+                        mapped_bus.append(0)
+                    else:
+                        mapped_bus.append(_map_node(node))
+                mapped_watch.append(mapped_bus)
+            circ.watch = mapped_watch
+        return circ

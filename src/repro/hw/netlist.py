@@ -24,6 +24,11 @@ from .cells import EGT_LIBRARY, cell_spec
 
 __all__ = ["Netlist", "CONST0", "CONST1"]
 
+# Cell arity, inlined from the library for the add_gate hot path (the
+# synthesis replay instantiates hundreds of thousands of gates per
+# exploration, so per-gate overhead matters).
+_ARITY = {name: spec.n_inputs for name, spec in EGT_LIBRARY.items()}
+
 CONST0 = 0
 CONST1 = 1
 
@@ -110,26 +115,40 @@ class Netlist:
         No folding is applied — use the builder helpers for that.  Inputs
         must already exist, which keeps the gate list topologically sorted.
         """
-        spec = cell_spec(cell)
-        if len(inputs) != spec.n_inputs:
+        arity = _ARITY.get(cell)
+        if arity is None:
+            cell_spec(cell)  # raises the canonical unknown-cell error
+        if len(inputs) != arity:
             raise ValueError(
-                f"{cell} expects {spec.n_inputs} inputs, got {len(inputs)}")
+                f"{cell} expects {arity} inputs, got {len(inputs)}")
+        n_nets = len(self._driver_kind)
         for net in inputs:
-            self._check_net(net)
+            if not 0 <= net < n_nets:
+                raise ValueError(f"net {net} does not exist (n_nets={n_nets})")
         if self._cse_enabled:
             key = self._cse_key(cell, inputs)
             hit = self._cse.get(key)
             if hit is not None:
                 return hit
-        out = self.n_nets
-        gate_idx = self.n_gates
-        self._driver_kind.append(_DRIVER_GATE)
-        self._driver_info.append(gate_idx)
+            out = self._append_gate_unchecked(cell, inputs)
+            self._cse[key] = out
+            return out
+        return self._append_gate_unchecked(cell, inputs)
+
+    def _append_gate_unchecked(self, cell: str, inputs: tuple[int, ...]) -> int:
+        """Append one gate with no validation, hashing, or folding.
+
+        Internal fast path for passes that replay known-valid structure
+        (e.g. the dead-gate strip); everyone else goes through
+        :meth:`add_gate` or the folding builders.
+        """
+        driver_kind = self._driver_kind
+        out = len(driver_kind)
+        self._driver_info.append(len(self.gate_type))
+        driver_kind.append(_DRIVER_GATE)
         self.gate_type.append(cell)
         self.gate_inputs.append(tuple(inputs))
         self.gate_out.append(out)
-        if self._cse_enabled:
-            self._cse[key] = out
         return out
 
     @staticmethod
@@ -285,6 +304,33 @@ class Netlist:
         return False
 
     # ------------------------------------------------------------------
+    # Compiled simulation plan
+    # ------------------------------------------------------------------
+    def compiled(self):
+        """The cached word-parallel evaluation plan for this netlist.
+
+        Built lazily on first simulation and reused for every subsequent
+        one; rebuilt automatically if gates were appended since.  See
+        :class:`repro.hw.compiled.CompiledNetlist`.
+        """
+        plan = self.__dict__.get("_compiled_plan")
+        if plan is None or plan.n_gates != self.n_gates \
+                or plan.n_nets != self.n_nets:
+            from .compiled import CompiledNetlist
+            plan = CompiledNetlist(self)
+            self._compiled_plan = plan
+        return plan
+
+    def __getstate__(self):
+        # The compiled simulation plan and cached synthesis array form
+        # are derived data; drop them so pickles (e.g. for the parallel
+        # exploration worker pool) stay small.
+        state = self.__dict__.copy()
+        state.pop("_compiled_plan", None)
+        state.pop("_array_form", None)
+        return state
+
+    # ------------------------------------------------------------------
     # Analysis helpers
     # ------------------------------------------------------------------
     def gate_histogram(self) -> dict[str, int]:
@@ -303,22 +349,24 @@ class Netlist:
         return fanout
 
     def live_gates(self) -> list[bool]:
-        """Mark gates in the transitive fan-in of any primary output."""
-        live = [False] * self.n_gates
-        stack: list[int] = []
+        """Mark gates in the transitive fan-in of any primary output.
+
+        Because the gate list is topologically sorted, one reverse sweep
+        over it suffices: a gate is live iff its output net is read by a
+        primary output or by a later live gate.
+        """
+        live_net = bytearray(len(self._driver_kind))
         for nets in self.output_buses.values():
             for net in nets:
-                gate = self.driver_gate(net)
-                if gate is not None and not live[gate]:
-                    live[gate] = True
-                    stack.append(gate)
-        while stack:
-            gate = stack.pop()
-            for net in self.gate_inputs[gate]:
-                pred = self.driver_gate(net)
-                if pred is not None and not live[pred]:
-                    live[pred] = True
-                    stack.append(pred)
+                live_net[net] = 1
+        live = [False] * len(self.gate_type)
+        gate_inputs = self.gate_inputs
+        gate_out = self.gate_out
+        for gate_idx in range(len(live) - 1, -1, -1):
+            if live_net[gate_out[gate_idx]]:
+                live[gate_idx] = True
+                for net in gate_inputs[gate_idx]:
+                    live_net[net] = 1
         return live
 
     def stats(self) -> dict:

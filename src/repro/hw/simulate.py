@@ -1,12 +1,28 @@
-"""Bit-parallel netlist simulation and switching-activity extraction.
+"""Netlist simulation and switching-activity extraction.
 
-This module replaces the paper's Questasim RTL simulations.  Every net
-carries one arbitrary-precision Python integer whose bit *i* is the net's
-logic value for test vector *i*, so a single bitwise operation evaluates a
-gate across the entire stimulus set at once.  A full test-set simulation of
-the largest circuit in the paper (Pendigits MLP-C, tens of thousands of
-gates) takes tens of milliseconds, which is what makes the full-search
-pruning exploration (>4300 designs, Section IV) tractable.
+This module replaces the paper's Questasim RTL simulations.  Two engines
+share one entry point, :func:`simulate`:
+
+* the **compiled word-parallel engine** (:mod:`repro.hw.compiled`, the
+  default): the stimulus is packed into a ``(n_nets, n_words)`` ``uint64``
+  matrix and the netlist's cached :class:`~repro.hw.compiled.CompiledNetlist`
+  plan evaluates whole per-level, per-opcode gate groups with single
+  vectorized NumPy bitwise operations.  Activity statistics and bus
+  decoding are popcount/unpack array reductions.
+
+* the **legacy bigint engine** (:func:`simulate_bigint`): every net carries
+  one arbitrary-precision Python integer whose bit *i* is the net's value
+  for test vector *i*, evaluated gate-by-gate in a Python loop.  It is kept
+  as the independent reference oracle that the compiled engine is
+  property-tested against (``tests/test_compiled.py``), and as the
+  fallback on big-endian hosts.
+
+Both engines return objects with the same read API (``bus_ints``,
+``decode_bus``, ``prob_one``, ``activity``) and produce bit-identical
+waveforms and statistics.  A full test-set simulation of the largest
+circuit in the paper (Pendigits MLP-C, tens of thousands of gates) takes
+milliseconds, which is what makes the full-search pruning exploration
+(>4300 designs, Section IV) tractable.
 
 The :class:`ActivityReport` is the SAIF-file equivalent: per-gate signal
 probabilities, the ``tau`` statistic used by netlist pruning (maximum
@@ -20,12 +36,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .compiled import HOST_SUPPORTS_COMPILED
 from .netlist import Netlist
 
 __all__ = [
     "pack_vectors",
     "unpack_bits",
     "simulate",
+    "simulate_bigint",
     "SimulationResult",
     "ActivityReport",
 ]
@@ -46,7 +64,7 @@ def unpack_bits(value: int, n_vectors: int) -> np.ndarray:
 
 @dataclass
 class SimulationResult:
-    """All net waveforms of one simulation run."""
+    """All net waveforms of one bigint (legacy-engine) simulation run."""
 
     netlist: Netlist
     n_vectors: int
@@ -68,6 +86,10 @@ class SimulationResult:
             values -= sign.astype(np.int64) << len(nets)
         return values
 
+    def net_bits(self, net: int) -> np.ndarray:
+        """The 0/1 waveform of one net across all vectors."""
+        return unpack_bits(self.net_values[net], self.n_vectors)
+
     def prob_one(self, net: int) -> float:
         return self.net_values[net].bit_count() / self.n_vectors
 
@@ -84,6 +106,14 @@ class ActivityReport:
         tau: max(P(0), P(1)) per gate — the pruning statistic.
         const_value: the dominant output value per gate (0 or 1).
         toggles_per_cycle: average output toggles per applied vector.
+        ones: raw '1' popcounts per gate (prob_one numerators).
+        flips: raw toggle counts per gate (toggles numerators).
+        n_vectors: stimulus size the counts refer to.
+
+    The integer count fields let power analysis reduce over exact
+    integers, making results independent of gate ordering (and therefore
+    bit-identical between the serial, parallel, and legacy exploration
+    paths).
     """
 
     n_gates: int
@@ -91,28 +121,32 @@ class ActivityReport:
     tau: np.ndarray
     const_value: np.ndarray
     toggles_per_cycle: np.ndarray
+    ones: np.ndarray | None = None
+    flips: np.ndarray | None = None
+    n_vectors: int = 0
 
     @staticmethod
     def from_simulation(sim: SimulationResult) -> "ActivityReport":
         nl = sim.netlist
         n = sim.n_vectors
-        prob = np.empty(nl.n_gates)
-        toggles = np.empty(nl.n_gates)
+        ones = np.empty(nl.n_gates, dtype=np.int64)
+        flips = np.zeros(nl.n_gates, dtype=np.int64)
         toggle_mask = (1 << (n - 1)) - 1 if n > 1 else 0
         for gate_idx in range(nl.n_gates):
             value = sim.net_values[nl.gate_out[gate_idx]]
-            prob[gate_idx] = value.bit_count() / n
+            ones[gate_idx] = value.bit_count()
             if n > 1:
-                flips = (value ^ (value >> 1)) & toggle_mask
-                toggles[gate_idx] = flips.bit_count() / (n - 1)
-            else:
-                toggles[gate_idx] = 0.0
+                flipped = (value ^ (value >> 1)) & toggle_mask
+                flips[gate_idx] = flipped.bit_count()
+        prob = ones / n
+        toggles = flips / (n - 1) if n > 1 else np.zeros(nl.n_gates)
         tau = np.maximum(prob, 1.0 - prob)
         const_value = (prob >= 0.5).astype(np.int8)
-        return ActivityReport(nl.n_gates, prob, tau, const_value, toggles)
+        return ActivityReport(nl.n_gates, prob, tau, const_value, toggles,
+                              ones, flips, n)
 
 
-# Opcodes for the compiled evaluation loop.
+# Opcodes for the legacy bigint evaluation loop.
 _OP_INV, _OP_BUF, _OP_AND, _OP_OR, _OP_XOR, _OP_XNOR, _OP_NAND, _OP_NOR, \
     _OP_MUX = range(9)
 
@@ -123,12 +157,9 @@ _OPCODES = {
 }
 
 
-def simulate(nl: Netlist, inputs: dict[str, np.ndarray]) -> SimulationResult:
-    """Evaluate the netlist over all vectors in ``inputs`` at once.
-
-    ``inputs`` maps every input bus name to an array of unsigned integers
-    (one per test vector); all arrays must share the same length.
-    """
+def _validate_inputs(nl: Netlist,
+                     inputs: dict[str, np.ndarray]) -> tuple[int, dict]:
+    """Shared stimulus validation: bus match, equal lengths, value range."""
     if set(inputs) != set(nl.input_buses):
         raise ValueError(
             f"inputs {sorted(inputs)} do not match buses {sorted(nl.input_buses)}")
@@ -136,14 +167,51 @@ def simulate(nl: Netlist, inputs: dict[str, np.ndarray]) -> SimulationResult:
     if len(lengths) != 1:
         raise ValueError(f"input vector counts differ: {lengths}")
     n = lengths.pop()
-    mask = (1 << n) - 1
+    arrays: dict[str, np.ndarray] = {}
+    for name, nets in nl.input_buses.items():
+        data = np.atleast_1d(np.asarray(inputs[name], dtype=np.int64))
+        if data.min(initial=0) < 0 or data.max(initial=0) >= (1 << len(nets)):
+            raise ValueError(f"input {name!r} exceeds its {len(nets)}-bit bus")
+        arrays[name] = data
+    return n, arrays
 
+
+def simulate(nl: Netlist, inputs: dict[str, np.ndarray],
+             engine: str = "auto"):
+    """Evaluate the netlist over all vectors in ``inputs`` at once.
+
+    ``inputs`` maps every input bus name to an array of unsigned integers
+    (one per test vector); all arrays must share the same length.
+
+    ``engine`` selects the backend: ``"compiled"`` (word-parallel NumPy),
+    ``"bigint"`` (the legacy reference loop), or ``"auto"`` (compiled
+    where the host supports it).  Both return the same read API and
+    bit-identical results.
+    """
+    n, arrays = _validate_inputs(nl, inputs)
+    if engine == "auto":
+        engine = "compiled" if HOST_SUPPORTS_COMPILED else "bigint"
+    if engine == "compiled":
+        return nl.compiled().simulate(arrays, n)
+    if engine == "bigint":
+        return _simulate_bigint_validated(nl, arrays, n)
+    raise ValueError(f"unknown simulation engine {engine!r}")
+
+
+def simulate_bigint(nl: Netlist,
+                    inputs: dict[str, np.ndarray]) -> SimulationResult:
+    """The legacy per-gate bigint engine (equivalence-test oracle)."""
+    n, arrays = _validate_inputs(nl, inputs)
+    return _simulate_bigint_validated(nl, arrays, n)
+
+
+def _simulate_bigint_validated(nl: Netlist, arrays: dict[str, np.ndarray],
+                               n: int) -> SimulationResult:
+    mask = (1 << n) - 1
     values: list[int] = [0] * nl.n_nets
     values[1] = mask
     for name, nets in nl.input_buses.items():
-        data = np.asarray(inputs[name], dtype=np.int64)
-        if data.min(initial=0) < 0 or data.max(initial=0) >= (1 << len(nets)):
-            raise ValueError(f"input {name!r} exceeds its {len(nets)}-bit bus")
+        data = arrays[name]
         for position, net in enumerate(nets):
             values[net] = pack_vectors((data >> position) & 1)
 

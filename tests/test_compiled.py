@@ -1,0 +1,269 @@
+"""Equivalence tests for the compiled engines against their references.
+
+Three layers are pinned down:
+
+* the word-parallel simulation engine vs the legacy bigint loop — net
+  waveforms, activity statistics, and decoded buses must be bit-identical
+  on randomized netlists and stimulus, including vector counts that are
+  not a multiple of the 64-bit word size;
+* the compiled array synthesis engine vs the builder-replay reference —
+  gate-for-gate structural identity, with and without forced constants;
+* the incremental/trie pruning exploration vs the legacy per-grid-point
+  loop, and the parallel exploration vs the serial one — identical design
+  lists (records included).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_dataset
+from repro.eval.accuracy import CircuitEvaluator
+from repro.hw.bespoke import build_bespoke_netlist, input_payload
+from repro.hw.compiled import CompiledNetlist, pack_stimulus
+from repro.hw.netlist import CONST0, CONST1, Netlist
+from repro.hw.simulate import simulate, simulate_bigint
+from repro.hw.synthesis import (
+    ArrayCircuit,
+    synthesize,
+    synthesize_reference,
+    synthesize_with_map,
+)
+from repro.core.pruning import NetlistPruner
+from repro.ml import LinearSVMRegressor
+from repro.quant import quantize_model
+
+# ----------------------------------------------------------------------
+# Randomized netlist generator shared by the property tests
+# ----------------------------------------------------------------------
+_CELLS_1 = ("INV", "BUF")
+_CELLS_2 = ("AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2")
+
+
+def _random_netlist(rng: np.random.Generator, n_gates: int,
+                    width: int) -> Netlist:
+    nl = Netlist(cse=False)
+    nets = list(nl.add_input_bus("x", width)) + [CONST0, CONST1]
+    for _ in range(n_gates):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            out = nl.add_gate(str(rng.choice(_CELLS_1)), int(rng.choice(nets)))
+        elif kind == 3:
+            out = nl.add_gate("MUX2", int(rng.choice(nets)),
+                              int(rng.choice(nets)), int(rng.choice(nets)))
+        else:
+            out = nl.add_gate(str(rng.choice(_CELLS_2)), int(rng.choice(nets)),
+                              int(rng.choice(nets)))
+        nets.append(out)
+    n_out = min(4, len(nets))
+    out_nets = [int(rng.choice(nets)) for _ in range(n_out)]
+    nl.set_output_bus("y", out_nets, signed=bool(rng.integers(0, 2)))
+    return nl
+
+
+class TestSimulationEquivalence:
+    @given(seed=st.integers(0, 10_000),
+           n_vectors=st.sampled_from([1, 3, 63, 64, 65, 127, 128, 200]))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_matches_bigint(self, seed, n_vectors):
+        """Waveforms, activity, and bus decode agree bit-for-bit."""
+        rng = np.random.default_rng(seed)
+        nl = _random_netlist(rng, int(rng.integers(1, 60)),
+                             int(rng.integers(1, 6)))
+        width = len(nl.input_buses["x"])
+        stimulus = {"x": rng.integers(0, 1 << width, n_vectors)}
+        fast = simulate(nl, stimulus, engine="compiled")
+        oracle = simulate_bigint(nl, stimulus)
+        np.testing.assert_array_equal(fast.bus_ints("y"), oracle.bus_ints("y"))
+        for net in range(nl.n_nets):
+            np.testing.assert_array_equal(fast.net_bits(net),
+                                          oracle.net_bits(net))
+        got, want = fast.activity(), oracle.activity()
+        np.testing.assert_array_equal(got.prob_one, want.prob_one)
+        np.testing.assert_array_equal(got.tau, want.tau)
+        np.testing.assert_array_equal(got.const_value, want.const_value)
+        np.testing.assert_array_equal(got.toggles_per_cycle,
+                                      want.toggles_per_cycle)
+        np.testing.assert_array_equal(got.ones, want.ones)
+        np.testing.assert_array_equal(got.flips, want.flips)
+
+    def test_non_word_multiple_tail_is_masked(self):
+        """prob_one/tau ignore garbage bits past n_vectors in the last word."""
+        nl = Netlist(cse=False)
+        (a,) = nl.add_input_bus("x", 1)
+        nl.set_output_bus("y", [nl.add_gate("INV", a)])
+        for n in (1, 63, 65, 100):
+            stimulus = {"x": np.zeros(n, dtype=int)}
+            sim = simulate(nl, stimulus, engine="compiled")
+            assert sim.prob_one(nl.output_buses["y"][0]) == 1.0
+            activity = sim.activity()
+            assert activity.prob_one[0] == 1.0
+            assert activity.ones[0] == n
+
+    def test_prepacked_stimulus_matches_inline_packing(self):
+        rng = np.random.default_rng(7)
+        nl = _random_netlist(rng, 40, 5)
+        data = {"x": rng.integers(0, 32, 101)}
+        arrays = {"x": np.asarray(data["x"], dtype=np.int64)}
+        packed = pack_stimulus(arrays, {"x": 5}, 101)
+        plan = nl.compiled()
+        a = plan.simulate(arrays, 101)
+        b = plan.simulate(arrays, 101, packed=packed)
+        np.testing.assert_array_equal(a.bus_ints("y"), b.bus_ints("y"))
+
+    def test_plan_cached_and_rebuilt_on_growth(self):
+        nl = Netlist(cse=False)
+        a, b = nl.add_input_bus("x", 2)
+        nl.add_gate("AND2", a, b)
+        plan = nl.compiled()
+        assert nl.compiled() is plan
+        nl.add_gate("OR2", a, b)
+        assert nl.compiled() is not plan
+        assert nl.compiled().n_gates == 2
+
+
+def _structurally_identical(a: Netlist, b: Netlist) -> bool:
+    return (a.gate_type == b.gate_type and a.gate_inputs == b.gate_inputs
+            and a.gate_out == b.gate_out and a.input_buses == b.input_buses
+            and a.output_buses == b.output_buses
+            and a.output_signed == b.output_signed and a.meta == b.meta)
+
+
+class TestSynthesisEquivalence:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_fold_matches_reference(self, seed):
+        """Array-engine synthesis is gate-for-gate the builder replay."""
+        rng = np.random.default_rng(seed)
+        nl = _random_netlist(rng, int(rng.integers(1, 80)),
+                             int(rng.integers(1, 5)))
+        assert _structurally_identical(synthesize(nl),
+                                       synthesize_reference(nl))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_fold_matches_reference_with_pruning(self, seed):
+        rng = np.random.default_rng(seed)
+        nl = _random_netlist(rng, int(rng.integers(5, 80)),
+                             int(rng.integers(1, 5)))
+        n_forced = int(rng.integers(1, max(2, nl.n_gates // 2)))
+        gates = rng.choice(nl.n_gates, size=n_forced, replace=False)
+        force = {int(g): int(rng.integers(0, 2)) for g in gates}
+        assert _structurally_identical(
+            synthesize(nl, force_constants=force),
+            synthesize_reference(nl, force_constants=force))
+
+    def test_net_map_tracks_signals(self):
+        """The returned map sends nets to live images, ties, or -1."""
+        rng = np.random.default_rng(3)
+        nl = _random_netlist(rng, 50, 4)
+        optimized, net_map = synthesize_with_map(nl)
+        assert len(net_map) == nl.n_nets
+        assert net_map[CONST0] == CONST0 and net_map[CONST1] == CONST1
+        for net in range(nl.n_nets):
+            assert -1 <= net_map[net] < optimized.n_nets
+        for old, new in zip(nl.output_buses["y"], optimized.output_buses["y"]):
+            assert net_map[old] == new
+
+    def test_array_roundtrip_preserves_structure(self):
+        rng = np.random.default_rng(11)
+        nl = _random_netlist(rng, 60, 4)
+        circ, node_of = ArrayCircuit.from_netlist(nl)
+        back = circ.to_netlist()
+        assert back.n_gates == nl.n_gates
+        assert back.gate_type == nl.gate_type
+        # The circuit view exposes the Netlist read interface.
+        assert circ.n_gates == nl.n_gates
+        assert circ.gate_type == nl.gate_type
+        assert CompiledNetlist.from_arrays(circ).n_gates == nl.n_gates
+
+
+@pytest.fixture(scope="module")
+def svm_setup():
+    split = load_dataset("redwine").standard_split(seed=0)
+    model = LinearSVMRegressor(seed=1, max_epochs=250).fit(
+        split.X_train, split.y_train)
+    quant = quantize_model(model)
+    netlist = build_bespoke_netlist(quant)
+    evaluator = CircuitEvaluator.from_split(
+        quant, split.X_train, split.X_test, split.y_test)
+    return netlist, evaluator
+
+
+class TestExplorationEquivalence:
+    def test_incremental_explore_matches_legacy(self, svm_setup):
+        """Trie/incremental exploration reproduces the per-point loop."""
+        netlist, evaluator = svm_setup
+        grid = (0.85, 0.90, 0.95, 0.99)
+        new = NetlistPruner(netlist, evaluator, grid).explore()
+        legacy = NetlistPruner(netlist, evaluator, grid).explore_legacy()
+        assert new == legacy
+
+    def test_parallel_explore_matches_serial(self, svm_setup):
+        """The worker-pool fan-out returns the identical design list."""
+        netlist, evaluator = svm_setup
+        grid = (0.90, 0.95, 0.99)
+        serial = NetlistPruner(netlist, evaluator, grid).explore()
+        parallel = NetlistPruner(netlist, evaluator, grid,
+                                 n_workers=2).explore()
+        assert parallel == serial
+
+    def test_parallel_failure_falls_back_to_serial(self, svm_setup,
+                                                   monkeypatch):
+        """A broken pool degrades to the serial path with a warning."""
+        import repro.core.pruning as pruning_module
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(pruning_module, "ProcessPoolExecutor",
+                            broken_pool)
+        netlist, evaluator = svm_setup
+        grid = (0.95, 0.99)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            designs = NetlistPruner(netlist, evaluator, grid,
+                                    n_workers=2).explore()
+        assert designs == NetlistPruner(netlist, evaluator, grid).explore()
+
+    def test_bigint_evaluator_still_explores(self, svm_setup):
+        """Array-form variants convert for non-compiled evaluators."""
+        netlist, compiled_eval = svm_setup
+        split = load_dataset("redwine").standard_split(seed=0)
+        model = LinearSVMRegressor(seed=1, max_epochs=250).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        bigint_eval = CircuitEvaluator.from_split(
+            quant, split.X_train, split.X_test, split.y_test,
+            engine="bigint")
+        grid = (0.95,)
+        a = NetlistPruner(netlist, bigint_eval, grid).explore()
+        b = NetlistPruner(netlist, compiled_eval, grid).explore()
+        assert a == b
+
+
+class TestEvaluatorSharing:
+    def test_accuracy_reuses_evaluate_simulation(self, svm_setup):
+        """evaluate() then accuracy() on one netlist simulates once."""
+        netlist, _ = svm_setup
+        split = load_dataset("redwine").standard_split(seed=0)
+        model = LinearSVMRegressor(seed=1, max_epochs=250).fit(
+            split.X_train, split.y_train)
+        quant = quantize_model(model)
+        evaluator = CircuitEvaluator.from_split(
+            quant, split.X_train, split.X_test, split.y_test)
+        calls = []
+        original = CompiledNetlist.simulate
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        CompiledNetlist.simulate = counting
+        try:
+            record = evaluator.evaluate(netlist)
+            accuracy = evaluator.accuracy(netlist)
+        finally:
+            CompiledNetlist.simulate = original
+        assert len(calls) == 1
+        assert accuracy == record.accuracy
