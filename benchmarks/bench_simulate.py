@@ -10,9 +10,20 @@ this PR onward:
   where one gate-evaluation is one gate over one stimulus vector).
 
 * **end_to_end** — the full netlist-pruning design-space exploration per
-  circuit: the incremental/trie exploration on the compiled engines
-  against the seed pipeline (per-grid-point loop + builder-replay
-  synthesis + bigint simulation), with a design-list equivalence check.
+  circuit, on three engines with a design-list equivalence check:
+
+  - ``legacy``   — the seed pipeline (per-grid-point loop +
+    builder-replay synthesis + bigint simulation);
+  - ``compiled`` — the PR-1 engine: incremental/trie exploration with
+    one snapshot + plan build + word-parallel simulation per variant;
+  - ``batched``  — the PR-2 engine: plan-epoch trie walk scoring
+    variants in bulk ``(n_nets, K, n_words)`` passes
+    (:class:`repro.hw.compiled.BatchedEvaluator`), plus the
+    lazily-validated cone-rewrite indices in ``IncrementalCircuit``.
+
+  Engine timings are best-of-N (the reference container is shared and
+  noisy); ``speedup`` is legacy vs batched, ``batched_vs_compiled``
+  isolates this PR's engine gain over PR 1's.
 
 Run standalone (not collected by pytest)::
 
@@ -57,14 +68,15 @@ SMOKE_MICRO = [("redwine", "svm_r")]
 SMOKE_END_TO_END = [("redwine", "svm_r")]
 
 
-def _repeat(fn, repeats: int) -> float:
-    """Best-of-N wall time (seconds)."""
+def _repeat(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall time (seconds) and the last call's result."""
     best = float("inf")
+    result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        fn()
+        result = fn()
         best = min(best, time.perf_counter() - start)
-    return best
+    return best, result
 
 
 def bench_micro(dataset: str, kind: str, repeats: int) -> dict:
@@ -77,11 +89,10 @@ def bench_micro(dataset: str, kind: str, repeats: int) -> dict:
 
     rows = {}
     for engine in ("compiled", "bigint"):
-        sim_s = _repeat(lambda: simulate(netlist, payload, engine=engine),
-                        repeats)
-        sim = simulate(netlist, payload, engine=engine)
-        act_s = _repeat(sim.activity, repeats)
-        dec_s = _repeat(lambda: sim.bus_ints(output_bus), repeats)
+        sim_s, sim = _repeat(
+            lambda: simulate(netlist, payload, engine=engine), repeats)
+        act_s, _ = _repeat(sim.activity, repeats)
+        dec_s, _ = _repeat(lambda: sim.bus_ints(output_bus), repeats)
         rows[engine] = {
             "simulate_s": sim_s,
             "activity_s": act_s,
@@ -106,38 +117,47 @@ def bench_micro(dataset: str, kind: str, repeats: int) -> dict:
     }
 
 
-def bench_end_to_end(dataset: str, kind: str, tau_grid) -> dict:
+def bench_end_to_end(dataset: str, kind: str, tau_grid,
+                     repeats: int) -> dict:
     case = get_case(dataset, kind)
     netlist = build_bespoke_netlist(case.quant_model)
     split = case.split
-    new_eval = CircuitEvaluator.from_split(
-        case.quant_model, split.X_train, split.X_test, split.y_test)
-    legacy_eval = CircuitEvaluator.from_split(
-        case.quant_model, split.X_train, split.X_test, split.y_test,
-        engine="bigint")
 
-    start = time.perf_counter()
-    new = NetlistPruner(netlist, new_eval, tau_grid).explore()
-    new_s = time.perf_counter() - start
+    def make_evaluator(engine):
+        return CircuitEvaluator.from_split(
+            case.quant_model, split.X_train, split.X_test, split.y_test,
+            engine=engine)
 
-    start = time.perf_counter()
-    legacy = NetlistPruner(netlist, legacy_eval, tau_grid).explore_legacy(
-        synthesis="reference")
-    legacy_s = time.perf_counter() - start
+    def run_explore(engine):
+        return NetlistPruner(netlist, make_evaluator(engine),
+                             tau_grid).explore()
 
-    identical = [(d.tau_c, d.phi_c, d.n_pruned, d.record, d.duplicate_of)
-                 for d in legacy] == \
-                [(d.tau_c, d.phi_c, d.n_pruned, d.record, d.duplicate_of)
-                 for d in new]
+    batched_s, batched = _repeat(lambda: run_explore("batched"), repeats)
+    compiled_s, compiled = _repeat(lambda: run_explore("compiled"),
+                                   repeats)
+    legacy_s, legacy = _repeat(
+        lambda: NetlistPruner(netlist, make_evaluator("bigint"),
+                              tau_grid).explore_legacy(
+                                  synthesis="reference"), repeats)
+
+    def rows(designs):
+        return [(d.tau_c, d.phi_c, d.n_pruned, d.record, d.duplicate_of)
+                for d in designs]
+
+    identical = rows(legacy) == rows(compiled) == rows(batched)
     return {
         "circuit": f"{dataset}/{kind}",
         "n_gates": netlist.n_gates,
-        "n_designs": len(new),
+        "n_designs": len(batched),
         "legacy_s": legacy_s,
-        "new_s": new_s,
+        "compiled_s": compiled_s,
+        "batched_s": batched_s,
+        "new_s": batched_s,  # kept for PR-1 schema continuity
         "legacy_designs_per_s": len(legacy) / legacy_s,
-        "new_designs_per_s": len(new) / new_s,
-        "speedup": legacy_s / new_s,
+        "new_designs_per_s": len(batched) / batched_s,
+        "speedup": legacy_s / batched_s,
+        "speedup_compiled": legacy_s / compiled_s,
+        "batched_vs_compiled": compiled_s / batched_s,
         "identical_designs": identical,
     }
 
@@ -168,27 +188,34 @@ def main(argv=None) -> int:
 
     end_to_end = []
     for dataset, kind in e2e_set:
-        row = bench_end_to_end(dataset, kind, tau_grid)
+        row = bench_end_to_end(dataset, kind, tau_grid, repeats)
         end_to_end.append(row)
         print(f"[end-to-end] {row['circuit']}: {row['n_designs']} designs, "
-              f"legacy {row['legacy_s']:.2f}s -> new {row['new_s']:.2f}s "
-              f"({row['speedup']:.2f}x, identical="
+              f"legacy {row['legacy_s']:.2f}s -> compiled "
+              f"{row['compiled_s']:.2f}s -> batched {row['batched_s']:.2f}s "
+              f"({row['speedup']:.2f}x vs legacy, "
+              f"{row['batched_vs_compiled']:.2f}x vs compiled, identical="
               f"{row['identical_designs']})")
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "smoke": args.smoke,
         "tau_grid_points": len(tau_grid),
         "micro": micro,
         "end_to_end": end_to_end,
         "best_end_to_end_speedup": max(
             (row["speedup"] for row in end_to_end), default=0.0),
+        "best_batched_vs_compiled": max(
+            (row["batched_vs_compiled"] for row in end_to_end),
+            default=0.0),
         "all_equivalent": all(row["equivalent"] for row in micro)
         and all(row["identical_designs"] for row in end_to_end),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nbest end-to-end speedup: "
-          f"{report['best_end_to_end_speedup']:.2f}x "
+          f"{report['best_end_to_end_speedup']:.2f}x vs legacy, "
+          f"best batched-vs-compiled: "
+          f"{report['best_batched_vs_compiled']:.2f}x "
           f"(all equivalent: {report['all_equivalent']})")
     print(f"[report saved to {args.out}]")
     return 0

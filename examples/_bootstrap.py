@@ -1,0 +1,16 @@
+"""Make ``import repro`` work when examples run straight from a checkout.
+
+Each example does ``import _bootstrap  # noqa: F401`` before importing
+:mod:`repro`; running ``python examples/<script>.py`` puts this
+directory on ``sys.path``, and this shim adds the repo's ``src/`` layout
+ahead of it unless the package is already installed.
+"""
+
+import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401  (already installed or on PYTHONPATH)
+except ImportError:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                           / "src"))

@@ -12,6 +12,8 @@ This example quantifies the landscape on the cardiotocography task:
 Run:  python examples/baseline_comparison.py
 """
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import (
     CrossLayerFramework,
     MLPClassifier,

@@ -12,6 +12,8 @@ Run:  python examples/custom_model.py
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import CoefficientApproximator, build_bespoke_netlist
 from repro.eval.accuracy import CircuitEvaluator
 from repro.hw import area_mm2

@@ -14,6 +14,8 @@ Run:  python examples/digit_recognition.py
 
 from scipy import stats
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import (
     CoefficientApproximator,
     LinearSVMClassifier,

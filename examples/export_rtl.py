@@ -18,6 +18,8 @@ import pathlib
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import (
     CrossLayerFramework,
     LinearSVMRegressor,

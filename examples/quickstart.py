@@ -12,6 +12,8 @@ Walks the full paper flow on the RedWine MLP-C in under a minute:
 Run:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import (
     CrossLayerFramework,
     MLPClassifier,

@@ -12,6 +12,8 @@ SVM classifier under that power budget:
 Run:  python examples/smart_packaging_svm.py
 """
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import (
     CrossLayerFramework,
     LinearSVMClassifier,

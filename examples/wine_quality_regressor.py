@@ -12,6 +12,8 @@ Run:  python examples/wine_quality_regressor.py
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (repo-checkout sys.path shim)
+
 from repro import (
     MLPRegressor,
     build_bespoke_netlist,

@@ -149,9 +149,19 @@ class CrossLayerFramework:
         library: shared bespoke-multiplier area cache.
         n_workers: fan the pruning explorations' tau_c chains across a
             process pool (serial when ``None``/``0``/``1``; pool failures
-            fall back to serial automatically).
-        engine: simulation backend for every evaluation (``"auto"``,
-            ``"compiled"``, or the legacy ``"bigint"`` oracle).
+            fall back to serial automatically).  ROADMAP caveat: the
+            reference container is single-CPU, so the pool is
+            regression-tested for serial equivalence only, not
+            benchmarked at scale; worker chains run the per-variant
+            engine, the serial path runs the (faster) batched walk.
+        engine: evaluation backend for every score and exploration —
+            ``"auto"`` (default: the batched multi-variant engine where
+            the host supports it), ``"batched"``, ``"compiled"``
+            (per-variant word-parallel engine, the PR-1 baseline), or
+            the legacy ``"bigint"`` oracle.  All engines produce the
+            identical design space; see
+            :class:`~repro.eval.accuracy.CircuitEvaluator` for the
+            selector semantics.
     """
 
     def __init__(self, e: int = 4, strategy: str = "auto",
@@ -195,7 +205,8 @@ class CrossLayerFramework:
 
         if "prune" in include:
             pruner = NetlistPruner(exact_netlist, evaluator, self.tau_grid,
-                                   n_workers=self.n_workers)
+                                   n_workers=self.n_workers,
+                                   engine=self.engine)
             for design in pruner.explore():
                 points.append(DesignPoint.from_record(
                     "prune", design.record, tau_c=design.tau_c,
@@ -204,7 +215,8 @@ class CrossLayerFramework:
 
         if "cross" in include:
             pruner = NetlistPruner(coeff_netlist, evaluator, self.tau_grid,
-                                   n_workers=self.n_workers)
+                                   n_workers=self.n_workers,
+                                   engine=self.engine)
             for design in pruner.explore():
                 points.append(DesignPoint.from_record(
                     "cross", design.record, tau_c=design.tau_c,

@@ -33,14 +33,26 @@ for speed:
 * **Memoized records.** Identical prune sets arising from different
   (tau_c, phi_c) pairs are evaluated once; the record memo also persists
   on the pruner across ``explore()`` calls.
+* **Batched evaluation.** On the default (``"batched"``) engine the trie
+  walk defers scoring: variants are described against shared *plan
+  epochs* by constant-clamp masks and evaluated in bulk
+  ``(n_nets, K, n_words)`` passes
+  (:class:`~repro.hw.compiled.BatchedEvaluator`), eliminating the
+  per-variant snapshot + plan build + separate NumPy sweeps of the
+  per-variant engine.
 * **Parallel chains.** Independent tau_c chains can fan out across a
   ``concurrent.futures`` process pool (``n_workers``); any pool failure
   falls back to the serial path, and both paths produce the identical
-  design list.
+  design list.  (Single-CPU container caveat: the pool path is
+  regression-tested for equivalence, not benchmarked at scale.)
 
-``explore_legacy()`` keeps the original one-synthesis-per-grid-point loop
-as the reference the incremental exploration is benchmarked and
-regression-tested against.
+Which engine am I using?  ``NetlistPruner.resolved_engine()`` answers
+for one pruner: ``engine=None`` inherits the evaluator's selector, and
+``"auto"`` resolves to ``"batched"`` on hosts that support the compiled
+word layout.  Every engine — ``"batched"``, ``"compiled"``, ``"bigint"``
+— returns the identical design list; ``explore_legacy()`` keeps the
+original one-synthesis-per-grid-point loop as the reference oracle the
+fast paths are benchmarked and regression-tested against.
 """
 
 from __future__ import annotations
@@ -184,8 +196,31 @@ class PrunedDesign:
 def _needs_netlist(evaluator: CircuitEvaluator) -> bool:
     """True when the evaluator cannot consume array-form variants directly."""
     engine = getattr(evaluator, "engine", "auto")
-    return engine == "bigint" or (engine == "auto"
+    return engine == "bigint" or (engine in ("auto", "batched")
                                   and not HOST_SUPPORTS_COMPILED)
+
+
+def _delta_ties(n_fixed: int, base_map, prev_gates,
+                force: dict[int, int]) -> dict[int, int] | None:
+    """The delta prune gates as chain-state node ties; None on conflict.
+
+    Mirrors the tie-construction step of :func:`_apply_step`: gates
+    already pruned by the (subset) previous step are skipped, gates that
+    died at the chain root contribute nothing, and two deltas merging
+    onto one node with opposite constants signal the degenerate case the
+    caller resolves with a from-scratch synthesis.
+    """
+    ties: dict[int, int] = {}
+    for gate_idx, value in force.items():
+        if gate_idx in prev_gates:
+            continue
+        node = base_map[n_fixed + gate_idx]
+        if node < 0:
+            continue  # already stripped as dead at the chain root
+        if ties.get(node, value) != value:
+            return None  # two deltas merged onto one node
+        ties[node] = value
+    return ties
 
 
 def _apply_step(base: ArrayCircuit, state: tuple | None,
@@ -210,19 +245,8 @@ def _apply_step(base: ArrayCircuit, state: tuple | None,
     n_fixed = base.n_fixed
     if incremental and state is not None:
         inc, base_map, prev_gates = state
-        ties: dict[int, int] = {}
-        consistent = True
-        for gate_idx, value in force.items():
-            if gate_idx in prev_gates:
-                continue
-            node = base_map[n_fixed + gate_idx]
-            if node < 0:
-                continue  # already stripped as dead at the chain root
-            if ties.get(node, value) != value:
-                consistent = False  # two deltas merged onto one node
-                break
-            ties[node] = value
-        if consistent:
+        ties = _delta_ties(n_fixed, base_map, prev_gates, force)
+        if ties is not None:
             try:
                 inc.tie(ties)
             except (ValueError, RewriteOverflow):
@@ -329,6 +353,214 @@ def _explore_trie(base: ArrayCircuit, evaluator: CircuitEvaluator,
     return results
 
 
+# Rebuild a variant's evaluation plan once the circuit shrank below
+# this fraction of the plan it inherited: simulations then never run on
+# a plan more than 1/PLAN_REFRESH times the variant's own size, while
+# total plan-build work stays geometric (a few rebuilds per chain).
+_PLAN_REFRESH = 0.5
+# ... but only when the plan is big enough for simulation size to
+# matter (gate-words): small plans are NumPy-dispatch-bound, where one
+# shared plan per batch beats many right-sized plans.
+_PLAN_REFRESH_MIN_WORK = 16_000
+
+
+def _explore_trie_batched(base: ArrayCircuit, evaluator: CircuitEvaluator,
+                          space: PruneSpace,
+                          chains: list[tuple[float, list]],
+                          known_records: dict | None,
+                          root_state: tuple) -> list[list[tuple]]:
+    """The exploration walk on the batched engine.
+
+    The trie of prune-set prefixes is walked exactly as in
+    :func:`_explore_trie` — fork shared prefixes, tie each group's
+    delta, so every state's folded circuit is the *same object path*
+    the per-variant engine produces — but the per-variant snapshot +
+    plan build + simulation is replaced by two mechanisms resting on
+    the rewriter's stable node ids:
+
+    * **Plan epochs.**  A levelized plan (in node-id space) is captured
+      only when a variant has shrunk below ``_PLAN_REFRESH`` of the
+      plan its chain inherited; between refreshes a variant is
+      described against the epoch plan by its accumulated clamp set
+      (union of applied ``tie`` constants, restricted to plan nodes —
+      clamps on newer helper nodes are unreadable by construction and
+      drop out) plus the live helper gates created since the epoch.
+      Simulations therefore track variant size without one plan per
+      variant, and the clamped-parent waveforms equal the rewritten
+      variant's exactly (cone rewriting only replaces nodes with
+      functionally identical ones).
+
+    * **Deferred batches.**  Specs collect during the walk and evaluate
+      afterwards, grouped per epoch plan, as
+      :class:`~repro.hw.compiled.BatchedEvaluator` ``(n_nets, K,
+      n_words)`` passes — the per-level NumPy dispatch overhead is paid
+      once per batch, not once per variant — and are scored through
+      :meth:`~repro.eval.accuracy.CircuitEvaluator.evaluate_batch`.
+
+    The *fold decomposition* is deliberately identical to
+    :func:`_explore_trie`: a state is always (chain-root prune set,
+    then phi-increments).  Organizing the walk around other nestings —
+    e.g. deriving a chain root from the previous tau's state — changes
+    which rewrite rules fire and can reach a (functionally equal but)
+    structurally different circuit than ``explore_legacy``'s
+    from-scratch synthesis, which the acceptance bench would flag.
+
+    A degenerate tie (conflict or rewrite-cascade overflow) rebuilds
+    the branch from scratch like :func:`_apply_step` and starts a fresh
+    plan epoch in the rebuilt node space.  Records are integer
+    reductions that come out bit-identical on every engine, pinned by
+    the equivalence tests against ``explore_legacy``.
+
+    Bookkeeping note: a chain's steps are *prefix slices* of its
+    phi-sorted candidate arrays, and chains grouped together in the
+    trie have set-equal prefixes, so step deltas are plain array
+    slices and step identity is a sorted-ids byte string — no per-step
+    force dicts or frozensets (which cost O(total prune-set size) in
+    dict operations per exploration on the legacy representation).
+    """
+    from ..hw.compiled import BatchedEvaluator
+
+    results: list[list[tuple]] = [[] for _ in chains]
+    n_fixed = base.n_fixed
+    as_netlist = _needs_netlist(evaluator)
+    n_vectors, _arrays, packed = evaluator.test_stimulus(base)
+    n_words = max(1, (n_vectors + 63) // 64)
+
+    # Array-form chains: candidate gates/constants sorted by phi; each
+    # step is (phi_c, prefix length) into those arrays.
+    chain_arrays: list[tuple] = []
+    for tau_c, steps in chains:
+        gates = space.candidates(tau_c)
+        phis = space.phi[gates]
+        order = np.argsort(phis, kind="stable")
+        gates_sorted = gates[order]
+        consts_sorted = space.const_value[gates][order]
+        sorted_phis = phis[order]
+        counts = np.searchsorted(sorted_phis,
+                                 [phi_c for phi_c, _force in steps],
+                                 side="right")
+        chain_arrays.append(
+            (gates_sorted.tolist(), consts_sorted.tolist(), gates_sorted,
+             [(phi_c, int(count))
+              for (phi_c, _force), count in zip(steps, counts)]))
+
+    pending: dict[bytes, tuple] = {}  # step key -> (plan, VariantSpec)
+    resolved: dict[bytes, EvaluationRecord] = {}
+
+    def known(key: bytes) -> bool:
+        return (known_records is not None and key in known_records) \
+            or key in resolved or key in pending
+
+    def capture(key: bytes, state: list) -> None:
+        """Queue one variant for the deferred batch (or refresh epoch)."""
+        inc, plan, plan_slots, clamps = state[0], state[3], state[4], \
+            state[5]
+        if plan is None or (inc.n_live < _PLAN_REFRESH * plan.n_gates
+                            and plan.n_gates * n_words
+                            >= _PLAN_REFRESH_MIN_WORK):
+            # New epoch: the plan captured now *is* this variant; later
+            # steps on this chain describe themselves against it.
+            plan = inc.plan()
+            plan_slots = len(inc.ops)
+            clamps = {}
+            state[3], state[4], state[5] = plan, plan_slots, clamps
+        pending[key] = (plan, inc.variant_spec(dict(clamps), plan_slots))
+
+    def apply_step(state: list, ci: int, depth: int, key: bytes) -> list:
+        """Advance a chain state by one prune step, in place."""
+        gates_l, consts_l, _gates_np, steps = chain_arrays[ci]
+        count = steps[depth][1]
+        base_map = state[1]
+        lo = state[2]
+        ties: dict[int, int] | None = {}
+        for gate_idx, value in zip(gates_l[lo:count], consts_l[lo:count]):
+            node = base_map[n_fixed + gate_idx]
+            if node < 0:
+                continue  # already stripped as dead at the chain root
+            if ties.get(node, value) != value:
+                ties = None  # two deltas merged onto one node
+                break
+            ties[node] = value
+        applied = None
+        if ties is not None:
+            try:
+                applied = state[0].tie(ties)
+            except (ValueError, RewriteOverflow):
+                applied = None  # degenerate: rebuild from scratch
+        if applied is None:
+            force_by_node = {n_fixed + gate_idx: value
+                             for gate_idx, value
+                             in zip(gates_l[:count], consts_l[:count])}
+            pruned, chain_map = synthesize_arrays(base, force_by_node)
+            state[:] = [IncrementalCircuit.from_arrays(pruned), chain_map,
+                        count, None, 0, {}]
+            if not known(key):
+                resolved[key] = _evaluate_variant(evaluator, pruned,
+                                                  as_netlist)
+            return state
+        state[2] = count
+        plan = state[3]
+        if plan is not None:
+            plan_nets = plan.n_nets
+            clamps = state[5]
+            for node, value in applied.items():
+                if node < plan_nets:
+                    clamps[node] = value
+        if not known(key):
+            capture(key, state)
+        return state
+
+    def visit(chain_ids: list[int], depth: int, state: list) -> None:
+        groups: dict[bytes, list[int]] = {}
+        for ci in chain_ids:
+            gates_np = chain_arrays[ci][2]
+            steps = chain_arrays[ci][3]
+            if depth < len(steps):
+                key = np.sort(gates_np[:steps[depth][1]]).tobytes()
+                groups.setdefault(key, []).append(ci)
+        if not groups:
+            return
+        group_items = list(groups.items())
+        for position, (key, ids) in enumerate(group_items):
+            # Sibling branches mutate the chain state in place, so every
+            # branch but the last works on a fork of the shared prefix.
+            if position < len(group_items) - 1:
+                branch = [state[0].fork(), state[1], state[2],
+                          state[3], state[4], dict(state[5])]
+            else:
+                branch = state
+            branch = apply_step(branch, ids[0], depth, key)
+            phi_count = chain_arrays[ids[0]][3][depth]
+            for ci in ids:
+                phi_c = chain_arrays[ci][3][depth][0]
+                results[ci].append((phi_c, key, phi_count[1]))
+            visit(ids, depth + 1, branch)
+
+    root_inc, root_map, _root_gates = root_state
+    visit(list(range(len(chains))), 0, [root_inc, root_map, 0, None, 0, {}])
+
+    # Deferred evaluation: one batch per plan epoch.
+    if pending:
+        by_plan: dict[int, list] = {}
+        for key, (plan, spec) in pending.items():
+            by_plan.setdefault(id(plan), [plan, [], []])
+            by_plan[id(plan)][1].append(key)
+            by_plan[id(plan)][2].append(spec)
+        for plan, keys, specs in by_plan.values():
+            sims = BatchedEvaluator(plan, n_vectors, packed).evaluate(specs)
+            for key, record in zip(keys, evaluator.evaluate_batch(sims)):
+                resolved[key] = record
+
+    if known_records is not None:
+        for key, record in resolved.items():
+            known_records.setdefault(key, record)
+        record_of = known_records
+    else:
+        record_of = resolved
+    return [[(phi_c, key, n_pruned, record_of[key])
+             for phi_c, key, n_pruned in rows] for rows in results]
+
+
 # Worker-side state for the process pool: the (netlist, evaluator,
 # incremental) triple is shipped once per worker through the initializer
 # instead of once per chain task.
@@ -365,7 +597,19 @@ class NetlistPruner:
             applying the next (superset) prune set.
         n_workers: fan independent tau_c chains across a process pool;
             ``None``/``0``/``1`` stays serial, and pool failures fall
-            back to the serial path automatically.
+            back to the serial path automatically.  Note the ROADMAP
+            caveat: the reference container is single-CPU, so the pool
+            is regression-tested for serial equivalence but not
+            benchmarked at scale; serial chains run the (faster)
+            trie-shared walk, workers run independent chains.
+        engine: exploration engine override — ``None`` (default)
+            inherits the evaluator's ``engine``.  ``"batched"`` (what
+            ``"auto"`` resolves to on supported hosts) scores sibling
+            frontiers through one batched evaluation per trie node;
+            ``"compiled"`` keeps the per-variant snapshot + simulate
+            walk; ``"bigint"`` additionally materializes a netlist per
+            variant for the legacy oracle.  Every engine returns the
+            identical design list.
     """
 
     netlist: Netlist
@@ -373,9 +617,25 @@ class NetlistPruner:
     tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID
     incremental: bool = True
     n_workers: int | None = None
+    engine: str | None = None
     _space: PruneSpace | None = field(default=None, repr=False)
     _record_memo: dict = field(default_factory=dict, repr=False)
     _base_arrays: ArrayCircuit | None = field(default=None, repr=False)
+
+    def resolved_engine(self) -> str:
+        """The exploration engine ``engine``/the evaluator select here."""
+        if self.engine is None:
+            resolver = getattr(self.evaluator, "resolved_engine", None)
+            if resolver is not None:
+                return resolver()  # one auto/fallback mapping, one place
+            engine = getattr(self.evaluator, "engine", "auto")
+        else:
+            engine = self.engine
+        if engine == "auto":
+            return "batched" if HOST_SUPPORTS_COMPILED else "bigint"
+        if engine == "batched" and not HOST_SUPPORTS_COMPILED:
+            return "bigint"
+        return engine
 
     def space(self) -> PruneSpace:
         """Lazily simulate the training set and build the statistics."""
@@ -405,24 +665,47 @@ class NetlistPruner:
         whether chains run serially or on a worker pool.
         """
         space = self.space()
-        chains = [(float(tau_c), space.tau_steps(tau_c))
-                  for tau_c in self.tau_grid]
+        workers = n_workers if n_workers is not None else self.n_workers
+        want_parallel = bool(workers and workers > 1)
+        use_batched = self.incremental \
+            and self.resolved_engine() == "batched"
+        if want_parallel or not use_batched:
+            chains = [(float(tau_c), space.tau_steps(tau_c))
+                      for tau_c in self.tau_grid]
+        else:
+            # The batched walk derives steps from the candidate arrays
+            # itself; it only needs the phi grid — skip tau_steps' full
+            # per-step force-dict construction.
+            chains = [(float(tau_c),
+                       [(phi_c, None)
+                        for phi_c in space.phi_levels(tau_c)])
+                      for tau_c in self.tau_grid]
         chains = [(tau_c, steps) for tau_c, steps in chains if steps]
 
-        workers = n_workers if n_workers is not None else self.n_workers
         chain_rows = None
-        if workers and workers > 1 and len(chains) > 1:
+        if want_parallel and len(chains) > 1:
             chain_rows = self._run_chains_parallel(chains, workers)
         if chain_rows is None:
             memo = self._record_memo if deduplicate else None
             base_circ = self._base_circuit()
             root = _root_state(base_circ) if self.incremental else None
-            chain_rows = _explore_trie(base_circ, self.evaluator, chains,
-                                       self.incremental, memo,
-                                       root_state=root)
+            if root is not None and use_batched:
+                chain_rows = _explore_trie_batched(base_circ,
+                                                   self.evaluator, space,
+                                                   chains, memo,
+                                                   root_state=root)
+            else:
+                chain_rows = _explore_trie(base_circ, self.evaluator,
+                                           chains, self.incremental, memo,
+                                           root_state=root)
 
         designs: list[PrunedDesign] = []
-        seen: dict[frozenset, tuple[PrunedDesign, tuple[float, int]]] = {}
+        # Keyed by the walk's prune-set identity: frozensets on the
+        # trie/parallel paths, sorted-id bytes on the batched path.  The
+        # memo therefore only transfers between explore() calls that
+        # resolve to the same kind of walk (records stay correct either
+        # way — a missed hit just re-evaluates).
+        seen: dict[object, tuple[PrunedDesign, tuple[float, int]]] = {}
         for (tau_c, _), rows in zip(chains, chain_rows):
             for phi_c, key, n_pruned, record in rows:
                 if deduplicate and key in seen:

@@ -56,14 +56,26 @@ class DecodeSpec:
         return DecodeSpec("regressor", y_min=model.y_min, y_max=model.y_max,
                           output_scale=model.output_scale)
 
+    @property
+    def output_bus(self) -> str:
+        return CLASS_OUTPUT if self.kind == "classifier" \
+            else REGRESSOR_OUTPUT
+
+    def decode_values(self, raw: np.ndarray) -> np.ndarray:
+        """Raw output-bus integers (any shape) to predicted labels.
+
+        Elementwise, so a ``(K, n_vectors)`` stack of batched variants
+        decodes in one call to exactly the per-variant labels.
+        """
+        if self.kind == "classifier":
+            return self.classes[np.clip(raw, 0, len(self.classes) - 1)]
+        decoded = raw / self.output_scale
+        return np.clip(np.rint(decoded), self.y_min,
+                       self.y_max).astype(np.int64)
+
     def decode(self, sim: SimulationResult) -> np.ndarray:
         """Predicted labels from a simulation of the circuit."""
-        if self.kind == "classifier":
-            index = sim.bus_ints(CLASS_OUTPUT)
-            return self.classes[np.clip(index, 0, len(self.classes) - 1)]
-        raw = sim.bus_ints(REGRESSOR_OUTPUT)
-        decoded = raw / self.output_scale
-        return np.clip(np.rint(decoded), self.y_min, self.y_max).astype(np.int64)
+        return self.decode_values(sim.bus_ints(self.output_bus))
 
 
 @dataclass(frozen=True)
@@ -87,6 +99,27 @@ class CircuitEvaluator:
     Quantizes the split once, keeps the train payload (pruning activity)
     and test payload (accuracy + power activity) ready, and scores any
     netlist variant of the circuit with a single simulation.
+
+    Which engine am I using?  ``engine`` selects the simulation backend
+    for every score this evaluator produces, and the exploration path
+    :class:`~repro.core.pruning.NetlistPruner` takes when it inherits
+    the setting:
+
+    * ``"auto"`` (default) — the fastest correct choice: the batched
+      multi-variant engine where the host supports the compiled word
+      layout (little-endian), the legacy bigint loop otherwise.
+    * ``"batched"`` — single netlists simulate on the compiled
+      word-parallel engine; pruning explorations additionally score
+      whole sibling frontiers through one
+      :class:`~repro.hw.compiled.BatchedEvaluator` pass per trie node.
+    * ``"compiled"`` — the per-variant compiled engine (one simulation
+      per explored design); the PR-1 baseline the batched path is
+      benchmarked against.
+    * ``"bigint"`` — the seed's arbitrary-precision reference loop,
+      kept as the equivalence oracle.  Slow; use for cross-checks.
+
+    All four produce bit-identical records; the engine only changes how
+    fast they arrive.
     """
 
     decode: DecodeSpec
@@ -126,25 +159,42 @@ class CircuitEvaluator:
         state["_packed_test"] = None
         return state
 
+    def resolved_engine(self) -> str:
+        """The concrete backend ``engine`` selects on this host."""
+        engine = self.engine
+        if engine == "auto":
+            return "batched" if HOST_SUPPORTS_COMPILED else "bigint"
+        if engine == "batched" and not HOST_SUPPORTS_COMPILED:
+            return "bigint"
+        return engine
+
+    def test_stimulus(self, nl) -> tuple[int, dict, dict]:
+        """Validated + word-packed test stimulus, shared by every variant.
+
+        The packing only depends on the stimulus and the bus widths —
+        both invariant under synthesis — so one evaluator packs once and
+        every explored variant (and every batched sibling frontier)
+        scatters the same rows.
+        """
+        prepared = self._packed_test
+        if prepared is None:
+            n, arrays = _validate_inputs(nl, self.test_inputs)
+            widths = {name: len(nets)
+                      for name, nets in nl.input_buses.items()}
+            prepared = (n, arrays, pack_stimulus(arrays, widths, n))
+            self._packed_test = prepared
+        return prepared
+
     def _test_simulation(self, nl: Netlist):
         cached = self._test_sim
         if cached is not None and cached[0]() is nl \
                 and cached[2] == (nl.n_gates, nl.n_nets):
             return cached[1]
-        engine = self.engine
-        if engine == "auto":
-            engine = "compiled" if HOST_SUPPORTS_COMPILED else "bigint"
-        if engine == "compiled":
-            # Validate and word-pack the (fixed) test stimulus once; every
-            # variant scatters the same rows into its value matrix.
-            prepared = self._packed_test
-            if prepared is None:
-                n, arrays = _validate_inputs(nl, self.test_inputs)
-                widths = {name: len(nets)
-                          for name, nets in nl.input_buses.items()}
-                prepared = (n, arrays, pack_stimulus(arrays, widths, n))
-                self._packed_test = prepared
-            n, arrays, packed = prepared
+        engine = self.resolved_engine()
+        if engine in ("compiled", "batched"):
+            # A single netlist has no siblings to batch with: both
+            # selectors share the per-variant compiled plan here.
+            n, arrays, packed = self.test_stimulus(nl)
             sim = nl.compiled().simulate(arrays, n, packed=packed)
         else:
             sim = simulate(nl, self.test_inputs, engine=engine)
@@ -159,11 +209,48 @@ class CircuitEvaluator:
 
     def evaluate(self, nl: Netlist) -> EvaluationRecord:
         """Accuracy, area, and power of one netlist variant."""
-        sim = self._test_simulation(nl)
+        return self.evaluate_simulated(nl, self._test_simulation(nl))
+
+    def evaluate_simulated(self, circ, sim) -> EvaluationRecord:
+        """Score an already-simulated variant (the batched-engine path).
+
+        ``circ`` is any circuit view exposing ``n_gates`` and ``ops``/
+        ``gate_type`` (a netlist, an array circuit, or the slim
+        per-variant view a :class:`~repro.hw.compiled.BatchedVariantSim`
+        carries); ``sim`` must expose the shared simulation read API.
+        The arithmetic is identical to :meth:`evaluate` — integer
+        popcount reductions — so records are bit-identical across
+        engines and exploration paths.
+        """
         predictions = self.decode.decode(sim)
         accuracy = accuracy_score(self.y_test, predictions)
-        power = power_mw(nl, sim.activity(), self.clock_ms)
-        return EvaluationRecord(accuracy, area_mm2(nl), power, nl.n_gates)
+        power = power_mw(circ, sim.activity(), self.clock_ms)
+        return EvaluationRecord(accuracy, area_mm2(circ), power,
+                                circ.n_gates)
+
+    def evaluate_batch(self, sims: list) -> list[EvaluationRecord]:
+        """Score a batch of variant sims in one decode/accuracy pass.
+
+        ``sims`` are :class:`~repro.hw.compiled.BatchedVariantSim`
+        views; the stacked output-bus decode and the per-row accuracy
+        mean are elementwise-identical to :meth:`evaluate_simulated` on
+        each sim individually, so the records are bit-identical — only
+        the NumPy dispatch count drops from O(variants) to O(1).
+        """
+        if not sims:
+            return []
+        bus = self.decode.output_bus
+        raw = np.stack([sim.bus_ints(bus) for sim in sims])
+        predictions = self.decode.decode_values(raw)
+        accuracies = np.mean(predictions == np.asarray(self.y_test)[None, :],
+                             axis=1)
+        return [
+            EvaluationRecord(float(acc), area_mm2(sim.circuit),
+                             power_mw(sim.circuit, sim.activity(),
+                                      self.clock_ms),
+                             sim.circuit.n_gates)
+            for sim, acc in zip(sims, accuracies)
+        ]
 
     def accuracy(self, nl: Netlist) -> float:
         """Test-set accuracy only — skips the activity/power pass."""

@@ -15,10 +15,20 @@ from .zoo import CircuitCase, get_case
 __all__ = ["explore_case", "explore", "framework_for"]
 
 
-def framework_for(case: CircuitCase) -> CrossLayerFramework:
-    """Paper-configured framework for one circuit (e=4, its clock)."""
+def framework_for(case: CircuitCase,
+                  engine: str = "auto") -> CrossLayerFramework:
+    """Paper-configured framework for one circuit (e=4, its clock).
+
+    ``engine`` selects the evaluation backend for every simulation and
+    pruning exploration the experiments run — ``"auto"`` resolves to
+    the batched multi-variant engine on supported hosts; ``"compiled"``
+    and ``"bigint"`` force the per-variant and oracle engines (see
+    :class:`~repro.eval.accuracy.CircuitEvaluator`).  All engines
+    reproduce identical figures and tables; the default is simply the
+    fastest.
+    """
     return CrossLayerFramework(e=4, clock_ms=case.clock_ms,
-                               library=default_library())
+                               library=default_library(), engine=engine)
 
 
 @lru_cache(maxsize=None)

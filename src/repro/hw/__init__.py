@@ -21,7 +21,14 @@ from .blocks import (
     one_vs_one_votes,
 )
 from .cells import EGT_LIBRARY, TECHNOLOGY, CellSpec, Technology, cell_area_mm2
-from .compiled import CompiledNetlist, CompiledSimulation, pack_stimulus
+from .compiled import (
+    BatchedEvaluator,
+    BatchedVariantSim,
+    CompiledNetlist,
+    CompiledSimulation,
+    VariantSpec,
+    pack_stimulus,
+)
 from .incremental import IncrementalCircuit
 from .netlist import CONST0, CONST1, Netlist
 from .netlist_io import load_netlist, netlist_from_dict, netlist_to_dict, save_netlist
@@ -78,9 +85,12 @@ __all__ = [
     "power_uw",
     "ActivityReport",
     "ArrayCircuit",
+    "BatchedEvaluator",
+    "BatchedVariantSim",
     "CompiledNetlist",
     "CompiledSimulation",
     "IncrementalCircuit",
+    "VariantSpec",
     "SimulationResult",
     "pack_stimulus",
     "pack_vectors",

@@ -21,6 +21,20 @@ popcount/unpack array reductions instead of per-net bigint loops.
 Bits of the last stimulus word past ``n_vectors`` ("tail" bits) are allowed
 to hold garbage between operations; every reduction masks them out, which
 keeps the per-gate inner loop free of masking work.
+
+On top of the single-circuit engine sits the *batched multi-variant*
+engine (:class:`BatchedEvaluator`): K constant-tie variants of one
+parent circuit — the pruning exploration's sibling designs — are packed
+into a single ``(n_nets, K, n_words)`` evaluation of the parent's plan,
+with per-variant constant-clamp masks (:class:`VariantSpec`) standing in
+for the rewritten structure.  One plan build and one NumPy pass per
+level then serve the whole batch; per-variant read access comes back
+through :class:`BatchedVariantSim`, which mirrors the
+:class:`CompiledSimulation` API.  This is what ``engine="batched"``
+(the ``"auto"`` default on supported hosts) selects in
+:class:`~repro.eval.accuracy.CircuitEvaluator`,
+:class:`~repro.core.pruning.NetlistPruner`, and
+:class:`~repro.core.cross_layer.CrossLayerFramework`.
 """
 
 from __future__ import annotations
@@ -31,9 +45,12 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "BatchedEvaluator",
+    "BatchedVariantSim",
     "CompiledNetlist",
     "CompiledSimulation",
     "HOST_SUPPORTS_COMPILED",
+    "VariantSpec",
     "pack_bit_matrix",
     "pack_stimulus",
     "unpack_bit_matrix",
@@ -62,12 +79,19 @@ if hasattr(np, "bitwise_count"):
     def _popcount_rows(words: np.ndarray) -> np.ndarray:
         """Total set bits per row of a 2-D uint64 array."""
         return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+    # Same reduction works for any rank; keep one implementation.
+    _popcount_last = _popcount_rows
 else:  # NumPy < 2.0
     _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
                           dtype=np.uint8)
 
     def _popcount_rows(words: np.ndarray) -> np.ndarray:
         as_bytes = words.reshape(words.shape[0], -1).view(np.uint8)
+        return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+    def _popcount_last(words: np.ndarray) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
         return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
 
 
@@ -431,3 +455,370 @@ class CompiledSimulation:
         const_value = (prob >= 0.5).astype(np.int8)
         return ActivityReport(n_gates, prob, tau, const_value, toggles,
                               ones, flips, n)
+
+
+# ----------------------------------------------------------------------
+# Batched multi-variant evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class VariantSpec:
+    """One constant-tie variant of a parent circuit, in parent node ids.
+
+    Produced by :meth:`repro.hw.incremental.IncrementalCircuit.variant_spec`
+    after a tie was applied; consumed by :class:`BatchedEvaluator`, whose
+    shared plan is the *pre-tie* parent.  ``ties`` is the clamp set the
+    rewriter actually applied (the return value of ``tie``), ``helpers``
+    are the gates the rewrite created beyond the parent plan — replayed
+    per variant, in level order — and ``live_nodes``/``live_ops`` name
+    the surviving gates (parent part first, then helpers, in the same
+    order as ``helpers``) for activity, area, and power.
+    """
+
+    ties: dict[int, int]
+    live_nodes: np.ndarray
+    live_ops: np.ndarray
+    helpers: list[tuple[int, int, int, int]]  # (node, op, in_a, in_b)
+    outputs: dict[str, list[int]]
+    signed: dict[str, bool]
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.live_ops)
+
+
+class _VariantCircuit:
+    """Minimal circuit view of one batched variant (area/power consumer)."""
+
+    __slots__ = ("ops", "n_gates")
+
+    def __init__(self, ops: np.ndarray) -> None:
+        self.ops = ops
+        self.n_gates = len(ops)
+
+
+class BatchedVariantSim:
+    """Read API of one variant inside a batched simulation.
+
+    Mirrors :class:`CompiledSimulation` (``bus_ints``, ``decode_bus``,
+    ``net_bits``, ``prob_one``, ``activity``) over one ``k`` slice of the
+    batch's ``(K, n_nets, n_words)`` value matrix plus the variant's
+    replayed helper-gate rows, so
+    :meth:`repro.eval.accuracy.CircuitEvaluator.evaluate_simulated` can
+    score it exactly like a per-variant compiled simulation.
+    """
+
+    __slots__ = ("spec", "n_vectors", "words", "helper_rows", "_ones",
+                 "_flips", "circuit")
+
+    def __init__(self, spec: VariantSpec, n_vectors: int, words: np.ndarray,
+                 helper_rows: dict[int, np.ndarray], ones: np.ndarray,
+                 flips: np.ndarray) -> None:
+        self.spec = spec
+        self.n_vectors = n_vectors
+        self.words = words  # (n_nets, n_words) slice, tail bits zeroed
+        self.helper_rows = helper_rows
+        self._ones = ones    # per live gate, aligned with spec.live_ops
+        self._flips = flips
+        self.circuit = _VariantCircuit(spec.live_ops)
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[1]
+
+    def _node_rows(self, nodes: list[int]) -> np.ndarray:
+        rows = np.empty((len(nodes), self.n_words), dtype=np.uint64)
+        n_parent = self.words.shape[0]
+        for i, node in enumerate(nodes):
+            if node == 0:
+                rows[i] = 0
+            elif node == 1:
+                rows[i] = _ALL_ONES
+            elif node < n_parent:
+                rows[i] = self.words[node]
+            else:
+                rows[i] = self.helper_rows[node]
+        return rows
+
+    def net_bits(self, node: int) -> np.ndarray:
+        """The 0/1 waveform of one node across all vectors."""
+        return unpack_bit_matrix(self._node_rows([node]), self.n_vectors)[0]
+
+    def prob_one(self, node: int) -> float:
+        mask = _valid_mask(self.n_vectors, self.n_words)
+        ones = _popcount_rows(self._node_rows([node]) & mask)
+        return float(ones[0]) / self.n_vectors
+
+    def bus_ints(self, name: str) -> np.ndarray:
+        return self.decode_bus(self.spec.outputs[name],
+                               self.spec.signed[name])
+
+    def decode_bus(self, nets: list[int], signed: bool) -> np.ndarray:
+        if not nets:
+            return np.zeros(self.n_vectors, dtype=np.int64)
+        bits = unpack_bit_matrix(self._node_rows(nets),
+                                 self.n_vectors).astype(np.int64)
+        weights = np.int64(1) << np.arange(len(nets), dtype=np.int64)
+        values = weights @ bits
+        if signed:
+            values -= bits[-1] << np.int64(len(nets))
+        return values
+
+    def activity(self):
+        """Per-gate activity of the variant's surviving gates."""
+        from .simulate import ActivityReport  # deferred: avoids module cycle
+
+        n = self.n_vectors
+        n_gates = self.spec.n_gates
+        if n_gates == 0:
+            empty = np.zeros(0)
+            zeros_int = np.zeros(0, dtype=np.int64)
+            return ActivityReport(0, empty, empty,
+                                  np.zeros(0, dtype=np.int8), empty,
+                                  zeros_int, zeros_int, n)
+        prob = self._ones / n
+        toggles = self._flips / (n - 1) if n > 1 else np.zeros(n_gates)
+        tau = np.maximum(prob, 1.0 - prob)
+        const_value = (prob >= 0.5).astype(np.int8)
+        return ActivityReport(n_gates, prob, tau, const_value, toggles,
+                              self._ones, self._flips, n)
+
+
+class BatchedEvaluator:
+    """Evaluate K constant-tie variants of one parent circuit at once.
+
+    The exploration's sibling variants share everything but their tie
+    deltas, so instead of one snapshot + plan build + simulation per
+    variant, the batch packs them into a single ``(K, n_nets, n_words)``
+    ``uint64`` evaluation of the *parent's* levelized plan:
+
+    * the plan (typically an ``IncrementalCircuit.plan()`` in stable
+      node-id space) is built once and every per-level gather / opcode
+      ufunc / scatter broadcasts across all K variants — amortizing the
+      per-level NumPy call overhead that dominates narrow levels;
+    * each variant's tie set is applied as a constant clamp on the rows
+      of its tied nodes, at the level that produces them (or right after
+      input scatter for clamped inputs), which reproduces the rewritten
+      variant's waveforms exactly: cone rewriting only ever replaces
+      nodes with functionally identical ones, so every surviving node's
+      waveform equals its clamped-parent waveform;
+    * helper gates a rewrite created beyond the parent plan (a few INV/
+      AND/OR per tie) are replayed per variant in level order;
+    * switching activity (the ``ones``/``flips`` popcounts power needs)
+      is two whole-batch popcount reductions followed by per-variant
+      gathers over the surviving gates.
+
+    Equivalence with the per-variant engines (and transitively with the
+    bigint oracle) is property-tested in ``tests/test_batched.py``.
+    """
+
+    # Soft cap on the value matrix size per chunk; batches larger than
+    # this evaluate in slices (the exploration rarely exceeds ~20
+    # siblings, the cap only guards degenerate callers).
+    MAX_CHUNK_BYTES = 1 << 26
+
+    def __init__(self, plan: CompiledNetlist, n_vectors: int,
+                 packed: dict[str, np.ndarray]) -> None:
+        self.plan = plan
+        self.n_vectors = n_vectors
+        self.n_words = max(1, (n_vectors + _WORD_BITS - 1) // _WORD_BITS)
+        self.packed = packed
+        # Node -> (level, row-within-level) of the producing gate, for
+        # placing constant clamps; -1 level marks inputs/constants/dead
+        # nodes (clamped right after input scatter).
+        pos_level = np.full(plan.n_nets, -1, dtype=np.int64)
+        pos_row = np.zeros(plan.n_nets, dtype=np.int64)
+        for level_idx, (out, _a, _b, _segs) in enumerate(plan.levels_plan):
+            pos_level[out] = level_idx
+            pos_row[out] = np.arange(len(out), dtype=np.int64)
+        self._pos_level = pos_level
+        self._pos_row = pos_row
+        # Node -> index into the plan's gate list, so activity popcounts
+        # run over live gate rows only (node-id space keeps dead slots
+        # around as zero rows — no reason to count them).
+        gate_pos = np.zeros(plan.n_nets, dtype=np.int64)
+        gate_pos[plan.gate_out] = np.arange(plan.n_gates, dtype=np.int64)
+        self._gate_pos = gate_pos
+        # A freshly-captured plan has no dead slots interleaved, so its
+        # gate rows form one slice of the value matrix — the activity
+        # pass then reads a view instead of gathering an L×K×W copy.
+        self._contiguous_gates = bool(
+            plan.n_gates and plan.gate_out[0] + plan.n_gates
+            == plan.gate_out[-1] + 1
+            and np.array_equal(
+                plan.gate_out,
+                np.arange(plan.gate_out[0],
+                          plan.gate_out[0] + plan.n_gates)))
+
+    def evaluate(self, specs: list[VariantSpec]) -> list[BatchedVariantSim]:
+        """Simulate every variant; returns one sim view per spec."""
+        if not specs:
+            return []
+        per_variant = self.plan.n_nets * self.n_words * 8
+        # Beyond ~32 variants the value matrix outgrows the cache
+        # hierarchy and the per-level work turns bandwidth-bound;
+        # measured sweet spot on the reference container.
+        chunk = max(1, min(32, self.MAX_CHUNK_BYTES // max(1, per_variant)))
+        sims: list[BatchedVariantSim] = []
+        for start in range(0, len(specs), chunk):
+            sims.extend(self._evaluate_chunk(specs[start:start + chunk]))
+        return sims
+
+    def _evaluate_chunk(self,
+                        specs: list[VariantSpec]) -> list[BatchedVariantSim]:
+        plan = self.plan
+        n_words = self.n_words
+        n_vectors = self.n_vectors
+        n_nets = plan.n_nets
+        K = len(specs)
+        # (n_nets, K, n_words): a net's K variant rows sit contiguously,
+        # so the per-level gather/scatter moves whole cache lines.
+        words = np.zeros((n_nets, K, n_words), dtype=np.uint64)
+        words[1] = _ALL_ONES
+
+        for name, nets in plan.netlist.input_buses.items():
+            words[np.asarray(nets, dtype=np.int64)] = \
+                self.packed[name][:, None, :]
+
+        # Constant clamps, grouped by the level producing the clamped
+        # node (vectorized: one sort of the flattened tie lists).
+        counts = [len(spec.ties) for spec in specs]
+        n_ties = sum(counts)
+        level_forces: dict[int, tuple] = {}
+        if n_ties:
+            t_nodes = np.empty(n_ties, dtype=np.int64)
+            t_vals = np.empty(n_ties, dtype=bool)
+            t_ks = np.repeat(np.arange(K, dtype=np.int64),
+                             np.asarray(counts, dtype=np.int64))
+            pos = 0
+            for spec in specs:
+                ties = spec.ties
+                t_nodes[pos:pos + len(ties)] = list(ties.keys())
+                t_vals[pos:pos + len(ties)] = list(ties.values())
+                pos += len(ties)
+            t_levels = self._pos_level[t_nodes]
+            order = np.argsort(t_levels, kind="stable")
+            t_nodes, t_vals, t_ks, t_levels = (t_nodes[order], t_vals[order],
+                                               t_ks[order], t_levels[order])
+            # Clamped inputs (level -1) apply before any gate reads them.
+            n_start = int(np.searchsorted(t_levels, 0))
+            words[t_nodes[:n_start][~t_vals[:n_start]],
+                  t_ks[:n_start][~t_vals[:n_start]]] = 0
+            words[t_nodes[:n_start][t_vals[:n_start]],
+                  t_ks[:n_start][t_vals[:n_start]]] = _ALL_ONES
+            if n_start < n_ties:
+                t_rows = self._pos_row[t_nodes]
+                bounds = np.flatnonzero(np.diff(t_levels[n_start:])) + 1
+                starts = np.concatenate(([0], bounds)) + n_start
+                ends = np.concatenate((bounds, [n_ties - n_start])) + n_start
+                for s, e in zip(starts.tolist(), ends.tolist()):
+                    level_forces[int(t_levels[s])] = (t_rows[s:e],
+                                                      t_ks[s:e], t_vals[s:e])
+
+        max_rows = max(plan.max_level_width, 1)
+        scratch_a = np.empty((max_rows, K, n_words), dtype=np.uint64)
+        scratch_b = np.empty((max_rows, K, n_words), dtype=np.uint64)
+        take = np.take
+        for level_idx, (out, a, b, segments) in enumerate(plan.levels_plan):
+            rows = len(a)
+            va_all = take(words, a, 0, out=scratch_a[:rows])
+            vb_all = take(words, b, 0, out=scratch_b[:rows]) \
+                if b is not None else None
+            for op, s, e, c in segments:
+                va = va_all[s:e]
+                if op == OP_AND:
+                    np.bitwise_and(va, vb_all[s:e], out=va)
+                elif op == OP_XOR:
+                    np.bitwise_xor(va, vb_all[s:e], out=va)
+                elif op == OP_OR:
+                    np.bitwise_or(va, vb_all[s:e], out=va)
+                elif op == OP_INV:
+                    np.invert(va, out=va)
+                elif op == OP_NAND:
+                    np.bitwise_and(va, vb_all[s:e], out=va)
+                    np.invert(va, out=va)
+                elif op == OP_NOR:
+                    np.bitwise_or(va, vb_all[s:e], out=va)
+                    np.invert(va, out=va)
+                elif op == OP_XNOR:
+                    np.bitwise_xor(va, vb_all[s:e], out=va)
+                    np.invert(va, out=va)
+                elif op == OP_MUX:
+                    sel = words[c]
+                    va[:] = (va & ~sel) | (vb_all[s:e] & sel)
+                # OP_BUF: va already holds the source rows
+            force = level_forces.get(level_idx)
+            if force is not None:
+                f_rows, f_ks, f_vals = force
+                va_all[f_rows[~f_vals], f_ks[~f_vals]] = 0
+                va_all[f_rows[f_vals], f_ks[f_vals]] = _ALL_ONES
+            words[out] = va_all
+
+        # Zero the tail bits once; every later reduction and decode then
+        # works on clean rows (0 is legal "garbage").
+        words &= _valid_mask(n_vectors, n_words)[None, None, :]
+
+        # Whole-batch activity popcounts over the plan's (live) gate
+        # rows, gathered per variant below.
+        if self._contiguous_gates:
+            first = int(plan.gate_out[0])
+            gate_rows = words[first:first + plan.n_gates]
+        else:
+            gate_rows = np.take(words, plan.gate_out, 0)
+        ones_live = _popcount_last(gate_rows)
+        if n_vectors > 1:
+            shifted = gate_rows >> np.uint64(1)
+            if n_words > 1:
+                shifted[:, :, :-1] |= gate_rows[:, :, 1:] << \
+                    np.uint64(_WORD_BITS - 1)
+            shifted ^= gate_rows
+            shifted &= _valid_mask(n_vectors - 1, n_words)[None, None, :]
+            flips_live = _popcount_last(shifted)
+            del shifted
+        else:
+            flips_live = np.zeros_like(ones_live)
+        del gate_rows
+
+        mask = _valid_mask(n_vectors, n_words)
+        toggle_mask = _valid_mask(n_vectors - 1, n_words) \
+            if n_vectors > 1 else None
+        sims = []
+        for k, spec in enumerate(specs):
+            words_k = words[:, k, :]
+            helper_rows: dict[int, np.ndarray] = {}
+            for node, op, in_a, in_b in spec.helpers:
+                row_a = words_k[in_a] if in_a < n_nets \
+                    else helper_rows[in_a]
+                if op == OP_INV:
+                    row = (~row_a) & mask
+                elif op == OP_AND:
+                    row = row_a & (words_k[in_b] if in_b < n_nets
+                                   else helper_rows[in_b])
+                elif op == OP_OR:
+                    row = row_a | (words_k[in_b] if in_b < n_nets
+                                   else helper_rows[in_b])
+                else:  # OP_BUF — the rewriter creates no other helpers
+                    row = row_a
+                helper_rows[node] = row
+            live_idx = self._gate_pos[spec.live_nodes]
+            ones = ones_live[live_idx, k]
+            flips = flips_live[live_idx, k]
+            if spec.helpers:
+                stacked = np.stack([helper_rows[node]
+                                    for node, _o, _a, _b in spec.helpers])
+                helper_ones = _popcount_rows(stacked)
+                if toggle_mask is None:
+                    helper_flips = np.zeros(len(spec.helpers),
+                                            dtype=np.int64)
+                else:
+                    h_shift = stacked >> np.uint64(1)
+                    if n_words > 1:
+                        h_shift[:, :-1] |= stacked[:, 1:] << \
+                            np.uint64(_WORD_BITS - 1)
+                    h_shift ^= stacked
+                    h_shift &= toggle_mask
+                    helper_flips = _popcount_rows(h_shift)
+                ones = np.concatenate((ones, helper_ones))
+                flips = np.concatenate((flips, helper_flips))
+            sims.append(BatchedVariantSim(spec, n_vectors, words_k,
+                                          helper_rows, ones, flips))
+        return sims

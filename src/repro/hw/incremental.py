@@ -13,10 +13,30 @@ Correctness rests on a property of the folding rules in
 consumers, every INV pair is registered before any gate that could fold
 over it, and structural hashing is keyed purely on (opcode, operands).
 The rewriter maintains the same three indices the batch fold builds
-(structural-hash table, inverse pairs, reference counts) as circuit
-invariants, so draining a tie's worklist reaches the same live-gate
-multiset the batch fold would produce from scratch — pinned down by the
-exploration equivalence tests against ``explore_legacy``.
+(structural-hash table, inverse pairs, reference counts), so draining a
+tie's worklist reaches the same live-gate multiset the batch fold would
+produce from scratch — pinned down by the exploration equivalence tests
+against ``explore_legacy``.
+
+Unlike the batch fold, the hash table and the inverse-pair index are
+maintained *lazily*: killing or rewiring a gate leaves its stale entries
+in place, and every read validates the entry against the gate's current
+(opcode, operands, liveness) before trusting it.  A stale entry can
+only ever *miss* (node ids are never reused), so validated reads return
+exactly what an eagerly-scrubbed index would — but the kill cascade that
+strips a tied gate's dead fanin cone (the dominant cost of a tie,
+~25% of exploration time before this change) reduces to a pure
+refcount worklist with no hash-key arithmetic or dict deletions.
+
+Beyond :meth:`IncrementalCircuit.snapshot` (compact to an
+:class:`~repro.hw.synthesis.ArrayCircuit` for per-variant evaluation),
+the circuit feeds the *batched* evaluation path:
+:meth:`IncrementalCircuit.plan` levelizes the live gates in stable
+node-id space (no compaction, so constant-tie masks and helper-gate
+descriptors can reference nodes directly) and
+:meth:`IncrementalCircuit.variant_spec` captures one applied tie set as
+a :class:`~repro.hw.compiled.VariantSpec` for
+:class:`~repro.hw.compiled.BatchedEvaluator`.
 
 Node ids are *stable*: a rewritten gate keeps its id, a folded-away gate
 leaves a forwarding pointer to its replacement, and dead slots simply
@@ -66,7 +86,7 @@ class IncrementalCircuit:
     __slots__ = ("n_fixed", "ops", "ina", "inb", "inc", "level", "alive",
                  "rc", "fanout", "fanout_owned", "cse", "inv_of", "forward",
                  "outputs", "signed", "watch", "input_buses", "meta", "name",
-                 "n_live", "_work", "_np_cache", "_dirty")
+                 "n_live", "_work", "_np_cache", "_dirty", "_ops_np")
 
     # ------------------------------------------------------------------
     # Construction
@@ -153,6 +173,7 @@ class IncrementalCircuit:
         # from the dirty-slot list instead of full reconversions.
         self._np_cache = None
         self._dirty = []
+        self._ops_np = None
         return self
 
     def fork(self) -> "IncrementalCircuit":
@@ -185,13 +206,15 @@ class IncrementalCircuit:
         other.input_buses = self.input_buses
         other.meta = self.meta
         other._work = 0
-        cache = self._np_cache
-        if cache is None:
-            other._np_cache = None
-        else:
-            other._np_cache = tuple(arr.copy() for arr in cache[:-1]) \
-                + (cache[-1],)
-        other._dirty = list(self._dirty)
+        # The fork starts without NumPy mirrors instead of copying them:
+        # a branch that never snapshots (the batched exploration path)
+        # pays nothing, and one full list conversion on first use is no
+        # slower than six array copies plus dirty replay here.
+        other._np_cache = None
+        other._dirty = []
+        # Opcodes are append-only, so the mirror is shared: extensions
+        # reallocate, never write into the common prefix.
+        other._ops_np = self._ops_np
         return other
 
     # ------------------------------------------------------------------
@@ -229,18 +252,27 @@ class IncrementalCircuit:
     # ------------------------------------------------------------------
     # Tie application
     # ------------------------------------------------------------------
-    def tie(self, ties: dict[int, int]) -> None:
+    def tie(self, ties: dict[int, int]) -> dict[int, int]:
         """Tie each (resolved, live) node to its constant and refold.
 
         ``ties`` may name nodes that already forwarded to the requested
         constant (no-ops).  A node forwarded to the *opposite* constant
         raises ValueError — callers treat it like the batch-fold
         inconsistency fallback.
+
+        Returns the ties as *applied*: the map from each live node that
+        was actually replaced by a constant to that constant.  Because a
+        later entry may resolve through forwards created by an earlier
+        entry's rewrite cascade, this resolved map cannot be precomputed
+        — it is exactly the clamp set a simulation of the *pre-tie*
+        circuit needs to reproduce this variant (the batched evaluator's
+        per-variant constant-tie mask).
         """
         self._work = 0
         budget = 64 * (len(self.ops) + self.n_fixed) + 4096
         created: list[int] = []
         pending: list[int] = []
+        applied: dict[int, int] = {}
         for node, value in ties.items():
             target = self.resolve(node)
             if target < 2:
@@ -249,6 +281,7 @@ class IncrementalCircuit:
                 continue
             if not self.is_live_signal(target):
                 continue  # the signal was stripped as dead
+            applied[target] = value
             self._replace(target, 1 if value else 0, pending, created,
                           budget)
         self._drain(pending, created, budget)
@@ -258,6 +291,7 @@ class IncrementalCircuit:
             node = self.n_fixed + slot
             if self.alive[slot] and self.rc[node] == 0:
                 self._kill(slot)
+        return applied
 
     # ------------------------------------------------------------------
     # Rewrite machinery
@@ -267,56 +301,78 @@ class IncrementalCircuit:
             return 1
         return 3 if op == OP_MUX else 2
 
-    def _pop_key(self, slot: int) -> None:
-        op = self.ops[slot]
-        node = self.n_fixed + slot
-        if op == OP_MUX:
-            key = _key3(self.ina[slot], self.inb[slot], self.inc[slot])
-        elif op == OP_INV:
-            key = _key2(OP_INV, self.ina[slot], 0)
-        else:
-            key = _key2(op, self.ina[slot], self.inb[slot])
-        if self.cse.get(key) == node:
-            del self.cse[key]
+    # -- lazily-validated indices --------------------------------------
+    # Kills and rewires leave stale entries in ``cse``/``inv_of``; these
+    # readers check an entry against the gate's current structure before
+    # trusting it.  Node ids are never reused, so a stale entry can only
+    # miss — validated reads are behaviorally identical to the eager
+    # delete-on-kill maintenance they replaced, at a fraction of the
+    # kill-cascade cost.
 
-    def _clear_inv_links(self, slot: int) -> None:
-        node = self.n_fixed + slot
-        partner = self.inv_of[node]
-        if partner >= 0:
-            if self.inv_of[partner] == node:
-                self.inv_of[partner] = -1
-            self.inv_of[node] = -1
+    def _inv_pair(self, x: int, partner: int) -> bool:
+        """True when ``partner`` still carries the complement of ``x``."""
+        n_fixed = self.n_fixed
+        s = partner - n_fixed
+        if s >= 0 and self.alive[s] and self.ops[s] == OP_INV \
+                and self.ina[s] == x:
+            return True
+        s = x - n_fixed
+        return s >= 0 and self.alive[s] and self.ops[s] == OP_INV \
+            and self.ina[s] == partner
+
+    def _live_inv(self, x: int) -> int:
+        """The validated complement node of ``x``, or -1."""
+        partner = self.inv_of[x]
+        if partner >= 0 and self._inv_pair(x, partner):
+            return partner
+        return -1
+
+    def _cse_hit(self, key: int, op: int, a: int, b: int, c: int) -> int:
+        """Validated structural-hash lookup: a live, matching node or -1."""
+        node = self.cse.get(key)
+        if node is None:
+            return -1
+        slot = node - self.n_fixed
+        if slot < 0 or not self.alive[slot] or self.ops[slot] != op:
+            return -1
+        ia = self.ina[slot]
+        if op == OP_MUX:
+            if ia == a and self.inb[slot] == b and self.inc[slot] == c:
+                return node
+        elif op == OP_INV:
+            if ia == a:
+                return node
+        else:
+            ib = self.inb[slot]
+            if (ia == a and ib == b) or (ia == b and ib == a):
+                return node
+        return -1
 
     def _kill(self, slot: int) -> None:
-        """Remove a gate with no remaining uses; cascade into its fanin."""
+        """Remove a gate with no remaining uses; cascade into its fanin.
+
+        Pure worklist refcount updates: the gate's ``cse``/``inv_of``
+        entries go stale instead of being scrubbed (validated readers
+        ignore them), so each dead gate costs a few list writes.
+        """
         ops, ina, inb, inc = self.ops, self.ina, self.inb, self.inc
-        alive, rc, cse, inv_of = self.alive, self.rc, self.cse, self.inv_of
+        alive, rc = self.alive, self.rc
         n_fixed = self.n_fixed
-        dirty = self._dirty
+        # Dirty tracking only matters once NumPy mirrors exist (a fork
+        # starts without them); skip the bookkeeping otherwise.
+        dirty = self._dirty if self._np_cache is not None else None
         stack = [slot]
+        n_killed = 0
         while stack:
             s = stack.pop()
             if not alive[s]:
                 continue
             alive[s] = 0
-            self.n_live -= 1
-            dirty.append(s)
-            node = n_fixed + s
+            n_killed += 1
+            if dirty is not None:
+                dirty.append(s)
             op = ops[s]
             a = ina[s]
-            if op == OP_MUX:
-                key = _key3(a, inb[s], inc[s])
-            else:
-                b = inb[s] if op != OP_INV else 0
-                key = (op | (b << 4) | (a << 34)) if a > b \
-                    else (op | (a << 4) | (b << 34))
-            if cse.get(key) == node:
-                del cse[key]
-            partner = inv_of[node]
-            if partner >= 0:
-                if inv_of[partner] == node:
-                    inv_of[partner] = -1
-                inv_of[node] = -1
             rc[a] -= 1
             if rc[a] == 0 and a >= n_fixed and alive[a - n_fixed]:
                 stack.append(a - n_fixed)
@@ -330,6 +386,7 @@ class IncrementalCircuit:
                     rc[c] -= 1
                     if rc[c] == 0 and c >= n_fixed and alive[c - n_fixed]:
                         stack.append(c - n_fixed)
+        self.n_live -= n_killed
 
     def _replace(self, old: int, new: int, pending: list[int],
                  created: list[int], budget: int) -> None:
@@ -341,6 +398,7 @@ class IncrementalCircuit:
         rc = self.rc
         alive = self.alive
         ina, inb, inc = self.ina, self.inb, self.inc
+        dirty = self._dirty if self._np_cache is not None else None
         consumers = self.fanout[old]
         self.fanout[old] = []
         self.fanout_owned[old] = 1
@@ -351,13 +409,11 @@ class IncrementalCircuit:
             a, b, c = ina[slot], inb[slot], inc[slot]
             if a != old and b != old and c != old:
                 continue  # stale fanout entry from an earlier rewire
-            self._pop_key(slot)
             moved = 0
             if a == old:
-                if self.ops[slot] == OP_INV:
-                    # The gate stops being INV(old); its pairing breaks
-                    # until the refold re-registers it for the new input.
-                    self._clear_inv_links(slot)
+                # (An INV gate stops being INV(old) here; its stale
+                # cse/inv_of entries fail validation until the refold
+                # re-registers it for the new input.)
                 ina[slot] = new
                 moved += 1
             if b == old:
@@ -374,7 +430,8 @@ class IncrementalCircuit:
                     and self.level[new - n_fixed] >= self.level[slot]:
                 self._raise_level(slot)
             pending.append(slot)
-            self._dirty.append(slot)
+            if dirty is not None:
+                dirty.append(slot)
         # Output buses referencing the old signal follow it.
         for nodes in self.outputs.values():
             for i, node in enumerate(nodes):
@@ -390,6 +447,7 @@ class IncrementalCircuit:
     def _raise_level(self, slot: int) -> None:
         """Restore level[gate] > level[operands] after a repoint."""
         n_fixed = self.n_fixed
+        dirty = self._dirty if self._np_cache is not None else None
         stack = [slot]
         while stack:
             s = stack.pop()
@@ -406,7 +464,8 @@ class IncrementalCircuit:
             depth += 1
             if depth > self.level[s]:
                 self.level[s] = depth
-                self._dirty.append(s)
+                if dirty is not None:
+                    dirty.append(s)
                 node = n_fixed + s
                 for consumer in self.fanout[node]:
                     if self.alive[consumer] \
@@ -422,8 +481,8 @@ class IncrementalCircuit:
             key = _key3(a, b, c)
         else:
             key = _key2(op, a, b)
-        hit = self.cse.get(key)
-        if hit is not None:
+        hit = self._cse_hit(key, op, a, b, c)
+        if hit >= 0:
             return hit
         slot = len(self.ops)
         node = self.n_fixed + slot
@@ -461,7 +520,7 @@ class IncrementalCircuit:
     def _not(self, x: int, created: list[int]) -> int:
         if x < 2:
             return 1 - x
-        inv = self.inv_of[x]
+        inv = self._live_inv(x)
         if inv >= 0:
             return inv
         return self._new_gate(OP_INV, x, 0, 0, created)
@@ -475,7 +534,7 @@ class IncrementalCircuit:
             return a
         if a == b:
             return a
-        if self.inv_of[a] == b:
+        if self.inv_of[a] == b and self._inv_pair(a, b):
             return 0
         return self._new_gate(OP_AND, a, b, 0, created)
 
@@ -488,7 +547,7 @@ class IncrementalCircuit:
             return a
         if a == b:
             return a
-        if self.inv_of[a] == b:
+        if self.inv_of[a] == b and self._inv_pair(a, b):
             return 1
         return self._new_gate(OP_OR, a, b, 0, created)
 
@@ -515,7 +574,7 @@ class IncrementalCircuit:
             if a < 2:
                 result = 1 - a
             else:
-                inv = inv_of[a]
+                inv = self._live_inv(a)
                 if inv >= 0 and inv != node:
                     result = inv
         elif op == OP_AND:
@@ -528,7 +587,7 @@ class IncrementalCircuit:
                 result = a
             elif a == b:
                 result = a
-            elif inv_of[a] == b:
+            elif inv_of[a] == b and self._inv_pair(a, b):
                 result = 0
         elif op == OP_OR:
             b = self.inb[slot]
@@ -540,7 +599,7 @@ class IncrementalCircuit:
                 result = a
             elif a == b:
                 result = a
-            elif inv_of[a] == b:
+            elif inv_of[a] == b and self._inv_pair(a, b):
                 result = 1
         elif op == OP_XOR:
             b = self.inb[slot]
@@ -554,7 +613,7 @@ class IncrementalCircuit:
                 result = self._not(a, created)
             elif a == b:
                 result = 0
-            elif inv_of[a] == b:
+            elif inv_of[a] == b and self._inv_pair(a, b):
                 result = 1
         elif op == OP_NAND:
             b = self.inb[slot]
@@ -566,7 +625,7 @@ class IncrementalCircuit:
                 result = self._not(a, created)
             elif a == b:
                 result = self._not(a, created)
-            elif inv_of[a] == b:
+            elif inv_of[a] == b and self._inv_pair(a, b):
                 result = 1
         elif op == OP_NOR:
             b = self.inb[slot]
@@ -578,7 +637,7 @@ class IncrementalCircuit:
                 result = self._not(a, created)
             elif a == b:
                 result = self._not(a, created)
-            elif inv_of[a] == b:
+            elif inv_of[a] == b and self._inv_pair(a, b):
                 result = 0
         elif op == OP_MUX:
             b = self.inb[slot]
@@ -612,8 +671,8 @@ class IncrementalCircuit:
                 key = _key2(OP_INV, a, 0)
             else:
                 key = _key2(op, a, self.inb[slot])
-            hit = self.cse.get(key)
-            if hit is None:
+            hit = self._cse_hit(key, op, a, self.inb[slot], self.inc[slot])
+            if hit < 0:
                 self.cse[key] = node
                 if op == OP_INV:
                     self.inv_of[a] = node
@@ -627,21 +686,17 @@ class IncrementalCircuit:
         self._replace(node, result, pending, created, budget)
 
     # ------------------------------------------------------------------
-    # Snapshot
+    # NumPy views, evaluation plan, batched-variant capture
     # ------------------------------------------------------------------
-    def snapshot(self):
-        """Compact the live gates into an ArrayCircuit for evaluation.
+    def _slot_arrays(self) -> tuple:
+        """Refreshed NumPy mirrors of the slot arrays.
 
-        Fully vectorized: the slot arrays convert to NumPy once, live
-        gates sort into topological ``(level, slot)`` order with a stable
-        argsort, and operand remapping is one gather.  The result carries
-        ndarray fields — snapshots feed the evaluator (simulation plan,
-        area, power) and are never folded again, so the list-based fold
-        path is not involved.
+        Maintained from the dirty-slot list instead of full per-call
+        reconversions; shared by :meth:`snapshot`, :meth:`plan`, and
+        :meth:`variant_spec`.  The returned arrays are the live cache —
+        callers must copy (fancy indexing does) anything they keep
+        across further mutations.
         """
-        from .synthesis import ArrayCircuit
-
-        n_fixed = self.n_fixed
         n_slots = len(self.ops)
         cache = self._np_cache
         if cache is None:
@@ -677,6 +732,119 @@ class IncrementalCircuit:
                     alive[slot] = self.alive[slot]
         self._np_cache = (ops, ina, inb, inc, level, alive, n_slots)
         self._dirty.clear()
+        return ops, ina, inb, inc, level, alive
+
+    def plan(self):
+        """Levelized evaluation plan over the live gates, in node-id space.
+
+        Unlike :meth:`snapshot` + ``CompiledNetlist.from_arrays``, the
+        plan performs *no compaction*: gate *k* still writes node
+        ``n_fixed + k``, so per-variant constant-tie masks and helper
+        gates (:meth:`variant_spec`) can address the value matrix by the
+        stable node ids the rewriter hands out.  This is the shared plan
+        one :class:`~repro.hw.compiled.BatchedEvaluator` batch of sibling
+        variants evaluates against.
+        """
+        from .compiled import CompiledNetlist
+
+        ops, ina, inb, inc, level, alive = self._slot_arrays()
+        n_fixed = self.n_fixed
+        plan = CompiledNetlist.__new__(CompiledNetlist)
+        plan.netlist = self
+        plan.n_nets = n_fixed + len(ops)
+        live = np.flatnonzero(alive)
+        plan.n_gates = int(live.size)
+        if live.size == 0:
+            plan.gate_out = np.zeros(0, dtype=np.int64)
+            plan._empty_plan()
+            return plan
+        order = live[np.argsort(level[live] << np.int64(4) | ops[live],
+                                kind="stable")]
+        plan.gate_out = n_fixed + order
+        plan._build_plan(ops[order], ina[order], inb[order], inc[order],
+                         plan.gate_out, level[order])
+        return plan
+
+    def _ops_array(self) -> np.ndarray:
+        """Append-only NumPy mirror of ``ops`` (opcodes never mutate).
+
+        Shared across forks: an extension reallocates instead of writing
+        into the common prefix, so no dirty tracking is needed — unlike
+        the full :meth:`_slot_arrays` cache this refresh is O(appended).
+        """
+        arr = self._ops_np
+        n = len(self.ops)
+        if arr is None:
+            arr = np.fromiter(self.ops, dtype=np.int64, count=n)
+            self._ops_np = arr
+        elif len(arr) < n:
+            arr = np.concatenate(
+                (arr, np.fromiter(self.ops[len(arr):], dtype=np.int64,
+                                  count=n - len(arr))))
+            self._ops_np = arr
+        return arr
+
+    def variant_spec(self, ties: dict[int, int], n_parent_slots: int):
+        """Capture the circuit *after* a tie as a batched-variant spec.
+
+        ``ties`` is the accumulated clamp set (union of :meth:`tie`
+        return values along the chain), expressed against the parent
+        circuit whose :meth:`plan` the batch evaluates;
+        ``n_parent_slots`` is ``len(parent.ops)`` at plan time.  Slots
+        at or past that index are helper gates the rewrites created —
+        absent from the shared plan, replayed per-variant by the batch
+        evaluator (in level order, so operands always precede their
+        consumers).
+        """
+        from .compiled import VariantSpec
+
+        n_fixed = self.n_fixed
+        ops_np = self._ops_array()
+        alive = np.frombuffer(bytes(self.alive), dtype=np.uint8)
+        live = np.flatnonzero(alive)
+        split = int(np.searchsorted(live, n_parent_slots))
+        parent_live = live[:split]
+        helper_slots = live[split:]
+        if helper_slots.size:
+            level = self.level
+            ordered = sorted(helper_slots.tolist(), key=level.__getitem__)
+            ina, inb, ops = self.ina, self.inb, self.ops
+            helpers = [(n_fixed + s, ops[s], ina[s], inb[s])
+                       for s in ordered]
+            live_ops = np.concatenate(
+                (ops_np[parent_live],
+                 ops_np[np.asarray(ordered, dtype=np.int64)]))
+        else:
+            helpers = []
+            live_ops = ops_np[parent_live]
+        return VariantSpec(
+            ties=ties,
+            live_nodes=n_fixed + parent_live,
+            live_ops=live_ops,
+            helpers=helpers,
+            outputs={name: list(nodes)
+                     for name, nodes in self.outputs.items()},
+            signed=dict(self.signed),
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Compact the live gates into an ArrayCircuit for evaluation.
+
+        Fully vectorized: the slot arrays convert to NumPy once, live
+        gates sort into topological ``(level, slot)`` order with a stable
+        argsort, and operand remapping is one gather.  The result carries
+        ndarray fields — snapshots feed the evaluator (simulation plan,
+        area, power) and are never folded again, so the list-based fold
+        path is not involved.
+        """
+        from .synthesis import ArrayCircuit
+
+        n_fixed = self.n_fixed
+        n_slots = len(self.ops)
+        ops, ina, inb, inc, level, alive = self._slot_arrays()
         live = np.flatnonzero(alive)
         # Sort by (level, opcode) so the simulation plan can slice the
         # arrays directly instead of re-sorting them.

@@ -32,8 +32,13 @@ class MinMaxScaler(BaseEstimator):
         self.data_min_ = X.min(axis=0)
         self.data_max_ = X.max(axis=0)
         span = self.data_max_ - self.data_min_
-        # Constant features map to 0 instead of dividing by zero.
-        self.scale_ = np.where(span > 0, 1.0 / np.where(span > 0, span, 1.0), 0.0)
+        # Constant features map to 0 instead of dividing by zero.  A
+        # subnormal span would overflow 1/span to inf (and 0 * inf to
+        # NaN at transform time), so treat it as constant too: tiny
+        # spans carry no usable dynamic range for 4-bit inputs anyway.
+        usable = span > np.finfo(float).tiny
+        self.scale_ = np.where(usable,
+                               1.0 / np.where(usable, span, 1.0), 0.0)
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:

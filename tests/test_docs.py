@@ -1,0 +1,36 @@
+"""Documentation stays correct: intra-repo links resolve, examples run.
+
+The CI docs job runs the same checks standalone
+(``python tools/check_docs.py`` + ``python -m doctest``); keeping them
+in the tier-1 suite means a broken link or a drifted doctest fails
+locally before it fails in CI.
+"""
+
+import doctest
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs import broken_links, doc_files  # noqa: E402
+
+
+def test_docs_exist():
+    names = {f.name for f in doc_files()}
+    assert "README.md" in names
+    assert "ARCHITECTURE.md" in names
+
+
+def test_no_broken_intra_repo_links():
+    assert broken_links() == []
+
+
+def test_documented_examples_run():
+    """Every ``>>>`` block in README/docs executes and matches."""
+    for doc in doc_files():
+        failures, attempted = doctest.testfile(str(doc), module_relative=False,
+                                               verbose=False)
+        assert failures == 0, f"{doc.name}: {failures} doctest failures"
+        if doc.name in ("README.md", "ARCHITECTURE.md"):
+            assert attempted > 0, f"{doc.name} lost its doctest examples"

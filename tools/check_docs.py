@@ -1,0 +1,62 @@
+"""Intra-repo link checker for the Markdown docs (CI docs job).
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
+that every *relative* target exists in the repository (anchors are
+stripped; ``http(s)``/``mailto`` targets are skipped — this repo's CI
+has no business depending on the external internet).
+
+Run::
+
+    python tools/check_docs.py            # exit 1 on any broken link
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured up to the closing parenthesis;
+# images (![alt](target)) match the same pattern via the inner part.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def broken_links(files: list[pathlib.Path] | None = None) -> list[str]:
+    """All broken relative links as ``file: target`` strings."""
+    problems: list[str] = []
+    for doc in files or doc_files():
+        text = doc.read_text()
+        # Ignore fenced code blocks: shell/python snippets contain
+        # bracket-paren sequences that are not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in _LINK.finditer(text):
+            target = match.group(1).split("#", 1)[0]
+            if not target or target.startswith(_EXTERNAL):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(REPO_ROOT)}: {target}")
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = broken_links(files)
+    for problem in problems:
+        print(f"broken link — {problem}", file=sys.stderr)
+    print(f"checked {len(files)} docs: "
+          f"{'all links ok' if not problems else f'{len(problems)} broken'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
