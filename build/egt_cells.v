@@ -1,0 +1,61 @@
+module AND2 (a, b, y);
+  input wire a;
+  input wire b;
+  output wire y;
+  assign y = a & b;
+endmodule
+
+module BUF (a, y);
+  input wire a;
+  output wire y;
+  assign y = a;
+endmodule
+
+module INV (a, y);
+  input wire a;
+  output wire y;
+  assign y = ~a;
+endmodule
+
+module MUX2 (a, b, s, y);
+  input wire a;
+  input wire b;
+  input wire s;
+  output wire y;
+  assign y = s ? b : a;
+endmodule
+
+module NAND2 (a, b, y);
+  input wire a;
+  input wire b;
+  output wire y;
+  assign y = ~(a & b);
+endmodule
+
+module NOR2 (a, b, y);
+  input wire a;
+  input wire b;
+  output wire y;
+  assign y = ~(a | b);
+endmodule
+
+module OR2 (a, b, y);
+  input wire a;
+  input wire b;
+  output wire y;
+  assign y = a | b;
+endmodule
+
+module XNOR2 (a, b, y);
+  input wire a;
+  input wire b;
+  output wire y;
+  assign y = ~(a ^ b);
+endmodule
+
+module XOR2 (a, b, y);
+  input wire a;
+  input wire b;
+  output wire y;
+  assign y = a ^ b;
+endmodule
