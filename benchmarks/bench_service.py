@@ -1,0 +1,179 @@
+"""Benchmark of the exploration service layer (store + resumable jobs).
+
+Measures, per circuit, against ``BENCH_service.json`` at the repo root:
+
+* **cold** — a full pruning exploration through
+  :class:`~repro.service.jobs.ExplorationJob` into a fresh
+  content-addressed store (shard checkpoints + variant persistence
+  included, so this is the service path's honest end-to-end cost);
+* **warm** — the identical request against the populated store: a grid
+  lookup, no simulation (the acceptance target is ≥ 10x over cold);
+* **kill + resume** — the same exploration interrupted after its first
+  checkpoint shard, then resumed; the resumed design list must equal
+  the cold run's *exactly* (same designs, same duplicate attribution);
+* **identity** — cold, warm, and resumed lists are all compared against
+  a plain store-less ``NetlistPruner.explore()`` bit-for-bit.
+
+Run standalone (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # CI
+
+Smoke mode shrinks the circuit set and tau grid so the explore → kill
+→ resume → store-hit loop finishes in seconds while still exercising
+every moving part.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pruning import DEFAULT_TAU_GRID, NetlistPruner  # noqa: E402
+from repro.eval.accuracy import CircuitEvaluator  # noqa: E402
+from repro.experiments.zoo import get_case  # noqa: E402
+from repro.hw.bespoke import build_bespoke_netlist  # noqa: E402
+from repro.service import DesignStore, ExplorationJob, JobReport  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+# The PR-2 end-to-end benchmark circuits (see bench_simulate.py).
+CIRCUITS = [
+    ("redwine", "svm_r"),
+    ("redwine", "mlp_c"),
+    ("redwine", "svm_c"),
+    ("whitewine", "svm_c"),
+    ("cardio", "svm_c"),
+]
+SMOKE_CIRCUITS = [("redwine", "svm_r")]
+
+
+class _Interrupt(Exception):
+    """Deterministic stand-in for a mid-grid kill."""
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_circuit(dataset: str, kind: str, tau_grid, repeats: int,
+                  scratch: pathlib.Path) -> dict:
+    case = get_case(dataset, kind)
+    netlist = build_bespoke_netlist(case.quant_model)
+    evaluator = CircuitEvaluator.from_split(
+        case.quant_model, case.split.X_train, case.split.X_test,
+        case.split.y_test)
+
+    def pruner():
+        return NetlistPruner(netlist, evaluator, tau_grid)
+
+    reference = pruner().explore()
+
+    cold_s = float("inf")
+    warm_s = float("inf")
+    cold = warm = None
+    store_path = None
+    for attempt in range(repeats):
+        store_path = scratch / f"{dataset}_{kind}_{attempt}.sqlite"
+        store = DesignStore(store_path)
+        seconds, cold = _timed(
+            lambda: ExplorationJob(pruner(), store).run())
+        cold_s = min(cold_s, seconds)
+        seconds, warm = _timed(
+            lambda: ExplorationJob(pruner(), store).run())
+        warm_s = min(warm_s, seconds)
+
+    # Kill after the first checkpointed shard, then resume.
+    resume_store = DesignStore(scratch / f"{dataset}_{kind}_resume.sqlite")
+
+    def explode_after_first(index, n_shards):
+        if index == 0:
+            raise _Interrupt()
+
+    try:
+        ExplorationJob(pruner(), resume_store,
+                       shard_size=2).run(on_shard=explode_after_first)
+    except _Interrupt:
+        pass
+    report = JobReport("")
+    resumed = ExplorationJob(pruner(), resume_store,
+                             shard_size=2).run(report=report)
+
+    return {
+        "circuit": f"{dataset}/{kind}",
+        "n_gates": netlist.n_gates,
+        "n_designs": len(reference),
+        "tau_grid_points": len(tau_grid),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "store_bytes": store_path.stat().st_size,
+        "resume_shards_loaded": report.shards_loaded,
+        "resume_shards_computed": report.shards_computed,
+        "identical_cold": cold == reference,
+        "identical_warm": warm == reference,
+        "identical_resumed": resumed == reference,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small circuit set + reduced grid (CI)")
+    parser.add_argument("--out", type=pathlib.Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    # Smoke keeps the full tau grid (the warm-vs-cold contrast needs a
+    # non-toy cold run) but only the smallest circuit and fewer repeats.
+    circuits = SMOKE_CIRCUITS if args.smoke else CIRCUITS
+    tau_grid = DEFAULT_TAU_GRID
+    repeats = 2 if args.smoke else 3
+
+    import tempfile
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as scratch:
+        for dataset, kind in circuits:
+            row = bench_circuit(dataset, kind, tau_grid, repeats,
+                                pathlib.Path(scratch))
+            rows.append(row)
+            print(f"[service] {row['circuit']}: {row['n_designs']} designs, "
+                  f"cold {row['cold_s']:.3f}s -> warm {row['warm_s']:.4f}s "
+                  f"({row['warm_speedup']:.0f}x), resume loaded/computed "
+                  f"{row['resume_shards_loaded']}/"
+                  f"{row['resume_shards_computed']}, identical="
+                  f"{row['identical_cold'] and row['identical_warm'] and row['identical_resumed']}")
+
+    report = {
+        "schema": 1,
+        "smoke": args.smoke,
+        "tau_grid_points": len(tau_grid),
+        "circuits": rows,
+        "best_warm_speedup": max(
+            (row["warm_speedup"] for row in rows), default=0.0),
+        "min_warm_speedup": min(
+            (row["warm_speedup"] for row in rows), default=0.0),
+        "all_identical": all(
+            row["identical_cold"] and row["identical_warm"]
+            and row["identical_resumed"] for row in rows),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwarm-store speedup: best "
+          f"{report['best_warm_speedup']:.0f}x, worst "
+          f"{report['min_warm_speedup']:.0f}x "
+          f"(all identical: {report['all_identical']})")
+    print(f"[report saved to {args.out}]")
+    return 0 if report["all_identical"] \
+        and report["min_warm_speedup"] >= 10.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

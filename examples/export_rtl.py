@@ -11,6 +11,9 @@ then exports:
 
 and proves the JSON round-trip is bit-exact against the original circuit.
 
+The ``build/`` output directory is generated scratch — it is gitignored
+and safe to delete; rerunning the example recreates it.
+
 Run:  python examples/export_rtl.py
 """
 

@@ -59,6 +59,12 @@ from .ml import (
     train_test_split,
 )
 from .quant import QuantMLP, QuantSVM, quantize_inputs, quantize_model
+from .service import (
+    DesignStore,
+    ExplorationJob,
+    ExplorationService,
+    ExploreRequest,
+)
 
 __version__ = "1.0.0"
 
@@ -100,5 +106,9 @@ __all__ = [
     "QuantSVM",
     "quantize_inputs",
     "quantize_model",
+    "DesignStore",
+    "ExplorationJob",
+    "ExplorationService",
+    "ExploreRequest",
     "__version__",
 ]

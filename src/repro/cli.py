@@ -1,22 +1,37 @@
-"""Command-line entry point: regenerate any table or figure of the paper.
+"""Command-line entry point: paper artifacts and the exploration service.
 
-Usage::
+Paper experiments (regenerate any table or figure)::
 
     repro-printed-ml table1
     repro-printed-ml table2 --datasets redwine cardio
     repro-printed-ml fig2 --quick
     repro-printed-ml all
+
+Exploration service (content-addressed store, resumable jobs)::
+
+    repro-printed-ml explore --dataset redwine --model svm_r \\
+        --store designs.sqlite --resume
+    repro-printed-ml serve-batch --manifest manifest.json \\
+        --store designs.sqlite --out results.jsonl
+
+``explore`` runs (or resumes, or simply looks up) one pruning
+exploration and streams JSONL; ``serve-batch`` does the same for a
+whole manifest of requests, deduplicating them against the store.  See
+the "Service layer" section of ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from .experiments import fig1, fig2, fig3, proxy_correlation, table1, table2, table3
-from .experiments.zoo import MODEL_KINDS, all_cases, get_case
+from .experiments.zoo import MODEL_KINDS, get_case
 
 _EXPERIMENTS = ("table1", "table2", "table3", "fig1", "fig2", "fig3", "proxy")
+_DEFAULT_STORE = "designs.sqlite"
 
 
 def _selected_cases(datasets: list[str] | None, include_excluded: bool = False):
@@ -55,23 +70,135 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-printed-ml",
-        description="Regenerate the tables and figures of the DATE'22 "
-                    "printed-ML cross-layer approximation paper.")
-    parser.add_argument("experiment", choices=(*_EXPERIMENTS, "all"),
-                        help="which artifact to regenerate")
-    parser.add_argument("--datasets", nargs="*", default=None,
-                        help="restrict to these datasets (default: all)")
-    parser.add_argument("--quick", action="store_true",
-                        help="reduced workloads for a fast smoke run")
-    args = parser.parse_args(argv)
-    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+def _run_experiments(args: argparse.Namespace) -> int:
+    names = _EXPERIMENTS if args.command == "all" else (args.command,)
     for name in names:
         print(_run_one(name, args))
         print()
     return 0
+
+
+def _open_service(args: argparse.Namespace):
+    from .service import ExplorationService
+
+    return ExplorationService(args.store, n_workers=args.workers,
+                              engine=args.engine,
+                              shard_size=args.shard_size)
+
+
+def _out_stream(path: str | None):
+    if path is None or path == "-":
+        return sys.stdout, False
+    return open(path, "w", encoding="utf-8"), True
+
+
+def _run_explore(args: argparse.Namespace) -> int:
+    from .service import ExploreRequest
+
+    service = _open_service(args)
+    request_dict = {
+        "dataset": args.dataset,
+        "model": args.model,
+        "base": args.base,
+        "tau_grid": args.tau,
+    }
+    request = ExploreRequest.from_dict(request_dict)  # validate early
+    out, close = _out_stream(args.out)
+    try:
+        summary = service.run_manifest([request_dict], out,
+                                       resume=not args.fresh)
+    finally:
+        if close:
+            out.close()
+    print(f"[explore] {request.name}: {summary['n_designs']} designs, "
+          f"grid hit: {bool(summary['n_grid_hits'])}, "
+          f"{summary['runtime_s']:.2f}s "
+          f"(store: {args.store})", file=sys.stderr)
+    return 0
+
+
+def _run_serve_batch(args: argparse.Namespace) -> int:
+    manifest = json.loads(pathlib.Path(args.manifest).read_text())
+    service = _open_service(args)
+    out, close = _out_stream(args.out)
+    try:
+        summary = service.run_manifest(manifest, out,
+                                       resume=not args.fresh)
+    finally:
+        if close:
+            out.close()
+    print(f"[serve-batch] {summary['n_requests']} requests "
+          f"({summary['n_grid_hits']} grid hits), "
+          f"{summary['n_designs']} designs, "
+          f"{summary['runtime_s']:.2f}s (store: {args.store})",
+          file=sys.stderr)
+    return 0
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=_DEFAULT_STORE,
+                        help="path to the content-addressed design store "
+                             f"(default: {_DEFAULT_STORE})")
+    parser.add_argument("--out", default=None,
+                        help="JSONL output path ('-' or omitted: stdout)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan tau_c chains across N pool workers")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "batched", "compiled", "bigint"),
+                        help="evaluation engine (all produce identical "
+                             "records; default: auto)")
+    parser.add_argument("--shard-size", type=int, default=4,
+                        help="tau_c chains per checkpoint shard")
+    parser.add_argument("--resume", action="store_true", default=True,
+                        help="resume from shard checkpoints (the default; "
+                             "kept explicit for scripts)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="force recomputation: discard this request's "
+                             "stored grid and shard checkpoints first")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-printed-ml",
+        description="Regenerate the tables and figures of the DATE'22 "
+                    "printed-ML cross-layer approximation paper, or run "
+                    "the exploration service (explore / serve-batch).")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+
+    for name in (*_EXPERIMENTS, "all"):
+        exp = sub.add_parser(name, help=f"regenerate {name}"
+                             if name != "all" else "regenerate everything")
+        exp.add_argument("--datasets", nargs="*", default=None,
+                         help="restrict to these datasets (default: all)")
+        exp.add_argument("--quick", action="store_true",
+                         help="reduced workloads for a fast smoke run")
+        exp.set_defaults(handler=_run_experiments)
+
+    explore = sub.add_parser(
+        "explore", help="run/resume one store-backed pruning exploration")
+    explore.add_argument("--dataset", required=True,
+                         help="zoo dataset (e.g. redwine, cardio)")
+    explore.add_argument("--model", required=True, choices=MODEL_KINDS,
+                         help="zoo model kind")
+    explore.add_argument("--base", default="coeff",
+                         choices=("exact", "coeff"),
+                         help="base netlist: exact bespoke or coefficient-"
+                              "approximated (default: coeff)")
+    explore.add_argument("--tau", type=float, nargs="*", default=None,
+                         help="tau_c grid (default: the paper's 80..99%%)")
+    _add_service_options(explore)
+    explore.set_defaults(handler=_run_explore)
+
+    batch = sub.add_parser(
+        "serve-batch", help="run a manifest of exploration requests")
+    batch.add_argument("--manifest", required=True,
+                       help="JSON manifest: {'requests': [...]} or a list")
+    _add_service_options(batch)
+    batch.set_defaults(handler=_run_serve_batch)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
 
 
 if __name__ == "__main__":

@@ -162,6 +162,13 @@ class CrossLayerFramework:
             identical design space; see
             :class:`~repro.eval.accuracy.CircuitEvaluator` for the
             selector semantics.
+        store: optional content-addressed design store (a
+            :class:`~repro.service.store.DesignStore` or a path to
+            one).  When set, the pruning explorations route through the
+            service layer's resumable sharded jobs: finished grids are
+            lookups, interrupted ones resume from their last shard
+            checkpoint, and the records are bit-identical to a
+            store-less run (the store-hit identity contract).
     """
 
     def __init__(self, e: int = 4, strategy: str = "auto",
@@ -169,13 +176,22 @@ class CrossLayerFramework:
                  clock_ms: float | None = None,
                  library: BespokeMultiplierLibrary | None = None,
                  n_workers: int | None = None,
-                 engine: str = "auto") -> None:
+                 engine: str = "auto",
+                 store=None) -> None:
         self.approximator = CoefficientApproximator(
             library=library, e=e, strategy=strategy)
         self.tau_grid = tau_grid
         self.clock_ms = clock_ms
         self.n_workers = n_workers
         self.engine = engine
+        self.store = store
+
+    def _pruned_designs(self, pruner: NetlistPruner, label: str):
+        """One pruning exploration, through the store when configured."""
+        if self.store is None:
+            return pruner.explore()
+        from ..service.jobs import ExplorationJob  # lazy: core <-> service
+        return ExplorationJob(pruner, self.store, label=label).run()
 
     def explore(self, model, X_train01, X_test01, y_test,
                 name: str = "circuit",
@@ -207,7 +223,7 @@ class CrossLayerFramework:
             pruner = NetlistPruner(exact_netlist, evaluator, self.tau_grid,
                                    n_workers=self.n_workers,
                                    engine=self.engine)
-            for design in pruner.explore():
+            for design in self._pruned_designs(pruner, f"{name}/prune"):
                 points.append(DesignPoint.from_record(
                     "prune", design.record, tau_c=design.tau_c,
                     phi_c=design.phi_c, n_pruned=design.n_pruned,
@@ -217,7 +233,7 @@ class CrossLayerFramework:
             pruner = NetlistPruner(coeff_netlist, evaluator, self.tau_grid,
                                    n_workers=self.n_workers,
                                    engine=self.engine)
-            for design in pruner.explore():
+            for design in self._pruned_designs(pruner, f"{name}/cross"):
                 points.append(DesignPoint.from_record(
                     "cross", design.record, tau_c=design.tau_c,
                     phi_c=design.phi_c, n_pruned=design.n_pruned,

@@ -81,6 +81,9 @@ __all__ = [
     "PrunedDesign",
     "NetlistPruner",
     "DEFAULT_TAU_GRID",
+    "assemble_designs",
+    "prune_key_ids",
+    "prune_key_bytes",
 ]
 
 # tau_c in {0.80, 0.81, ..., 0.99}, the paper's grid.
@@ -191,6 +194,32 @@ class PrunedDesign:
     n_pruned: int
     record: EvaluationRecord
     duplicate_of: tuple[float, int] | None = None
+
+
+def prune_key_ids(key) -> tuple[int, ...]:
+    """Canonical prune-set identity: the sorted pruned-gate ids.
+
+    The exploration walks key their steps differently — the per-variant
+    paths by a ``frozenset`` of ``(gate, constant)`` items, the batched
+    walk by the sorted gate-id int64 byte string — but for one base
+    netlist the tied constants are a pure function of the gate set (the
+    training activity fixes ``const_value``), so the sorted gate ids
+    identify the variant.  The service layer's content-addressed store
+    (:mod:`repro.service.store`) hashes this canonical form.
+    """
+    if isinstance(key, (bytes, bytearray)):
+        return tuple(int(v) for v in np.frombuffer(key, dtype=np.int64))
+    return tuple(sorted(int(gate) for gate, _value in key))
+
+
+def prune_key_bytes(ids) -> bytes:
+    """The batched walk's step key for a canonical gate-id tuple.
+
+    Inverse of :func:`prune_key_ids` on the batched path; the service
+    layer uses it to pre-seed a pruner's record memo from stored
+    variants so a warm walk skips their evaluation entirely.
+    """
+    return np.sort(np.asarray(ids, dtype=np.int64)).tobytes()
 
 
 def _needs_netlist(evaluator: CircuitEvaluator) -> bool:
@@ -562,25 +591,73 @@ def _explore_trie_batched(base: ArrayCircuit, evaluator: CircuitEvaluator,
 
 
 # Worker-side state for the process pool: the (netlist, evaluator,
-# incremental) triple is shipped once per worker through the initializer
-# instead of once per chain task.
+# incremental, engine, pruning statistics) bundle is shipped once per
+# worker through the initializer instead of once per chain task.
 _WORKER_CONTEXT: dict = {}
 
 
 def _init_chain_worker(base: Netlist, evaluator: CircuitEvaluator,
-                       incremental: bool) -> None:
+                       incremental: bool, use_batched: bool = False,
+                       stats: tuple | None = None) -> None:
     circ, _ = ArrayCircuit.from_netlist(base)
     root = _root_state(circ) if incremental else None
-    _WORKER_CONTEXT["args"] = (circ, evaluator, incremental, root)
+    # Rebuild the PruneSpace worker-side from the shipped statistic
+    # arrays (tau, const_value, phi) — the batched walk derives its
+    # per-chain candidate prefixes from it, so workers never receive
+    # per-step force dicts at all on that engine.
+    space = PruneSpace(base, *stats) if stats is not None else None
+    _WORKER_CONTEXT["args"] = (circ, evaluator, incremental, root,
+                               use_batched, space)
 
 
 def _run_chain_task(task: tuple) -> list[tuple]:
-    base, evaluator, incremental, root = _WORKER_CONTEXT["args"]
+    base, evaluator, incremental, root, use_batched, space = \
+        _WORKER_CONTEXT["args"]
     tau_c, steps = task
     chain_root = (root[0].fork(), root[1], root[2]) if root is not None \
         else None
+    if use_batched and chain_root is not None:
+        # The ROADMAP open item: pool workers run the *batched* walk.
+        # One chain is a one-chain trie; keys/records/row shapes match
+        # the serial batched walk exactly, so serial == parallel holds
+        # row-for-row (and the record memo keys stay transferable).
+        rows = _explore_trie_batched(base, evaluator, space,
+                                     [(tau_c, steps)], None,
+                                     root_state=chain_root)
+        return rows[0]
     return _explore_chain(base, evaluator, tau_c, steps, incremental,
                           root_state=chain_root)
+
+
+def assemble_designs(chains: list, chain_rows: list,
+                     deduplicate: bool = True,
+                     record_memo: dict | None = None) -> list[PrunedDesign]:
+    """Fold per-chain rows into the final :class:`PrunedDesign` list.
+
+    ``chains`` and ``chain_rows`` are positionally aligned (the output
+    of :meth:`NetlistPruner.chain_rows`); chains must arrive in tau-grid
+    order so duplicate attribution — the first (tau_c, phi_c) pair that
+    produced each unique prune set — is deterministic.  Shared between
+    :meth:`NetlistPruner.explore` and the service layer's sharded jobs,
+    which is what makes a resumed run reassemble the *exact* cold-run
+    list: assembly is a pure function of the rows.
+    """
+    designs: list[PrunedDesign] = []
+    seen: dict[object, tuple[PrunedDesign, tuple[float, int]]] = {}
+    for (tau_c, _), rows in zip(chains, chain_rows):
+        for phi_c, key, n_pruned, record in rows:
+            if deduplicate and key in seen:
+                first, origin = seen[key]
+                designs.append(PrunedDesign(
+                    tau_c, phi_c, n_pruned, first.record,
+                    duplicate_of=origin))
+                continue
+            design = PrunedDesign(tau_c, phi_c, n_pruned, record)
+            designs.append(design)
+            seen[key] = (design, (tau_c, phi_c))
+            if deduplicate and record_memo is not None:
+                record_memo[key] = record
+    return designs
 
 
 @dataclass
@@ -597,11 +674,15 @@ class NetlistPruner:
             applying the next (superset) prune set.
         n_workers: fan independent tau_c chains across a process pool;
             ``None``/``0``/``1`` stays serial, and pool failures fall
-            back to the serial path automatically.  Note the ROADMAP
-            caveat: the reference container is single-CPU, so the pool
-            is regression-tested for serial equivalence but not
-            benchmarked at scale; serial chains run the (faster)
-            trie-shared walk, workers run independent chains.
+            back to the serial path automatically.  Workers run the
+            same engine the serial path resolves to — on ``"batched"``
+            each worker walks its chain as a one-chain batched trie
+            (plan epochs, deferred bulk scoring); on the per-variant
+            engines they run the incremental chain walk.  Note the
+            ROADMAP caveat: the reference container is single-CPU, so
+            the pool is regression-tested for serial equivalence but
+            not benchmarked at scale; serial runs additionally share
+            work *across* chains through the trie.
         engine: exploration engine override — ``None`` (default)
             inherits the evaluator's ``engine``.  ``"batched"`` (what
             ``"auto"`` resolves to on supported hosts) scores sibling
@@ -664,27 +745,59 @@ class NetlistPruner:
         still enumerates the paper's full grid.  The list is identical
         whether chains run serially or on a worker pool.
         """
+        chains, rows = self.chain_rows(n_workers=n_workers,
+                                       deduplicate=deduplicate)
+        return assemble_designs(
+            chains, rows,
+            deduplicate=deduplicate,
+            record_memo=self._record_memo if deduplicate else None)
+
+    def chain_rows(self, tau_values: tuple | list | None = None,
+                   n_workers: int | None = None,
+                   deduplicate: bool = True) -> tuple[list, list]:
+        """Evaluate the chains of a tau subset; the service shard hook.
+
+        Returns ``(chains, rows)`` where ``chains`` is the non-empty
+        ``(tau_c, steps)`` list actually walked and ``rows[i]`` holds
+        chain *i*'s ``(phi_c, key, n_pruned, record)`` tuples — exactly
+        what :func:`assemble_designs` folds into the final design list.
+        ``tau_values`` defaults to the full ``tau_grid``; the service
+        layer's sharded explorer (:mod:`repro.service.jobs`) calls this
+        per shard and checkpoints the rows, so a killed run re-walks only
+        unfinished shards.
+
+        Key identity: rows are keyed by ``frozenset`` items on the
+        per-variant paths and by sorted-id bytes on the batched path
+        (normalize with :func:`prune_key_ids`); the record memo
+        therefore only transfers between calls that resolve to the same
+        kind of walk (records stay correct either way — a missed hit
+        just re-evaluates).
+        """
         space = self.space()
+        if tau_values is None:
+            tau_values = self.tau_grid
         workers = n_workers if n_workers is not None else self.n_workers
         want_parallel = bool(workers and workers > 1)
         use_batched = self.incremental \
             and self.resolved_engine() == "batched"
-        if want_parallel or not use_batched:
+        if not use_batched:
             chains = [(float(tau_c), space.tau_steps(tau_c))
-                      for tau_c in self.tau_grid]
+                      for tau_c in tau_values]
         else:
-            # The batched walk derives steps from the candidate arrays
-            # itself; it only needs the phi grid — skip tau_steps' full
-            # per-step force-dict construction.
+            # The batched walk (serial *and* worker-side) derives steps
+            # from the candidate arrays itself; it only needs the phi
+            # grid — skip tau_steps' full per-step force-dict
+            # construction.
             chains = [(float(tau_c),
                        [(phi_c, None)
                         for phi_c in space.phi_levels(tau_c)])
-                      for tau_c in self.tau_grid]
+                      for tau_c in tau_values]
         chains = [(tau_c, steps) for tau_c, steps in chains if steps]
 
         chain_rows = None
         if want_parallel and len(chains) > 1:
-            chain_rows = self._run_chains_parallel(chains, workers)
+            chain_rows = self._run_chains_parallel(chains, workers,
+                                                   use_batched)
         if chain_rows is None:
             memo = self._record_memo if deduplicate else None
             base_circ = self._base_circuit()
@@ -698,38 +811,28 @@ class NetlistPruner:
                 chain_rows = _explore_trie(base_circ, self.evaluator,
                                            chains, self.incremental, memo,
                                            root_state=root)
+        return chains, chain_rows
 
-        designs: list[PrunedDesign] = []
-        # Keyed by the walk's prune-set identity: frozensets on the
-        # trie/parallel paths, sorted-id bytes on the batched path.  The
-        # memo therefore only transfers between explore() calls that
-        # resolve to the same kind of walk (records stay correct either
-        # way — a missed hit just re-evaluates).
-        seen: dict[object, tuple[PrunedDesign, tuple[float, int]]] = {}
-        for (tau_c, _), rows in zip(chains, chain_rows):
-            for phi_c, key, n_pruned, record in rows:
-                if deduplicate and key in seen:
-                    first, origin = seen[key]
-                    designs.append(PrunedDesign(
-                        tau_c, phi_c, n_pruned, first.record,
-                        duplicate_of=origin))
-                    continue
-                design = PrunedDesign(tau_c, phi_c, n_pruned, record)
-                designs.append(design)
-                seen[key] = (design, (tau_c, phi_c))
-                if deduplicate:
-                    self._record_memo[key] = record
-        return designs
+    def _run_chains_parallel(self, chains: list, workers: int,
+                             use_batched: bool = False
+                             ) -> list[list[tuple]] | None:
+        """Map chains over a process pool; ``None`` signals serial fallback.
 
-    def _run_chains_parallel(self, chains: list,
-                             workers: int) -> list[list[tuple]] | None:
-        """Map chains over a process pool; ``None`` signals serial fallback."""
+        On the batched engine the workers run the batched walk (each
+        chain is a one-chain trie), so the pool path finally shares the
+        serial path's engine; the pruning statistics ship once per
+        worker as plain arrays.
+        """
+        space = self.space()
+        stats = (space.tau, space.const_value, space.phi) if use_batched \
+            else None
         try:
             with ProcessPoolExecutor(
                     max_workers=min(workers, len(chains)),
                     initializer=_init_chain_worker,
                     initargs=(self.netlist, self.evaluator,
-                              self.incremental)) as pool:
+                              self.incremental, use_batched,
+                              stats)) as pool:
                 return list(pool.map(_run_chain_task, chains))
         except Exception as exc:  # pool/pickling/OS limits: stay correct
             warnings.warn(

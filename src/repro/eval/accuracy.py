@@ -80,7 +80,17 @@ class DecodeSpec:
 
 @dataclass(frozen=True)
 class EvaluationRecord:
-    """Metrics of one evaluated design (a row of the paper's Pareto sets)."""
+    """Metrics of one evaluated design (a row of the paper's Pareto sets).
+
+    Records are the unit of exchange of the service layer's
+    content-addressed store (:mod:`repro.service.store`), so they carry
+    an explicit (de)serialization contract: :meth:`to_dict` /
+    :meth:`from_dict` round-trip **bit-for-bit** through JSON.  Floats
+    survive exactly because ``json`` emits Python's shortest-repr form,
+    which ``float()`` parses back to the identical IEEE-754 double —
+    a cached record therefore compares ``==`` to a freshly computed one,
+    the identity the store's tests pin.
+    """
 
     accuracy: float
     area_mm2: float
@@ -90,6 +100,19 @@ class EvaluationRecord:
     @property
     def area_cm2(self) -> float:
         return self.area_mm2 / 100.0
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe, exact float round-trip)."""
+        return {"accuracy": self.accuracy, "area_mm2": self.area_mm2,
+                "power_mw": self.power_mw, "n_gates": self.n_gates}
+
+    @staticmethod
+    def from_dict(data: dict) -> "EvaluationRecord":
+        """Rebuild a record serialized by :meth:`to_dict`, bit-for-bit."""
+        return EvaluationRecord(float(data["accuracy"]),
+                                float(data["area_mm2"]),
+                                float(data["power_mw"]),
+                                int(data["n_gates"]))
 
 
 @dataclass

@@ -1,12 +1,22 @@
-"""Shared exploration runner with per-process caching.
+"""Shared exploration runner with per-process and on-disk caching.
 
 Fig. 3, Table II, and Table III all consume the same full design-space
 explorations; running them once per circuit per process keeps the whole
 benchmark suite fast while every consumer still sees identical data.
+
+When the ``REPRO_STORE`` environment variable names a design-store path
+(or a store is passed explicitly), the explorations additionally route
+through the service layer (:mod:`repro.service`): finished grids become
+SQLite lookups that survive across processes, and interrupted
+explorations resume from their shard checkpoints.  The records are
+bit-identical either way, so every experiment reproduces the same
+tables with or without a store — the store only changes how fast the
+second run arrives.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from ..core import CrossLayerFramework, ExplorationResult, default_library
@@ -15,8 +25,18 @@ from .zoo import CircuitCase, get_case
 __all__ = ["explore_case", "explore", "framework_for"]
 
 
-def framework_for(case: CircuitCase,
-                  engine: str = "auto") -> CrossLayerFramework:
+def _default_store():
+    """The store ``REPRO_STORE`` selects, or ``None`` (no persistence)."""
+    path = os.environ.get("REPRO_STORE")
+    if not path:
+        return None
+    from ..service.store import DesignStore  # deferred: optional feature
+
+    return DesignStore(path)
+
+
+def framework_for(case: CircuitCase, engine: str = "auto",
+                  store=None) -> CrossLayerFramework:
     """Paper-configured framework for one circuit (e=4, its clock).
 
     ``engine`` selects the evaluation backend for every simulation and
@@ -25,10 +45,15 @@ def framework_for(case: CircuitCase,
     and ``"bigint"`` force the per-variant and oracle engines (see
     :class:`~repro.eval.accuracy.CircuitEvaluator`).  All engines
     reproduce identical figures and tables; the default is simply the
-    fastest.
+    fastest.  ``store`` (default: whatever ``REPRO_STORE`` names)
+    persists the pruning explorations in the content-addressed design
+    store.
     """
+    if store is None:
+        store = _default_store()
     return CrossLayerFramework(e=4, clock_ms=case.clock_ms,
-                               library=default_library(), engine=engine)
+                               library=default_library(), engine=engine,
+                               store=store)
 
 
 @lru_cache(maxsize=None)

@@ -1,0 +1,29 @@
+"""Exploration service layer: persistent, resumable, multi-request DSE.
+
+PRs 1–2 made a *single* exploration fast (compiled + batched engines);
+this package makes the *system* around it scale to many models, grids,
+and repeated requests without recomputing anything twice:
+
+* :mod:`repro.service.store` — content-addressed SQLite store of every
+  evaluated variant record and every finished grid;
+* :mod:`repro.service.jobs` — sharded, checkpointed exploration jobs
+  that resume exactly where a killed run stopped;
+* :mod:`repro.service.runner` — the batch facade behind the
+  ``repro-printed-ml explore`` / ``serve-batch`` CLI: manifests of
+  (dataset, model, grid) requests, store deduplication, JSONL results.
+
+See the "Service layer" section of ``docs/ARCHITECTURE.md`` for the
+store schema, the hash contract, and the shard/checkpoint lifecycle.
+"""
+
+from .jobs import ExplorationJob, JobReport
+from .runner import ExplorationService, ExploreRequest
+from .store import DesignStore
+
+__all__ = [
+    "DesignStore",
+    "ExplorationJob",
+    "JobReport",
+    "ExplorationService",
+    "ExploreRequest",
+]

@@ -1,0 +1,234 @@
+"""Resumable sharded pruning exploration on top of the design store.
+
+An :class:`ExplorationJob` wraps one
+:class:`~repro.core.pruning.NetlistPruner` and turns its full-grid
+exploration into a sequence of checkpointed **shards** — contiguous
+groups of tau_c chains:
+
+1. If the store already holds the finished grid, return it (warm hit:
+   no simulation at all).
+2. Otherwise pre-seed the pruner's record memo with every variant the
+   store has for this base circuit, so overlapping grids reuse each
+   other's evaluations.
+3. Walk the shards in tau order.  A shard whose checkpoint exists (and
+   matches its tau partition) is loaded; a missing shard is computed
+   through :meth:`~repro.core.pruning.NetlistPruner.chain_rows`, then
+   checkpointed *and* its fresh variant records persisted — all before
+   the next shard starts.  A kill at any point therefore loses at most
+   the in-flight shard.
+4. Assemble the design list from all rows with
+   :func:`~repro.core.pruning.assemble_designs` — a pure function of
+   the rows in tau order, which is why a resumed run reproduces the
+   cold run's list *exactly* (same designs, same duplicate
+   attribution) — store the finished grid, and delete the checkpoints
+   it supersedes.
+
+Row keys are canonicalized to the sorted-gate-id byte form before
+checkpointing and assembly, so resumed (stored) and freshly-computed
+shards deduplicate against each other regardless of which engine
+produced them.
+
+The shard walk fans out across the pruner's process pool when the
+pruner was built with ``n_workers`` — pool workers run the batched
+engine (see :class:`~repro.core.pruning.NetlistPruner`), so sharding
+composes with parallelism instead of replacing it.  Two trade-offs of
+that composition: each shard spins up its own pool (checkpoint
+granularity bounds pool reuse — keep ``shard_size`` coarse when
+workers are on), and a one-chain shard runs serially (a single chain
+has nothing to fan out).  Both only cost startup overhead, never
+correctness; a persistent pruner-owned pool is a ROADMAP item for a
+multi-core host.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.pruning import (
+    NetlistPruner,
+    PrunedDesign,
+    assemble_designs,
+    prune_key_bytes,
+    prune_key_ids,
+)
+from ..eval.accuracy import EvaluationRecord
+from .store import DesignStore, base_fingerprint, grid_key
+
+__all__ = ["ExplorationJob", "JobReport"]
+
+# Chains per shard: small enough that a kill loses little work, large
+# enough that checkpoint writes stay a rounding error next to the
+# chain evaluations themselves.
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass
+class JobReport:
+    """What one :meth:`ExplorationJob.run` actually did (observability)."""
+
+    grid_key: str
+    n_shards: int = 0
+    shards_loaded: int = 0
+    shards_computed: int = 0
+    grid_hit: bool = False
+    variants_preloaded: int = 0
+    runtime_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "grid_key": self.grid_key,
+            "n_shards": self.n_shards,
+            "shards_loaded": self.shards_loaded,
+            "shards_computed": self.shards_computed,
+            "grid_hit": self.grid_hit,
+            "variants_preloaded": self.variants_preloaded,
+            "runtime_s": self.runtime_s,
+        }
+
+
+def _serialize_rows(chains: list, rows: list) -> dict:
+    """Checkpoint payload of one shard's walked chains."""
+    return {"chains": [
+        {"tau_c": tau_c,
+         "rows": [[phi_c, list(prune_key_ids(key)), n_pruned,
+                   record.to_dict()]
+                  for phi_c, key, n_pruned, record in chain_rows]}
+        for (tau_c, _steps), chain_rows in zip(chains, rows)]}
+
+
+def _deserialize_rows(payload: dict) -> tuple[list, list]:
+    """Inverse of :func:`_serialize_rows`, keys in canonical byte form."""
+    chains, rows = [], []
+    for chain in payload["chains"]:
+        chains.append((float(chain["tau_c"]), None))
+        rows.append([(int(phi_c), prune_key_bytes(ids), int(n_pruned),
+                      EvaluationRecord.from_dict(record))
+                     for phi_c, ids, n_pruned, record in chain["rows"]])
+    return chains, rows
+
+
+def _canonical_keys(rows: list) -> list:
+    """Rewrite one shard's row keys to the sorted-id byte form."""
+    return [[(phi_c, prune_key_bytes(prune_key_ids(key)), n_pruned, record)
+             for phi_c, key, n_pruned, record in chain_rows]
+            for chain_rows in rows]
+
+
+@dataclass
+class ExplorationJob:
+    """One resumable, store-backed pruning exploration.
+
+    Args:
+        pruner: the configured exploration (netlist, evaluator, grid,
+            engine, workers).  The job never changes what is explored —
+            only how the work is checkpointed and reused.
+        store: the content-addressed design store (or a path to one).
+        shard_size: tau_c chains per checkpoint shard.
+        label: human-readable tag recorded in the grid metadata.
+    """
+
+    pruner: NetlistPruner
+    store: DesignStore
+    shard_size: int = DEFAULT_SHARD_SIZE
+    label: str = "circuit"
+    _base_key: str | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.store, DesignStore):
+            self.store = DesignStore(self.store)
+        self.shard_size = max(1, int(self.shard_size))
+
+    def base_key(self) -> str:
+        """Content fingerprint of (netlist, evaluator inputs)."""
+        if self._base_key is None:
+            self._base_key = base_fingerprint(self.pruner.netlist,
+                                              self.pruner.evaluator)
+        return self._base_key
+
+    def grid_key(self) -> str:
+        """Content key of this exploration's finished design list."""
+        return grid_key(self.base_key(), self.pruner.tau_grid)
+
+    def shards(self) -> list[tuple[float, ...]]:
+        """The tau grid partitioned into checkpoint units, in order."""
+        taus = [float(t) for t in self.pruner.tau_grid]
+        return [tuple(taus[i:i + self.shard_size])
+                for i in range(0, len(taus), self.shard_size)]
+
+    def _preload_memo(self) -> int:
+        """Seed the pruner's record memo from the store's variants.
+
+        Keys enter in the byte form the batched walk uses; on the
+        per-variant engines the memo form differs, so hits simply
+        don't occur there (correct either way — see
+        :meth:`~repro.core.pruning.NetlistPruner.chain_rows`).
+        """
+        stored = self.store.variants_for_base(self.base_key())
+        for ids, record in stored.items():
+            self.pruner._record_memo.setdefault(prune_key_bytes(ids),
+                                                record)
+        return len(stored)
+
+    def run(self, resume: bool = True,
+            on_shard=None,
+            report: JobReport | None = None) -> list[PrunedDesign]:
+        """Explore, resuming from checkpoints; returns the design list.
+
+        ``on_shard(index, n_shards)`` fires after each shard is safely
+        checkpointed — the kill-and-resume tests (and any progress UI)
+        hook in here.  ``resume=False`` discards the stored grid *and*
+        any checkpoints first, forcing a full recomputation.
+        """
+        start = time.perf_counter()
+        gkey = self.grid_key()
+        if report is None:
+            report = JobReport(gkey)
+        report.grid_key = gkey
+
+        if not resume:
+            self.store.delete_grid(gkey)
+            self.store.clear_shards(gkey)
+
+        cached = self.store.get_grid(gkey)
+        if cached is not None:
+            report.grid_hit = True
+            report.runtime_s = time.perf_counter() - start
+            return cached
+        report.variants_preloaded = self._preload_memo()
+
+        shards = self.shards()
+        report.n_shards = len(shards)
+        all_chains: list = []
+        all_rows: list = []
+        for index, taus in enumerate(shards):
+            stored = self.store.get_shard(gkey, index) if resume else None
+            if stored is not None and tuple(stored[0]) == taus:
+                chains, rows = _deserialize_rows(stored[1])
+                report.shards_loaded += 1
+            else:
+                chains, rows = self.pruner.chain_rows(taus)
+                rows = _canonical_keys(rows)
+                self.store.put_shard(gkey, index, taus,
+                                     _serialize_rows(chains, rows))
+                self.store.put_variants(
+                    self.base_key(),
+                    {key: record
+                     for chain_rows in rows
+                     for _phi, key, _n, record in chain_rows})
+                report.shards_computed += 1
+            all_chains.extend(chains)
+            all_rows.extend(rows)
+            if on_shard is not None:
+                on_shard(index, len(shards))
+
+        designs = assemble_designs(all_chains, all_rows)
+        self.store.put_grid(gkey, designs, meta={
+            "label": self.label,
+            "base_key": self.base_key(),
+            "tau_grid": [float(t) for t in self.pruner.tau_grid],
+            "n_designs": len(designs),
+        })
+        self.store.clear_shards(gkey)
+        report.runtime_s = time.perf_counter() - start
+        return designs

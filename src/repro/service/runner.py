@@ -1,0 +1,182 @@
+"""Batch job runner: many exploration requests, one store, JSONL out.
+
+The facade the CLI (``repro-printed-ml explore`` / ``serve-batch``)
+and any embedding server talk to.  A **request** names a circuit and a
+pruning grid::
+
+    {"dataset": "redwine", "model": "svm_r", "base": "coeff",
+     "tau_grid": [0.9, 0.95, 0.99]}
+
+* ``dataset`` / ``model`` select a zoo circuit (trained + quantized
+  deterministically, so the content hash is reproducible across
+  processes);
+* ``base`` is ``"exact"`` (the bespoke baseline) or ``"coeff"`` (the
+  coefficient-approximated netlist — the paper's cross-layer input);
+* ``tau_grid`` defaults to the paper's 80..99% sweep.
+
+A **manifest** is a JSON document with a ``requests`` list (or a bare
+list).  :meth:`ExplorationService.run_manifest` deduplicates requests
+against the store *and within the batch* — identical requests resolve
+to the same content key, so the second occurrence is a lookup — and
+streams results as JSONL: a ``request`` header line per request,
+a ``design`` line per design point, and one final ``summary`` line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..core.multiplier_area import default_library
+from ..core.coeff_approx import CoefficientApproximator
+from ..core.pruning import DEFAULT_TAU_GRID, NetlistPruner, PrunedDesign
+from ..eval.accuracy import CircuitEvaluator
+from ..hw.bespoke import build_bespoke_netlist
+from .jobs import DEFAULT_SHARD_SIZE, ExplorationJob, JobReport
+from .store import DesignStore
+
+__all__ = ["ExploreRequest", "ExplorationService"]
+
+_BASES = ("exact", "coeff")
+
+
+@dataclass(frozen=True)
+class ExploreRequest:
+    """One (dataset, model, grid) exploration request."""
+
+    dataset: str
+    model: str
+    base: str = "coeff"
+    tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID
+    label: str | None = None
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExploreRequest":
+        known = {"dataset", "model", "base", "tau_grid", "label"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request fields {sorted(unknown)}; "
+                             f"expected a subset of {sorted(known)}")
+        try:
+            dataset, model = data["dataset"], data["model"]
+        except KeyError as exc:
+            raise ValueError(
+                f"request is missing required field {exc.args[0]!r}") from exc
+        base = data.get("base", "coeff")
+        if base not in _BASES:
+            raise ValueError(f"unknown base {base!r}; use one of {_BASES}")
+        tau_grid = data.get("tau_grid")
+        tau_grid = DEFAULT_TAU_GRID if tau_grid is None \
+            else tuple(float(t) for t in tau_grid)
+        return ExploreRequest(dataset, model, base, tau_grid,
+                              data.get("label"))
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self.dataset}/{self.model}/{self.base}"
+
+
+class ExplorationService:
+    """Store-backed exploration server for many circuits and grids.
+
+    One service owns one :class:`~repro.service.store.DesignStore` and a
+    per-process cache of prepared (netlist, evaluator) pairs, so a batch
+    touching the same circuit under several grids trains/builds it once
+    and the store deduplicates the evaluations.
+    """
+
+    def __init__(self, store: DesignStore | str, n_workers: int | None = None,
+                 engine: str = "auto",
+                 shard_size: int = DEFAULT_SHARD_SIZE) -> None:
+        self.store = store if isinstance(store, DesignStore) \
+            else DesignStore(store)
+        self.n_workers = n_workers
+        self.engine = engine
+        self.shard_size = shard_size
+        self._contexts: dict[tuple, tuple] = {}
+
+    def _context(self, request: ExploreRequest) -> tuple:
+        """(netlist, evaluator) for one request, cached per process."""
+        key = (request.dataset, request.model, request.base)
+        cached = self._contexts.get(key)
+        if cached is not None:
+            return cached
+        from ..experiments.zoo import get_case  # heavy import, deferred
+        case = get_case(request.dataset, request.model)
+        model = case.quant_model
+        if request.base == "coeff":
+            approximator = CoefficientApproximator(
+                library=default_library(), e=4)
+            model, _reports = approximator.approximate_model(model)
+        netlist = build_bespoke_netlist(
+            model, name=f"{request.dataset}_{request.model}_{request.base}")
+        split = case.split
+        evaluator = CircuitEvaluator.from_split(
+            case.quant_model, split.X_train, split.X_test, split.y_test,
+            clock_ms=case.clock_ms, engine=self.engine)
+        self._contexts[key] = (netlist, evaluator)
+        return self._contexts[key]
+
+    def job(self, request: ExploreRequest) -> ExplorationJob:
+        """The resumable job a request maps to (exposes its content key)."""
+        netlist, evaluator = self._context(request)
+        pruner = NetlistPruner(netlist, evaluator, request.tau_grid,
+                               n_workers=self.n_workers, engine=self.engine)
+        return ExplorationJob(pruner, self.store,
+                              shard_size=self.shard_size,
+                              label=request.name)
+
+    def explore(self, request: ExploreRequest, resume: bool = True,
+                on_shard=None) -> tuple[list[PrunedDesign], JobReport]:
+        """Run (or look up) one request; returns (designs, report)."""
+        job = self.job(request)
+        report = JobReport(job.grid_key())
+        designs = job.run(resume=resume, on_shard=on_shard, report=report)
+        return designs, report
+
+    def run_manifest(self, manifest, out, resume: bool = True) -> dict:
+        """Stream a manifest of requests to ``out`` as JSONL.
+
+        ``manifest`` is a dict with a ``requests`` list, or a bare
+        list of request dicts.  Returns the summary dict that is also
+        written as the last line.
+        """
+        if isinstance(manifest, dict):
+            manifest = manifest.get("requests", [])
+        requests = [ExploreRequest.from_dict(d) for d in manifest]
+
+        start = time.perf_counter()
+        n_cached = 0
+        n_designs = 0
+        for index, request in enumerate(requests):
+            designs, report = self.explore(request, resume=resume)
+            n_cached += int(report.grid_hit)
+            n_designs += len(designs)
+            header = {
+                "type": "request", "index": index,
+                "dataset": request.dataset, "model": request.model,
+                "base": request.base, "label": request.name,
+                "tau_grid_points": len(request.tau_grid),
+                "n_designs": len(designs),
+                **report.to_dict(),
+            }
+            out.write(json.dumps(header) + "\n")
+            for design in designs:
+                out.write(json.dumps({
+                    "type": "design", "index": index,
+                    "tau_c": design.tau_c, "phi_c": design.phi_c,
+                    "n_pruned": design.n_pruned,
+                    "duplicate_of": design.duplicate_of,
+                    **design.record.to_dict(),
+                }) + "\n")
+        summary = {
+            "type": "summary",
+            "n_requests": len(requests),
+            "n_grid_hits": n_cached,
+            "n_designs": n_designs,
+            "runtime_s": time.perf_counter() - start,
+            "store": self.store.stats(),
+        }
+        out.write(json.dumps(summary) + "\n")
+        return summary

@@ -1,0 +1,370 @@
+"""Content-addressed design store (SQLite).
+
+The exploration service memoizes *everything it ever evaluated* so that
+repeated or overlapping explorations become lookups:
+
+* **variants** — one row per evaluated pruned design, keyed by a stable
+  content hash of (base netlist, evaluator inputs, pruned-gate set);
+* **grids** — one row per finished (tau_c, phi_c) exploration, keyed by
+  the base fingerprint plus the tau grid, holding the full ordered
+  design list;
+* **shards** — checkpoints of in-flight explorations (see
+  :mod:`repro.service.jobs`): a killed run resumes from the last
+  finished shard and deletes its checkpoints once the grid lands.
+
+Hash contract
+-------------
+A key is the SHA-256 of length-prefixed canonical-JSON parts.  The
+*base fingerprint* covers the netlist structure
+(:func:`~repro.hw.netlist_io.netlist_to_dict`) and every evaluator
+input that can change a record: the decode rule, the train stimulus
+(it defines tau/const via switching activity), the test stimulus,
+the labels, and the clock.  It deliberately **excludes** the evaluation
+engine, worker count, and shard size — every engine produces
+bit-identical records (the repo's core equivalence contract), so any
+engine may hit any cached entry.  Records round-trip through
+:meth:`~repro.eval.accuracy.EvaluationRecord.to_dict` exactly (shortest
+-repr floats), which is what makes ``cached == fresh`` hold
+bit-for-bit; the service tests pin that identity on real grids.
+
+Concurrency: every operation opens its own connection with WAL
+journaling and a generous busy timeout, so concurrent shard writers
+(threads or processes) serialize at the SQLite layer instead of
+corrupting each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from contextlib import closing
+from pathlib import Path
+
+import numpy as np
+
+from ..core.pruning import PrunedDesign, prune_key_ids
+from ..eval.accuracy import EvaluationRecord
+from ..hw.netlist_io import netlist_to_dict
+
+__all__ = [
+    "DesignStore",
+    "canonical_json",
+    "content_key",
+    "netlist_fingerprint",
+    "evaluator_fingerprint",
+    "base_fingerprint",
+    "grid_key",
+    "variant_key",
+    "design_to_dict",
+    "design_from_dict",
+]
+
+# Bump when the schema or any fingerprint input changes; old stores are
+# rejected loudly instead of silently missing every lookup.
+STORE_FORMAT = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS variants (
+    key        TEXT PRIMARY KEY,
+    base_key   TEXT NOT NULL,
+    prune_ids  TEXT NOT NULL,
+    record     TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_variants_base ON variants(base_key);
+CREATE TABLE IF NOT EXISTS grids (
+    key        TEXT PRIMARY KEY,
+    designs    TEXT NOT NULL,
+    meta       TEXT NOT NULL,
+    n_designs  INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shards (
+    grid_key   TEXT NOT NULL,
+    shard      INTEGER NOT NULL,
+    taus       TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (grid_key, shard)
+);
+"""
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, shortest floats."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(*parts) -> str:
+    """SHA-256 hex digest of length-prefixed canonical parts.
+
+    Strings hash as UTF-8, bytes as-is, everything else through
+    :func:`canonical_json`.  Length prefixes make the framing
+    unambiguous (no concatenation collisions between parts).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, str):
+            blob = part.encode("utf-8")
+        elif isinstance(part, (bytes, bytearray)):
+            blob = bytes(part)
+        else:
+            blob = canonical_json(part).encode("utf-8")
+        digest.update(len(blob).to_bytes(8, "little"))
+        digest.update(blob)
+    return digest.hexdigest()
+
+
+def _array_digest(arr: np.ndarray) -> list:
+    """Shape/dtype/bytes summary of one stimulus array (hash input)."""
+    arr = np.ascontiguousarray(arr)
+    return [list(arr.shape), arr.dtype.str,
+            hashlib.sha256(arr.tobytes()).hexdigest()]
+
+
+def _payload_digest(payload: dict) -> dict:
+    return {name: _array_digest(np.asarray(arr))
+            for name, arr in sorted(payload.items())}
+
+
+def netlist_fingerprint(nl) -> str:
+    """Content hash of a netlist's structure, ports, and pruning meta.
+
+    The cosmetic ``name`` is excluded: logically identical circuits
+    built through different entry points (the CLI, the framework, a
+    bench script) must resolve to the same content key or the store
+    would recompute across them instead of deduplicating.
+    """
+    data = netlist_to_dict(nl)
+    data.pop("name", None)
+    return content_key("netlist", data)
+
+
+def evaluator_fingerprint(evaluator) -> str:
+    """Content hash of every evaluator input that can change a record.
+
+    Covers the decode rule, both stimulus payloads, the labels, and the
+    clock; excludes the engine selector (all engines are bit-identical
+    by contract) and caches.
+    """
+    decode = evaluator.decode
+    decode_part = {
+        "kind": decode.kind,
+        "classes": None if decode.classes is None
+        else _array_digest(np.asarray(decode.classes)),
+        "y_min": decode.y_min,
+        "y_max": decode.y_max,
+        "output_scale": decode.output_scale,
+    }
+    return content_key(
+        "evaluator", decode_part,
+        _payload_digest(evaluator.train_inputs),
+        _payload_digest(evaluator.test_inputs),
+        _array_digest(np.asarray(evaluator.y_test)),
+        {"clock_ms": evaluator.clock_ms})
+
+
+def base_fingerprint(netlist, evaluator) -> str:
+    """The (circuit, evaluation context) identity all keys derive from."""
+    return content_key("base", netlist_fingerprint(netlist),
+                       evaluator_fingerprint(evaluator))
+
+
+def grid_key(base_key: str, tau_grid) -> str:
+    """Key of one finished exploration: base + the tau sweep."""
+    return content_key("grid", base_key,
+                       [float(tau_c) for tau_c in tau_grid])
+
+
+def variant_key(base_key: str, ids) -> str:
+    """Key of one evaluated variant: base + canonical pruned-gate ids."""
+    return content_key("variant", base_key,
+                       [int(i) for i in ids])
+
+
+def design_to_dict(design: PrunedDesign) -> dict:
+    """JSON-safe form of one design row (exact float round-trip)."""
+    return {
+        "tau_c": design.tau_c,
+        "phi_c": design.phi_c,
+        "n_pruned": design.n_pruned,
+        "record": design.record.to_dict(),
+        "duplicate_of": None if design.duplicate_of is None
+        else [design.duplicate_of[0], design.duplicate_of[1]],
+    }
+
+
+def design_from_dict(data: dict) -> PrunedDesign:
+    """Rebuild a design serialized by :func:`design_to_dict`."""
+    duplicate = data["duplicate_of"]
+    return PrunedDesign(
+        float(data["tau_c"]), int(data["phi_c"]), int(data["n_pruned"]),
+        EvaluationRecord.from_dict(data["record"]),
+        None if duplicate is None
+        else (float(duplicate[0]), int(duplicate[1])))
+
+
+class DesignStore:
+    """SQLite-backed content-addressed store of evaluated designs.
+
+    ``path`` is a filesystem path (shared WAL databases need a real
+    file; use a temporary directory in tests).  The store is safe to
+    share between threads and processes: each call opens a fresh
+    connection, writes are single transactions, and variant inserts are
+    idempotent (same key ⇒ same content, first writer wins).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        with closing(self._connect()) as con, con:
+            con.executescript(_SCHEMA)
+            row = con.execute(
+                "SELECT value FROM store_meta WHERE key='format'").fetchone()
+            if row is None:
+                con.execute(
+                    "INSERT OR IGNORE INTO store_meta VALUES('format', ?)",
+                    (str(STORE_FORMAT),))
+            elif int(row[0]) != STORE_FORMAT:
+                raise ValueError(
+                    f"design store {self.path!r} has format {row[0]}, "
+                    f"this build expects {STORE_FORMAT}")
+
+    def _connect(self) -> sqlite3.Connection:
+        con = sqlite3.connect(self.path, timeout=30.0)
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute("PRAGMA synchronous=NORMAL")
+        con.execute("PRAGMA busy_timeout=30000")
+        return con
+
+    # -- variants ------------------------------------------------------
+
+    def get_variant(self, key: str) -> EvaluationRecord | None:
+        with closing(self._connect()) as con, con:
+            row = con.execute("SELECT record FROM variants WHERE key=?",
+                              (key,)).fetchone()
+        return None if row is None \
+            else EvaluationRecord.from_dict(json.loads(row[0]))
+
+    def put_variant(self, key: str, base_key: str, ids,
+                    record: EvaluationRecord) -> None:
+        with closing(self._connect()) as con, con:
+            con.execute(
+                "INSERT OR IGNORE INTO variants VALUES (?,?,?,?,?)",
+                (key, base_key, canonical_json([int(i) for i in ids]),
+                 canonical_json(record.to_dict()), time.time()))
+
+    def put_variants(self, base_key: str, entries: dict) -> None:
+        """Bulk insert ``{prune key -> record}`` for one base circuit.
+
+        Keys may be either walk form (bytes / frozenset) — they are
+        canonicalized through
+        :func:`~repro.core.pruning.prune_key_ids`.
+        """
+        now = time.time()
+        rows = []
+        for key, record in entries.items():
+            ids = prune_key_ids(key)
+            rows.append((variant_key(base_key, ids), base_key,
+                         canonical_json(list(ids)),
+                         canonical_json(record.to_dict()), now))
+        if not rows:
+            return
+        with closing(self._connect()) as con, con:
+            con.executemany(
+                "INSERT OR IGNORE INTO variants VALUES (?,?,?,?,?)", rows)
+
+    def variants_for_base(self, base_key: str) -> dict[tuple, EvaluationRecord]:
+        """All stored ``{pruned-gate ids -> record}`` of one base circuit."""
+        with closing(self._connect()) as con, con:
+            rows = con.execute(
+                "SELECT prune_ids, record FROM variants WHERE base_key=?",
+                (base_key,)).fetchall()
+        return {tuple(json.loads(ids)):
+                EvaluationRecord.from_dict(json.loads(record))
+                for ids, record in rows}
+
+    # -- grids ---------------------------------------------------------
+
+    def get_grid(self, key: str) -> list[PrunedDesign] | None:
+        """The finished design list, or ``None`` when never completed."""
+        with closing(self._connect()) as con, con:
+            row = con.execute("SELECT designs FROM grids WHERE key=?",
+                              (key,)).fetchone()
+        if row is None:
+            return None
+        return [design_from_dict(d) for d in json.loads(row[0])]
+
+    def put_grid(self, key: str, designs: list[PrunedDesign],
+                 meta: dict | None = None) -> None:
+        payload = canonical_json([design_to_dict(d) for d in designs])
+        with closing(self._connect()) as con, con:
+            con.execute(
+                "INSERT OR REPLACE INTO grids VALUES (?,?,?,?,?)",
+                (key, payload, canonical_json(meta or {}), len(designs),
+                 time.time()))
+
+    def delete_grid(self, key: str) -> None:
+        """Drop a finished grid (forces recomputation on the next run)."""
+        with closing(self._connect()) as con, con:
+            con.execute("DELETE FROM grids WHERE key=?", (key,))
+
+    def grid_meta(self, key: str) -> dict | None:
+        with closing(self._connect()) as con, con:
+            row = con.execute("SELECT meta FROM grids WHERE key=?",
+                              (key,)).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    # -- shard checkpoints ---------------------------------------------
+
+    def put_shard(self, grid_key: str, shard: int, taus, payload: dict) -> None:
+        with closing(self._connect()) as con, con:
+            con.execute(
+                "INSERT OR REPLACE INTO shards VALUES (?,?,?,?,?)",
+                (grid_key, int(shard),
+                 canonical_json([float(t) for t in taus]),
+                 canonical_json(payload), time.time()))
+
+    def get_shard(self, grid_key: str, shard: int) -> tuple[list, dict] | None:
+        """``(taus, payload)`` of one checkpointed shard, or ``None``."""
+        with closing(self._connect()) as con, con:
+            row = con.execute(
+                "SELECT taus, payload FROM shards WHERE grid_key=? AND shard=?",
+                (grid_key, int(shard))).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0]), json.loads(row[1])
+
+    def shard_indices(self, grid_key: str) -> set[int]:
+        with closing(self._connect()) as con, con:
+            rows = con.execute(
+                "SELECT shard FROM shards WHERE grid_key=?",
+                (grid_key,)).fetchall()
+        return {row[0] for row in rows}
+
+    def clear_shards(self, grid_key: str) -> None:
+        with closing(self._connect()) as con, con:
+            con.execute("DELETE FROM shards WHERE grid_key=?", (grid_key,))
+
+    # -- inspection ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Row counts per table (cheap health/inspection summary)."""
+        with closing(self._connect()) as con, con:
+            counts = {table: con.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                for table in ("variants", "grids", "shards")}
+        counts["path"] = self.path
+        counts["format"] = STORE_FORMAT
+        return counts
+
+    def integrity_ok(self) -> bool:
+        """SQLite's own integrity check (used by the concurrency tests)."""
+        with closing(self._connect()) as con, con:
+            return con.execute(
+                "PRAGMA integrity_check").fetchone()[0] == "ok"

@@ -1,0 +1,440 @@
+"""Tests for the exploration service layer (store, jobs, runner, CLI).
+
+The load-bearing contracts:
+
+* **store-hit identity** — a cached record equals a freshly computed
+  one bit-for-bit, on real prune grids (frozen-dataclass ``==`` is
+  exact float comparison, so these assertions are strict);
+* **kill-and-resume** — a run SIGKILLed mid-grid resumes from its shard
+  checkpoints and reassembles the *identical* design list (same
+  designs, same duplicate attribution) as an uninterrupted cold run;
+* **concurrent shard writes** — parallel writers against one SQLite
+  store neither corrupt it nor lose rows;
+* **worker batched engine** — the process-pool path now runs the
+  batched walk and still matches the serial and legacy oracles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.pruning import (
+    NetlistPruner,
+    prune_key_bytes,
+    prune_key_ids,
+)
+from repro.eval.accuracy import CircuitEvaluator, EvaluationRecord
+from repro.experiments.zoo import get_case
+from repro.hw.bespoke import build_bespoke_netlist
+from repro.service import (
+    DesignStore,
+    ExplorationJob,
+    ExplorationService,
+    ExploreRequest,
+    JobReport,
+)
+from repro.service.store import (
+    base_fingerprint,
+    design_from_dict,
+    design_to_dict,
+    evaluator_fingerprint,
+    grid_key,
+    netlist_fingerprint,
+)
+
+GRID = (0.85, 0.90, 0.95, 0.99)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def svm_setup():
+    case = get_case("redwine", "svm_r")
+    netlist = build_bespoke_netlist(case.quant_model)
+    evaluator = CircuitEvaluator.from_split(
+        case.quant_model, case.split.X_train, case.split.X_test,
+        case.split.y_test)
+    return netlist, evaluator
+
+
+@pytest.fixture(scope="module")
+def cold_designs(svm_setup):
+    netlist, evaluator = svm_setup
+    return NetlistPruner(netlist, evaluator, GRID).explore()
+
+
+class TestRecordSerialization:
+    def test_round_trip_is_bit_exact(self):
+        record = EvaluationRecord(0.1 + 0.2, 353.6904, 10.707021670574157,
+                                  623)
+        through_json = EvaluationRecord.from_dict(
+            json.loads(json.dumps(record.to_dict())))
+        assert through_json == record
+
+    def test_design_round_trip(self, cold_designs):
+        for design in cold_designs:
+            through = design_from_dict(
+                json.loads(json.dumps(design_to_dict(design))))
+            assert through == design
+
+
+class TestKeyNormalization:
+    def test_bytes_and_frozenset_forms_agree(self):
+        ids = (3, 17, 255)
+        assert prune_key_ids(prune_key_bytes(ids)) == ids
+        assert prune_key_ids(frozenset({(17, 1), (3, 0), (255, 1)})) == ids
+
+
+class TestFingerprints:
+    def test_deterministic_across_instances(self, svm_setup):
+        netlist, evaluator = svm_setup
+        case = get_case("redwine", "svm_r")
+        other_nl = build_bespoke_netlist(case.quant_model)
+        other_ev = CircuitEvaluator.from_split(
+            case.quant_model, case.split.X_train, case.split.X_test,
+            case.split.y_test)
+        assert netlist_fingerprint(other_nl) == netlist_fingerprint(netlist)
+        assert evaluator_fingerprint(other_ev) \
+            == evaluator_fingerprint(evaluator)
+
+    def test_name_is_cosmetic(self, svm_setup):
+        """Entry points name netlists differently; keys must not care."""
+        netlist, _ = svm_setup
+        case = get_case("redwine", "svm_r")
+        renamed = build_bespoke_netlist(case.quant_model,
+                                        name="some_other_entry_point")
+        assert netlist_fingerprint(renamed) == netlist_fingerprint(netlist)
+
+    def test_sensitive_to_inputs(self, svm_setup):
+        netlist, evaluator = svm_setup
+        other = build_bespoke_netlist(
+            get_case("redwine", "svm_c").quant_model)
+        assert netlist_fingerprint(other) != netlist_fingerprint(netlist)
+        base = base_fingerprint(netlist, evaluator)
+        assert grid_key(base, GRID) != grid_key(base, GRID[:-1])
+
+
+class TestStoreHitIdentity:
+    def test_job_matches_plain_explore(self, svm_setup, cold_designs,
+                                       tmp_path):
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        job = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                             store, shard_size=2)
+        assert job.run() == cold_designs
+
+    def test_warm_hit_is_bit_identical(self, svm_setup, cold_designs,
+                                       tmp_path):
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                       store, shard_size=2).run()
+        report = JobReport("")
+        warm = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                              store, shard_size=2).run(report=report)
+        assert report.grid_hit
+        assert warm == cold_designs  # exact float equality, per record
+
+    def test_fresh_forces_grid_recomputation(self, svm_setup,
+                                             cold_designs, tmp_path):
+        """``resume=False`` drops the stored grid, not just checkpoints."""
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                       store).run()
+        report = JobReport("")
+        fresh = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                               store).run(resume=False, report=report)
+        assert not report.grid_hit
+        assert report.shards_computed == report.n_shards
+        assert fresh == cold_designs
+
+    def test_variant_reuse_across_overlapping_grids(self, svm_setup,
+                                                    tmp_path):
+        """A new grid overlapping an old one reuses stored variants."""
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                       store).run()
+        wider = GRID + (0.97,)
+        report = JobReport("")
+        designs = ExplorationJob(NetlistPruner(netlist, evaluator, wider),
+                                 store).run(report=report)
+        assert not report.grid_hit  # different grid key...
+        assert report.variants_preloaded > 0  # ...but shared evaluations
+        assert designs == NetlistPruner(netlist, evaluator, wider).explore()
+
+    def test_shard_size_does_not_change_the_list(self, svm_setup,
+                                                 cold_designs, tmp_path):
+        netlist, evaluator = svm_setup
+        for shard_size in (1, 3, 100):
+            store = DesignStore(tmp_path / f"s{shard_size}.sqlite")
+            job = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                                 store, shard_size=shard_size)
+            assert job.run() == cold_designs
+
+
+class TestResume:
+    def test_in_process_kill_and_resume(self, svm_setup, cold_designs,
+                                        tmp_path):
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+
+        class Bomb(Exception):
+            pass
+
+        def explode_after_first(index, n_shards):
+            if index == 0:
+                raise Bomb()
+
+        job = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                             store, shard_size=1)
+        with pytest.raises(Bomb):
+            job.run(on_shard=explode_after_first)
+        assert store.shard_indices(job.grid_key()) == {0}
+
+        report = JobReport("")
+        resumed = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                                 store, shard_size=1).run(report=report)
+        assert resumed == cold_designs
+        assert report.shards_loaded == 1
+        assert report.shards_computed == report.n_shards - 1
+        # the finished grid supersedes its checkpoints
+        assert store.shard_indices(job.grid_key()) == set()
+
+    def test_sigkill_and_resume_reproduces_cold_run(self, svm_setup,
+                                                    cold_designs,
+                                                    tmp_path):
+        """A *process kill* mid-grid loses only the in-flight shard."""
+        netlist, evaluator = svm_setup
+        store_path = tmp_path / "store.sqlite"
+        script = f"""
+import os, signal
+from repro.core.pruning import NetlistPruner
+from repro.eval.accuracy import CircuitEvaluator
+from repro.experiments.zoo import get_case
+from repro.hw.bespoke import build_bespoke_netlist
+from repro.service import DesignStore, ExplorationJob
+
+case = get_case("redwine", "svm_r")
+netlist = build_bespoke_netlist(case.quant_model)
+evaluator = CircuitEvaluator.from_split(
+    case.quant_model, case.split.X_train, case.split.X_test,
+    case.split.y_test)
+job = ExplorationJob(NetlistPruner(netlist, evaluator, {GRID!r}),
+                     DesignStore({str(store_path)!r}), shard_size=1)
+
+def kill_after_second(index, n_shards):
+    if index == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+job.run(on_shard=kill_after_second)
+raise SystemExit("unreachable: the process should have been killed")
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        result = subprocess.run([sys.executable, "-c", script], env=env,
+                                capture_output=True, text=True, timeout=300)
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        store = DesignStore(store_path)
+        job = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                             store, shard_size=1)
+        assert store.shard_indices(job.grid_key()) == {0, 1}
+        report = JobReport("")
+        resumed = job.run(report=report)
+        assert resumed == cold_designs
+        assert report.shards_loaded == 2
+
+    def test_stale_checkpoint_partition_is_recomputed(self, svm_setup,
+                                                      cold_designs,
+                                                      tmp_path):
+        """Checkpoints from a different shard size are ignored safely."""
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        job1 = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                              store, shard_size=1)
+
+        class Bomb(Exception):
+            pass
+
+        def explode(index, n_shards):
+            raise Bomb()
+
+        with pytest.raises(Bomb):
+            job1.run(on_shard=explode)
+        # resume with a different partition: stored taus no longer match
+        resumed = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                                 store, shard_size=3).run()
+        assert resumed == cold_designs
+
+
+class TestConcurrency:
+    def test_concurrent_shard_and_variant_writes(self, svm_setup,
+                                                 cold_designs, tmp_path):
+        """Parallel writers serialize at SQLite; nothing is lost."""
+        netlist, evaluator = svm_setup
+        path = tmp_path / "store.sqlite"
+        DesignStore(path)  # create schema once
+        record = cold_designs[0].record
+        errors: list[Exception] = []
+
+        def writer(worker: int) -> None:
+            try:
+                store = DesignStore(path)
+                for i in range(20):
+                    store.put_shard(f"grid{worker}", i, [0.9],
+                                    {"chains": []})
+                    store.put_variants(
+                        f"base{worker}",
+                        {prune_key_bytes((worker, i)): record})
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        store = DesignStore(path)
+        assert store.integrity_ok()
+        stats = store.stats()
+        assert stats["shards"] == 6 * 20
+        assert stats["variants"] == 6 * 20
+        for worker in range(6):
+            assert store.shard_indices(f"grid{worker}") == set(range(20))
+            for ids, stored in store.variants_for_base(
+                    f"base{worker}").items():
+                assert stored == record
+
+
+class TestWorkerBatchedEngine:
+    def test_parallel_batched_matches_legacy_oracle(self, svm_setup):
+        """Pool workers on the batched walk reproduce the seed oracle."""
+        netlist, evaluator = svm_setup
+        grid = (0.90, 0.95, 0.99)
+        parallel = NetlistPruner(netlist, evaluator, grid,
+                                 n_workers=2, engine="batched").explore()
+        legacy = NetlistPruner(netlist, evaluator, grid).explore_legacy()
+        assert parallel == legacy
+
+    def test_parallel_job_matches_cold(self, svm_setup, cold_designs,
+                                       tmp_path):
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        job = ExplorationJob(
+            NetlistPruner(netlist, evaluator, GRID, n_workers=2),
+            store, shard_size=2)
+        assert job.run() == cold_designs
+
+
+class TestServiceRunner:
+    def test_manifest_deduplicates_against_store(self, tmp_path):
+        service = ExplorationService(tmp_path / "store.sqlite")
+        manifest = {"requests": [
+            {"dataset": "redwine", "model": "svm_r", "base": "exact",
+             "tau_grid": [0.9, 0.95, 0.99]},
+            {"dataset": "redwine", "model": "svm_r", "base": "exact",
+             "tau_grid": [0.9, 0.95, 0.99]},
+        ]}
+        out = pathlib.Path(tmp_path / "out.jsonl").open("w")
+        with out:
+            summary = service.run_manifest(manifest, out)
+        assert summary["n_requests"] == 2
+        assert summary["n_grid_hits"] == 1  # second request is a lookup
+
+        lines = [json.loads(line) for line in
+                 (tmp_path / "out.jsonl").read_text().splitlines()]
+        headers = [l for l in lines if l["type"] == "request"]
+        designs = [l for l in lines if l["type"] == "design"]
+        assert [h["grid_hit"] for h in headers] == [False, True]
+        assert len(designs) == summary["n_designs"]
+        # both requests stream identical design rows (cached == fresh)
+        first = [d for d in designs if d["index"] == 0]
+        second = [d for d in designs if d["index"] == 1]
+        for a, b in zip(first, second):
+            assert {**a, "index": 0} == {**b, "index": 0}
+        assert lines[-1]["type"] == "summary"
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="missing required"):
+            ExploreRequest.from_dict({"dataset": "redwine"})
+        with pytest.raises(ValueError, match="unknown base"):
+            ExploreRequest.from_dict({"dataset": "redwine",
+                                      "model": "svm_r", "base": "nope"})
+        with pytest.raises(ValueError, match="unknown request fields"):
+            ExploreRequest.from_dict({"dataset": "redwine",
+                                      "model": "svm_r", "surprise": 1})
+
+
+class TestCli:
+    def test_explore_subcommand_cold_then_warm(self, tmp_path, capsys):
+        args = ["explore", "--dataset", "redwine", "--model", "svm_r",
+                "--base", "exact", "--tau", "0.9", "0.95", "0.99",
+                "--store", str(tmp_path / "store.sqlite"),
+                "--out", str(tmp_path / "out.jsonl")]
+        assert cli_main(args) == 0
+        assert "grid hit: False" in capsys.readouterr().err
+        assert cli_main(args) == 0
+        assert "grid hit: True" in capsys.readouterr().err
+        lines = [json.loads(line) for line in
+                 (tmp_path / "out.jsonl").read_text().splitlines()]
+        assert lines[0]["type"] == "request"
+        assert lines[-1]["type"] == "summary"
+
+    def test_serve_batch_subcommand(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"requests": [
+            {"dataset": "redwine", "model": "svm_r", "base": "exact",
+             "tau_grid": [0.95, 0.99]},
+        ]}))
+        assert cli_main(["serve-batch", "--manifest", str(manifest),
+                        "--store", str(tmp_path / "store.sqlite"),
+                        "--out", str(tmp_path / "out.jsonl")]) == 0
+        err = capsys.readouterr().err
+        assert "1 requests" in err
+        summary = json.loads(
+            (tmp_path / "out.jsonl").read_text().splitlines()[-1])
+        assert summary["type"] == "summary"
+        assert summary["n_requests"] == 1
+
+
+class TestFrameworkRouting:
+    def test_framework_store_routing_is_identical(self, tmp_path):
+        from repro.experiments.runner import framework_for
+        case = get_case("redwine", "svm_r")
+        split = case.split
+        plain = framework_for(case).explore(
+            case.quant_model, split.X_train, split.X_test, split.y_test,
+            name="x")
+        store = DesignStore(tmp_path / "store.sqlite")
+        routed = framework_for(case, store=store)
+        cold = routed.explore(case.quant_model, split.X_train,
+                              split.X_test, split.y_test, name="x")
+        warm = routed.explore(case.quant_model, split.X_train,
+                              split.X_test, split.y_test, name="x")
+        assert cold.points == plain.points
+        assert warm.points == plain.points
+
+    def test_repro_store_env_var_selects_a_store(self, tmp_path,
+                                                 monkeypatch):
+        from repro.experiments.runner import framework_for
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.sqlite"))
+        case = get_case("redwine", "svm_r")
+        framework = framework_for(case)
+        assert framework.store is not None
+        assert framework.store.path == str(tmp_path / "env.sqlite")
+        monkeypatch.delenv("REPRO_STORE")
+        assert framework_for(case).store is None
