@@ -11,13 +11,29 @@ Exploration service (content-addressed store, resumable jobs)::
 
     repro-printed-ml explore --dataset redwine --model svm_r \\
         --store designs.sqlite --resume
+    repro-printed-ml explore --dataset cardio --model svm_c \\
+        --identity relaxed --store designs.sqlite
     repro-printed-ml serve-batch --manifest manifest.json \\
         --store designs.sqlite --out results.jsonl
 
 ``explore`` runs (or resumes, or simply looks up) one pruning
-exploration and streams JSONL; ``serve-batch`` does the same for a
-whole manifest of requests, deduplicating them against the store.  See
-the "Service layer" section of ``docs/ARCHITECTURE.md``.
+exploration and streams JSONL; ``--identity relaxed`` opts into the
+faster approximate exploration mode (identical accuracies and
+coordinates, gate/area records within a documented tolerance);
+``serve-batch`` does the same for a whole manifest of requests,
+deduplicating them against the store.
+
+Store maintenance::
+
+    repro-printed-ml store stats --store designs.sqlite
+    repro-printed-ml store gc --store designs.sqlite --keep-days 30
+    repro-printed-ml store gc --store designs.sqlite --dry-run
+
+``store gc`` deletes grids older than ``--keep-days``, variants no
+surviving grid manifest references, orphaned shard checkpoints, and
+stale coefficient-cache rows, then runs ``VACUUM`` (the store
+otherwise only ever grows).  See the "Service layer" section of
+``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -83,7 +99,8 @@ def _open_service(args: argparse.Namespace):
 
     return ExplorationService(args.store, n_workers=args.workers,
                               engine=args.engine,
-                              shard_size=args.shard_size)
+                              shard_size=args.shard_size,
+                              identity=args.identity)
 
 
 def _out_stream(path: str | None):
@@ -101,6 +118,7 @@ def _run_explore(args: argparse.Namespace) -> int:
         "model": args.model,
         "base": args.base,
         "tau_grid": args.tau,
+        "identity": args.identity,
     }
     request = ExploreRequest.from_dict(request_dict)  # validate early
     out, close = _out_stream(args.out)
@@ -114,6 +132,30 @@ def _run_explore(args: argparse.Namespace) -> int:
           f"grid hit: {bool(summary['n_grid_hits'])}, "
           f"{summary['runtime_s']:.2f}s "
           f"(store: {args.store})", file=sys.stderr)
+    return 0
+
+
+def _run_store_gc(args: argparse.Namespace) -> int:
+    from .service import DesignStore
+
+    report = DesignStore(args.store).gc(keep_days=args.keep_days,
+                                        dry_run=args.dry_run)
+    verb = "would delete" if report["dry_run"] else "deleted"
+    print(f"[store gc] {verb} {report['grids_deleted']} grids, "
+          f"{report['variants_deleted']} variants, "
+          f"{report['shards_deleted']} shard checkpoints, "
+          f"{report['coeff_deleted']} coeff-cache rows "
+          f"(keep-days: {report['keep_days']:g}); "
+          f"db {report['db_bytes_before']} -> "
+          f"{report['db_bytes_after']} bytes")
+    print(json.dumps(report))
+    return 0
+
+
+def _run_store_stats(args: argparse.Namespace) -> int:
+    from .service import DesignStore
+
+    print(json.dumps(DesignStore(args.store).stats(), indent=2))
     return 0
 
 
@@ -147,6 +189,14 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         choices=("auto", "batched", "compiled", "bigint"),
                         help="evaluation engine (all produce identical "
                              "records; default: auto)")
+    parser.add_argument("--identity", default="exact",
+                        choices=("exact", "relaxed"),
+                        help="record-identity mode: 'exact' is "
+                             "bit-identical to the legacy exploration; "
+                             "'relaxed' shares rewrites across the tau "
+                             "axis for speed (identical accuracies and "
+                             "coordinates, gate/area records within a "
+                             "documented tolerance)")
     parser.add_argument("--shard-size", type=int, default=4,
                         help="tau_c chains per checkpoint shard")
     parser.add_argument("--resume", action="store_true", default=True,
@@ -196,6 +246,23 @@ def main(argv: list[str] | None = None) -> int:
                        help="JSON manifest: {'requests': [...]} or a list")
     _add_service_options(batch)
     batch.set_defaults(handler=_run_serve_batch)
+
+    store = sub.add_parser("store", help="design-store maintenance")
+    store_sub = store.add_subparsers(dest="store_command", required=True,
+                                     metavar="store-command")
+    gc = store_sub.add_parser(
+        "gc", help="delete unreachable old rows, then VACUUM")
+    gc.add_argument("--store", default=_DEFAULT_STORE,
+                    help=f"store path (default: {_DEFAULT_STORE})")
+    gc.add_argument("--keep-days", type=float, default=30.0,
+                    help="age threshold in days (default: 30)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be deleted without deleting")
+    gc.set_defaults(handler=_run_store_gc)
+    stats = store_sub.add_parser("stats", help="print store row counts")
+    stats.add_argument("--store", default=_DEFAULT_STORE,
+                       help=f"store path (default: {_DEFAULT_STORE})")
+    stats.set_defaults(handler=_run_store_stats)
 
     args = parser.parse_args(argv)
     return args.handler(args)

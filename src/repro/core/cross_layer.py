@@ -168,7 +168,15 @@ class CrossLayerFramework:
             service layer's resumable sharded jobs: finished grids are
             lookups, interrupted ones resume from their last shard
             checkpoint, and the records are bit-identical to a
-            store-less run (the store-hit identity contract).
+            store-less run (the store-hit identity contract).  The
+            coefficient approximation is memoized in the store too, so
+            warm ``coeff``/``cross`` runs skip the area search.
+        identity: exploration record-identity mode — ``"exact"``
+            (default: design lists bit-identical to ``explore_legacy``)
+            or ``"relaxed"`` (the batched walk shares rewrites across
+            the tau axis; accuracies/coordinates stay identical, gate
+            and area records may differ within the documented
+            tolerance).  See :class:`~repro.core.pruning.NetlistPruner`.
     """
 
     def __init__(self, e: int = 4, strategy: str = "auto",
@@ -177,21 +185,37 @@ class CrossLayerFramework:
                  library: BespokeMultiplierLibrary | None = None,
                  n_workers: int | None = None,
                  engine: str = "auto",
-                 store=None) -> None:
+                 store=None,
+                 identity: str = "exact") -> None:
         self.approximator = CoefficientApproximator(
             library=library, e=e, strategy=strategy)
         self.tau_grid = tau_grid
         self.clock_ms = clock_ms
         self.n_workers = n_workers
         self.engine = engine
+        if store is not None and not hasattr(store, "get_variant"):
+            from ..service.store import DesignStore  # lazy: core <-> service
+            store = DesignStore(store)
         self.store = store
+        self.identity = identity
 
     def _pruned_designs(self, pruner: NetlistPruner, label: str):
         """One pruning exploration, through the store when configured."""
         if self.store is None:
-            return pruner.explore()
+            try:
+                return pruner.explore()
+            finally:
+                pruner.close()  # deterministic worker-pool teardown
         from ..service.jobs import ExplorationJob  # lazy: core <-> service
         return ExplorationJob(pruner, self.store, label=label).run()
+
+    def _approximate(self, model):
+        """Coefficient approximation, memoized in the store when set."""
+        if self.store is None:
+            return self.approximator.approximate_model(model)
+        from ..service.store import approximate_model_cached
+        return approximate_model_cached(self.approximator, model,
+                                        self.store)
 
     def explore(self, model, X_train01, X_test01, y_test,
                 name: str = "circuit",
@@ -204,7 +228,7 @@ class CrossLayerFramework:
         start = time.perf_counter()
         evaluator = CircuitEvaluator.from_split(
             model, X_train01, X_test01, y_test, clock_ms=self.clock_ms,
-            engine=self.engine)
+            engine=self.engine, identity=self.identity)
         points: list[DesignPoint] = []
 
         exact_netlist = build_bespoke_netlist(model, name=f"{name}_exact")
@@ -213,7 +237,7 @@ class CrossLayerFramework:
 
         coeff_reports: list[ApproximatedSum] = []
         if "coeff" in include or "cross" in include:
-            approx_model, coeff_reports = self.approximator.approximate_model(model)
+            approx_model, coeff_reports = self._approximate(model)
             coeff_netlist = build_bespoke_netlist(
                 approx_model, name=f"{name}_coeff")
             points.append(DesignPoint.from_record(
@@ -222,7 +246,8 @@ class CrossLayerFramework:
         if "prune" in include:
             pruner = NetlistPruner(exact_netlist, evaluator, self.tau_grid,
                                    n_workers=self.n_workers,
-                                   engine=self.engine)
+                                   engine=self.engine,
+                                   identity=self.identity)
             for design in self._pruned_designs(pruner, f"{name}/prune"):
                 points.append(DesignPoint.from_record(
                     "prune", design.record, tau_c=design.tau_c,
@@ -232,7 +257,8 @@ class CrossLayerFramework:
         if "cross" in include:
             pruner = NetlistPruner(coeff_netlist, evaluator, self.tau_grid,
                                    n_workers=self.n_workers,
-                                   engine=self.engine)
+                                   engine=self.engine,
+                                   identity=self.identity)
             for design in self._pruned_designs(pruner, f"{name}/cross"):
                 points.append(DesignPoint.from_record(
                     "cross", design.record, tau_c=design.tau_c,

@@ -31,13 +31,23 @@ produced them.
 The shard walk fans out across the pruner's process pool when the
 pruner was built with ``n_workers`` — pool workers run the batched
 engine (see :class:`~repro.core.pruning.NetlistPruner`), so sharding
-composes with parallelism instead of replacing it.  Two trade-offs of
-that composition: each shard spins up its own pool (checkpoint
-granularity bounds pool reuse — keep ``shard_size`` coarse when
-workers are on), and a one-chain shard runs serially (a single chain
-has nothing to fan out).  Both only cost startup overhead, never
-correctness; a persistent pruner-owned pool is a ROADMAP item for a
-multi-core host.
+composes with parallelism instead of replacing it.  The pruner owns
+one *persistent* executor reused across every checkpoint shard (the
+per-worker initializer cost is paid once per job, not once per
+shard); :meth:`ExplorationJob.run` shuts it down deterministically on
+the way out.  A one-chain shard still runs serially (a single chain
+has nothing to fan out) — startup overhead only, never correctness.
+
+Identity modes: the job keys everything on the pruner's *resolved
+identity* (``exact`` or ``relaxed``) — relaxed records may differ
+structurally from exact ones, so the two populations never share
+fingerprints, and resume/warm-hit semantics hold within each mode
+independently.  Relaxed resumption note: the serial relaxed walk
+shares rewrites across the tau chains *inside* one shard, so the
+structure a record reports can depend on the shard partition — cold
+vs resumed runs of the same ``shard_size`` are identical, but records
+produced under different shard sizes may differ within the relaxed
+tolerance (accuracies and coordinates never differ).
 """
 
 from __future__ import annotations
@@ -140,10 +150,11 @@ class ExplorationJob:
         self.shard_size = max(1, int(self.shard_size))
 
     def base_key(self) -> str:
-        """Content fingerprint of (netlist, evaluator inputs)."""
+        """Content fingerprint of (netlist, evaluator inputs, identity)."""
         if self._base_key is None:
-            self._base_key = base_fingerprint(self.pruner.netlist,
-                                              self.pruner.evaluator)
+            self._base_key = base_fingerprint(
+                self.pruner.netlist, self.pruner.evaluator,
+                self.pruner.resolved_identity())
         return self._base_key
 
     def grid_key(self) -> str:
@@ -186,6 +197,15 @@ class ExplorationJob:
             report = JobReport(gkey)
         report.grid_key = gkey
 
+        try:
+            return self._run(resume, on_shard, report, gkey, start)
+        finally:
+            # Deterministic teardown of the pruner-owned persistent
+            # worker pool (idempotent; a later run simply recreates it).
+            self.pruner.close()
+
+    def _run(self, resume, on_shard, report: JobReport, gkey: str,
+             start: float) -> list[PrunedDesign]:
         if not resume:
             self.store.delete_grid(gkey)
             self.store.clear_shards(gkey)

@@ -34,26 +34,36 @@ from ..core.pruning import DEFAULT_TAU_GRID, NetlistPruner, PrunedDesign
 from ..eval.accuracy import CircuitEvaluator
 from ..hw.bespoke import build_bespoke_netlist
 from .jobs import DEFAULT_SHARD_SIZE, ExplorationJob, JobReport
-from .store import DesignStore
+from .store import DesignStore, approximate_model_cached
 
 __all__ = ["ExploreRequest", "ExplorationService"]
 
 _BASES = ("exact", "coeff")
+_IDENTITIES = ("exact", "relaxed")
 
 
 @dataclass(frozen=True)
 class ExploreRequest:
-    """One (dataset, model, grid) exploration request."""
+    """One (dataset, model, grid) exploration request.
+
+    ``identity`` selects the exploration's record-identity mode
+    (``"exact"``/``"relaxed"``; ``None`` inherits the service default)
+    — see :class:`~repro.core.pruning.NetlistPruner`.  Relaxed and
+    exact runs of the same circuit resolve to *different* content keys
+    by construction.
+    """
 
     dataset: str
     model: str
     base: str = "coeff"
     tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID
     label: str | None = None
+    identity: str | None = None
 
     @staticmethod
     def from_dict(data: dict) -> "ExploreRequest":
-        known = {"dataset", "model", "base", "tau_grid", "label"}
+        known = {"dataset", "model", "base", "tau_grid", "label",
+                 "identity"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request fields {sorted(unknown)}; "
@@ -66,15 +76,22 @@ class ExploreRequest:
         base = data.get("base", "coeff")
         if base not in _BASES:
             raise ValueError(f"unknown base {base!r}; use one of {_BASES}")
+        identity = data.get("identity")
+        if identity is not None and identity not in _IDENTITIES:
+            raise ValueError(f"unknown identity {identity!r}; "
+                             f"use one of {_IDENTITIES}")
         tau_grid = data.get("tau_grid")
         tau_grid = DEFAULT_TAU_GRID if tau_grid is None \
             else tuple(float(t) for t in tau_grid)
         return ExploreRequest(dataset, model, base, tau_grid,
-                              data.get("label"))
+                              data.get("label"), identity)
 
     @property
     def name(self) -> str:
-        return self.label or f"{self.dataset}/{self.model}/{self.base}"
+        name = self.label or f"{self.dataset}/{self.model}/{self.base}"
+        if self.label is None and self.identity == "relaxed":
+            name += "@relaxed"
+        return name
 
 
 class ExplorationService:
@@ -88,12 +105,17 @@ class ExplorationService:
 
     def __init__(self, store: DesignStore | str, n_workers: int | None = None,
                  engine: str = "auto",
-                 shard_size: int = DEFAULT_SHARD_SIZE) -> None:
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 identity: str = "exact") -> None:
+        if identity not in _IDENTITIES:
+            raise ValueError(f"unknown identity {identity!r}; "
+                             f"use one of {_IDENTITIES}")
         self.store = store if isinstance(store, DesignStore) \
             else DesignStore(store)
         self.n_workers = n_workers
         self.engine = engine
         self.shard_size = shard_size
+        self.identity = identity
         self._contexts: dict[tuple, tuple] = {}
 
     def _context(self, request: ExploreRequest) -> tuple:
@@ -106,9 +128,12 @@ class ExplorationService:
         case = get_case(request.dataset, request.model)
         model = case.quant_model
         if request.base == "coeff":
+            # Warm runs hit the store's coefficient cache and skip the
+            # per-coefficient area search entirely (cached == fresh).
             approximator = CoefficientApproximator(
                 library=default_library(), e=4)
-            model, _reports = approximator.approximate_model(model)
+            model, _reports = approximate_model_cached(
+                approximator, model, self.store)
         netlist = build_bespoke_netlist(
             model, name=f"{request.dataset}_{request.model}_{request.base}")
         split = case.split
@@ -122,7 +147,8 @@ class ExplorationService:
         """The resumable job a request maps to (exposes its content key)."""
         netlist, evaluator = self._context(request)
         pruner = NetlistPruner(netlist, evaluator, request.tau_grid,
-                               n_workers=self.n_workers, engine=self.engine)
+                               n_workers=self.n_workers, engine=self.engine,
+                               identity=request.identity or self.identity)
         return ExplorationJob(pruner, self.store,
                               shard_size=self.shard_size,
                               label=request.name)

@@ -44,13 +44,16 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.coeff_approx import ApproximatedSum
 from ..core.pruning import PrunedDesign, prune_key_ids
 from ..eval.accuracy import EvaluationRecord
 from ..hw.netlist_io import netlist_to_dict
 
 __all__ = [
     "DesignStore",
+    "approximate_model_cached",
     "canonical_json",
+    "coeff_key",
     "content_key",
     "netlist_fingerprint",
     "evaluator_fingerprint",
@@ -63,7 +66,10 @@ __all__ = [
 
 # Bump when the schema or any fingerprint input changes; old stores are
 # rejected loudly instead of silently missing every lookup.
-STORE_FORMAT = 1
+# 2: base fingerprints include the exploration identity mode (relaxed
+#    and exact records must never alias), and the coeff_cache table
+#    memoizes coefficient-approximation results.
+STORE_FORMAT = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -92,6 +98,11 @@ CREATE TABLE IF NOT EXISTS shards (
     payload    TEXT NOT NULL,
     created_at REAL NOT NULL,
     PRIMARY KEY (grid_key, shard)
+);
+CREATE TABLE IF NOT EXISTS coeff_cache (
+    key        TEXT PRIMARY KEY,
+    payload    TEXT NOT NULL,
+    created_at REAL NOT NULL
 );
 """
 
@@ -170,10 +181,17 @@ def evaluator_fingerprint(evaluator) -> str:
         {"clock_ms": evaluator.clock_ms})
 
 
-def base_fingerprint(netlist, evaluator) -> str:
-    """The (circuit, evaluation context) identity all keys derive from."""
+def base_fingerprint(netlist, evaluator, identity: str = "exact") -> str:
+    """The (circuit, evaluation context) identity all keys derive from.
+
+    ``identity`` is the exploration's record-identity mode: relaxed
+    explorations may record structurally different (functionally equal)
+    areas/gate counts, so their records must never alias exact ones —
+    the mode is part of every derived key.
+    """
     return content_key("base", netlist_fingerprint(netlist),
-                       evaluator_fingerprint(evaluator))
+                       evaluator_fingerprint(evaluator),
+                       {"identity": identity})
 
 
 def grid_key(base_key: str, tau_grid) -> str:
@@ -198,6 +216,58 @@ def design_to_dict(design: PrunedDesign) -> dict:
         "duplicate_of": None if design.duplicate_of is None
         else [design.duplicate_of[0], design.duplicate_of[1]],
     }
+
+
+def coeff_key(model, approximator) -> str:
+    """Content key of one coefficient-approximation run.
+
+    Covers exactly the inputs of
+    :meth:`~repro.core.coeff_approx.CoefficientApproximator.approximate_model`:
+    every weighted sum's (layer, unit, coefficients, input width) plus
+    the search radius, strategy, and coefficient word length.  The
+    bespoke-multiplier library is derived deterministically from
+    ``coeff_bits``, so it contributes no extra entropy.
+    """
+    specs = [[spec.layer, spec.unit, [int(w) for w in spec.coefficients],
+              spec.input_bits] for spec in model.weighted_sums()]
+    return content_key("coeff", specs,
+                       {"e": approximator.e,
+                        "strategy": approximator.strategy,
+                        "coeff_bits": approximator.coeff_bits})
+
+
+def approximate_model_cached(approximator, model, store: "DesignStore"):
+    """``approximate_model`` through the store's coefficient cache.
+
+    A warm hit skips the per-coefficient area search entirely and
+    rebuilds the identical ``(approximated model, reports)`` pair —
+    ``approximate_model`` is deterministic and every payload field
+    round-trips exactly, so cached == fresh is strict equality (the
+    coefficient-axis analogue of the variant store's hit identity).
+    """
+    key = coeff_key(model, approximator)
+    payload = store.get_coeff(key)
+    specs = model.weighted_sums()
+    if payload is not None and len(payload) == len(specs):
+        updates = {}
+        reports = []
+        for item, spec in zip(payload, specs):
+            approximated = tuple(int(w) for w in item["approximated"])
+            updates[(spec.layer, spec.unit)] = approximated
+            reports.append(ApproximatedSum(
+                tuple(int(w) for w in item["original"]), approximated,
+                int(item["error_sum"]), float(item["area_before"]),
+                float(item["area_after"])))
+        return model.replace_coefficients(updates), reports
+    approx_model, reports = approximator.approximate_model(model)
+    store.put_coeff(key, [
+        {"original": list(report.original),
+         "approximated": list(report.approximated),
+         "error_sum": report.error_sum,
+         "area_before": report.area_before,
+         "area_after": report.area_after}
+        for report in reports])
+    return approx_model, reports
 
 
 def design_from_dict(data: dict) -> PrunedDesign:
@@ -351,6 +421,92 @@ class DesignStore:
         with closing(self._connect()) as con, con:
             con.execute("DELETE FROM shards WHERE grid_key=?", (grid_key,))
 
+    # -- coefficient-approximation cache -------------------------------
+
+    def get_coeff(self, key: str) -> list | None:
+        """Cached per-sum approximation payload, or ``None``."""
+        with closing(self._connect()) as con, con:
+            row = con.execute("SELECT payload FROM coeff_cache WHERE key=?",
+                              (key,)).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def put_coeff(self, key: str, payload: list) -> None:
+        with closing(self._connect()) as con, con:
+            con.execute(
+                "INSERT OR IGNORE INTO coeff_cache VALUES (?,?,?)",
+                (key, canonical_json(payload), time.time()))
+
+    # -- garbage collection --------------------------------------------
+
+    def gc(self, keep_days: float = 30.0, dry_run: bool = False,
+           now: float | None = None) -> dict:
+        """Delete unreachable old rows, then ``VACUUM``; returns a report.
+
+        The store only ever grows in normal operation; ``gc`` trims it:
+
+        * **grids** older than ``keep_days`` are dropped (their design
+          lists are recomputable — and usually re-derivable from the
+          surviving variants at warm-ish speed);
+        * **variants** are dropped when they are older than
+          ``keep_days`` *and* unreachable — no surviving grid manifest
+          references their base fingerprint (recent variants stay even
+          without a grid: they may belong to an in-flight run);
+        * orphaned **shard checkpoints** and **coefficient-cache** rows
+          older than the cutoff are dropped.
+
+        ``dry_run`` only reports what would be deleted.  ``now`` is an
+        injectable clock for tests.  The report carries the database
+        size before/after (``VACUUM`` reclaims the pages).
+        """
+        cutoff = (time.time() if now is None else now) \
+            - keep_days * 86400.0
+        path = Path(self.path)
+        report = {
+            "dry_run": bool(dry_run),
+            "keep_days": float(keep_days),
+            "db_bytes_before": path.stat().st_size if path.exists() else 0,
+        }
+        with closing(self._connect()) as con, con:
+            stale_grids = [row[0] for row in con.execute(
+                "SELECT key FROM grids WHERE created_at < ?",
+                (cutoff,))]
+            live_bases = {row[0] for row in con.execute(
+                "SELECT json_extract(meta, '$.base_key') FROM grids "
+                "WHERE created_at >= ?", (cutoff,)) if row[0]}
+            placeholders = ",".join("?" * len(live_bases))
+            base_filter = (
+                f" AND base_key NOT IN ({placeholders})"
+                if live_bases else "")
+            stale_variants = con.execute(
+                "SELECT COUNT(*) FROM variants WHERE created_at < ?"
+                + base_filter, (cutoff, *live_bases)).fetchone()[0]
+            stale_shards = con.execute(
+                "SELECT COUNT(*) FROM shards WHERE created_at < ?",
+                (cutoff,)).fetchone()[0]
+            stale_coeff = con.execute(
+                "SELECT COUNT(*) FROM coeff_cache WHERE created_at < ?",
+                (cutoff,)).fetchone()[0]
+            report.update(grids_deleted=len(stale_grids),
+                          variants_deleted=stale_variants,
+                          shards_deleted=stale_shards,
+                          coeff_deleted=stale_coeff)
+            if not dry_run:
+                con.execute("DELETE FROM grids WHERE created_at < ?",
+                            (cutoff,))
+                con.execute(
+                    "DELETE FROM variants WHERE created_at < ?"
+                    + base_filter, (cutoff, *live_bases))
+                con.execute("DELETE FROM shards WHERE created_at < ?",
+                            (cutoff,))
+                con.execute("DELETE FROM coeff_cache WHERE created_at < ?",
+                            (cutoff,))
+        if not dry_run:
+            with closing(self._connect()) as con:
+                con.execute("VACUUM")  # needs autocommit, no transaction
+        report["db_bytes_after"] = path.stat().st_size if path.exists() \
+            else 0
+        return report
+
     # -- inspection ----------------------------------------------------
 
     def stats(self) -> dict:
@@ -358,7 +514,8 @@ class DesignStore:
         with closing(self._connect()) as con, con:
             counts = {table: con.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
-                for table in ("variants", "grids", "shards")}
+                for table in ("variants", "grids", "shards",
+                              "coeff_cache")}
         counts["path"] = self.path
         counts["format"] = STORE_FORMAT
         return counts

@@ -43,7 +43,9 @@ from repro.service import (
     JobReport,
 )
 from repro.service.store import (
+    approximate_model_cached,
     base_fingerprint,
+    coeff_key,
     design_from_dict,
     design_to_dict,
     evaluator_fingerprint,
@@ -121,6 +123,16 @@ class TestFingerprints:
         assert netlist_fingerprint(other) != netlist_fingerprint(netlist)
         base = base_fingerprint(netlist, evaluator)
         assert grid_key(base, GRID) != grid_key(base, GRID[:-1])
+
+    def test_identity_modes_never_alias(self, svm_setup):
+        """Relaxed records may differ structurally from exact ones, so
+        the two modes must resolve to different content keys."""
+        netlist, evaluator = svm_setup
+        exact = base_fingerprint(netlist, evaluator, "exact")
+        relaxed = base_fingerprint(netlist, evaluator, "relaxed")
+        assert exact != relaxed
+        assert exact == base_fingerprint(netlist, evaluator)  # default
+        assert grid_key(exact, GRID) != grid_key(relaxed, GRID)
 
 
 class TestStoreHitIdentity:
@@ -279,6 +291,175 @@ raise SystemExit("unreachable: the process should have been killed")
         assert resumed == cold_designs
 
 
+class TestIdentityModes:
+    def test_relaxed_job_matches_relaxed_explore(self, svm_setup,
+                                                 tmp_path):
+        """Store-backed relaxed runs: warm hits are bit-identical to the
+        same job's cold run; against an *unsharded* relaxed explore the
+        accuracy/coordinate lists match and structure stays within the
+        relaxed tolerance (the lattice resets per checkpoint shard, so
+        the shard partition may shift gate counts by a few gates)."""
+        netlist, evaluator = svm_setup
+        unsharded = NetlistPruner(netlist, evaluator, GRID,
+                                  identity="relaxed").explore()
+        store = DesignStore(tmp_path / "store.sqlite")
+        cold = ExplorationJob(
+            NetlistPruner(netlist, evaluator, GRID, identity="relaxed"),
+            store, shard_size=2).run()
+        loose = [(d.tau_c, d.phi_c, d.n_pruned, d.record.accuracy,
+                  d.duplicate_of) for d in cold]
+        assert loose == [(d.tau_c, d.phi_c, d.n_pruned, d.record.accuracy,
+                          d.duplicate_of) for d in unsharded]
+        bound = max(8, int(0.05 * netlist.n_gates))
+        assert max(abs(a.record.n_gates - b.record.n_gates)
+                   for a, b in zip(cold, unsharded)) <= bound
+        report = JobReport("")
+        warm = ExplorationJob(
+            NetlistPruner(netlist, evaluator, GRID, identity="relaxed"),
+            store, shard_size=2).run(report=report)
+        assert report.grid_hit
+        assert warm == cold  # bit-identical store hit
+
+    def test_relaxed_kill_and_resume(self, svm_setup, tmp_path):
+        """Resumed relaxed runs reassemble the cold relaxed list."""
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+
+        class Bomb(Exception):
+            pass
+
+        def explode_after_first(index, n_shards):
+            if index == 0:
+                raise Bomb()
+
+        def relaxed_job(shard_size=2):
+            return ExplorationJob(
+                NetlistPruner(netlist, evaluator, GRID,
+                              identity="relaxed"),
+                store, shard_size=shard_size)
+
+        cold = ExplorationJob(
+            NetlistPruner(netlist, evaluator, GRID, identity="relaxed"),
+            DesignStore(tmp_path / "cold.sqlite"), shard_size=2).run()
+        with pytest.raises(Bomb):
+            relaxed_job().run(on_shard=explode_after_first)
+        report = JobReport("")
+        resumed = relaxed_job().run(report=report)
+        assert report.shards_loaded == 1
+        assert resumed == cold
+
+    def test_modes_share_a_store_without_aliasing(self, svm_setup,
+                                                  cold_designs, tmp_path):
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        exact = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                               store).run()
+        report = JobReport("")
+        ExplorationJob(
+            NetlistPruner(netlist, evaluator, GRID, identity="relaxed"),
+            store).run(report=report)
+        assert not report.grid_hit  # relaxed never hits the exact grid
+        assert report.variants_preloaded == 0  # nor its variants
+        assert exact == cold_designs
+        # and the exact grid is still served exactly
+        report = JobReport("")
+        again = ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                               store).run(report=report)
+        assert report.grid_hit
+        assert again == cold_designs
+
+
+class TestStoreGc:
+    def test_gc_drops_old_unreachable_keeps_referenced(self, svm_setup,
+                                                       tmp_path):
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        ExplorationJob(NetlistPruner(netlist, evaluator, GRID),
+                       store).run()
+        stats = store.stats()
+        assert stats["grids"] == 1 and stats["variants"] > 0
+
+        # Everything is fresh: a 7-day GC touches nothing.
+        report = store.gc(keep_days=7.0)
+        assert report["grids_deleted"] == 0
+        assert report["variants_deleted"] == 0
+
+        # Pretend a month passes: the grid ages out, and with it the
+        # variants its manifest kept reachable.
+        future = __import__("time").time() + 30 * 86400.0
+        dry = store.gc(keep_days=7.0, dry_run=True, now=future)
+        assert dry["grids_deleted"] == 1
+        assert dry["variants_deleted"] == stats["variants"]
+        assert store.stats()["grids"] == 1  # dry run deleted nothing
+        wet = store.gc(keep_days=7.0, now=future)
+        assert (wet["grids_deleted"], wet["variants_deleted"]) \
+            == (dry["grids_deleted"], dry["variants_deleted"])
+        after = store.stats()
+        assert after["grids"] == 0 and after["variants"] == 0
+        assert wet["db_bytes_after"] <= wet["db_bytes_before"]
+        assert store.integrity_ok()
+
+    def test_gc_keeps_young_variants_without_a_grid(self, svm_setup,
+                                                    cold_designs,
+                                                    tmp_path):
+        """Recent variants survive even when no grid references them
+        (they may belong to an in-flight exploration)."""
+        netlist, evaluator = svm_setup
+        store = DesignStore(tmp_path / "store.sqlite")
+        record = cold_designs[0].record
+        store.put_variants("somebase", {prune_key_bytes((1, 2)): record})
+        report = store.gc(keep_days=7.0)
+        assert report["variants_deleted"] == 0
+        assert store.stats()["variants"] == 1
+
+    def test_gc_cli(self, tmp_path, capsys):
+        path = tmp_path / "store.sqlite"
+        DesignStore(path)
+        assert cli_main(["store", "gc", "--store", str(path),
+                         "--dry-run"]) == 0
+        assert "would delete" in capsys.readouterr().out
+        assert cli_main(["store", "stats", "--store", str(path)]) == 0
+        assert '"format": 2' in capsys.readouterr().out
+
+
+class TestCoeffCache:
+    def test_warm_hit_is_identical(self, tmp_path):
+        from repro.core.coeff_approx import CoefficientApproximator
+        from repro.core.multiplier_area import default_library
+
+        case = get_case("redwine", "svm_r")
+        model = case.quant_model
+        approximator = CoefficientApproximator(library=default_library(),
+                                               e=4)
+        store = DesignStore(tmp_path / "store.sqlite")
+        cold_model, cold_reports = approximate_model_cached(
+            approximator, model, store)
+        assert store.stats()["coeff_cache"] == 1
+        warm_model, warm_reports = approximate_model_cached(
+            approximator, model, store)
+        assert store.stats()["coeff_cache"] == 1
+        assert warm_reports == cold_reports  # exact float round-trip
+        fresh_model, fresh_reports = approximator.approximate_model(model)
+        assert warm_reports == fresh_reports
+        for spec_w, spec_f in zip(warm_model.weighted_sums(),
+                                  fresh_model.weighted_sums()):
+            assert spec_w.coefficients == spec_f.coefficients
+
+    def test_key_covers_search_configuration(self, tmp_path):
+        from repro.core.coeff_approx import CoefficientApproximator
+        from repro.core.multiplier_area import default_library
+
+        model = get_case("redwine", "svm_r").quant_model
+        lib = default_library()
+        k4 = coeff_key(model, CoefficientApproximator(library=lib, e=4))
+        k2 = coeff_key(model, CoefficientApproximator(library=lib, e=2))
+        greedy = coeff_key(model, CoefficientApproximator(
+            library=lib, e=4, strategy="greedy"))
+        assert len({k4, k2, greedy}) == 3
+        assert k4 == coeff_key(model,
+                               CoefficientApproximator(library=lib, e=4))
+
+
 class TestConcurrency:
     def test_concurrent_shard_and_variant_writes(self, svm_setup,
                                                  cold_designs, tmp_path):
@@ -377,6 +558,15 @@ class TestServiceRunner:
         with pytest.raises(ValueError, match="unknown request fields"):
             ExploreRequest.from_dict({"dataset": "redwine",
                                       "model": "svm_r", "surprise": 1})
+        with pytest.raises(ValueError, match="unknown identity"):
+            ExploreRequest.from_dict({"dataset": "redwine",
+                                      "model": "svm_r",
+                                      "identity": "sloppy"})
+        relaxed = ExploreRequest.from_dict({"dataset": "redwine",
+                                            "model": "svm_r",
+                                            "identity": "relaxed"})
+        assert relaxed.identity == "relaxed"
+        assert relaxed.name.endswith("@relaxed")
 
 
 class TestCli:
