@@ -13,6 +13,8 @@ Exploration service (content-addressed store, resumable jobs)::
         --store designs.sqlite --resume
     repro-printed-ml explore --dataset cardio --model svm_c \\
         --identity relaxed --store designs.sqlite
+    repro-printed-ml sweep-e --dataset redwine --model svm_c \\
+        --e-max 10 --store designs.sqlite --out sweep.jsonl
     repro-printed-ml serve-batch --manifest manifest.json \\
         --store designs.sqlite --out results.jsonl
 
@@ -20,8 +22,14 @@ Exploration service (content-addressed store, resumable jobs)::
 exploration and streams JSONL; ``--identity relaxed`` opts into the
 faster approximate exploration mode (identical accuracies and
 coordinates, gate/area records within a documented tolerance);
-``serve-batch`` does the same for a whole manifest of requests,
-deduplicating them against the store.
+``sweep-e`` sweeps the coefficient search radius (Fig. 2 lifted to
+whole circuits): per ``e`` a coefficient-approximated design plus —
+unless ``--coeff-only`` — its pruning family, each radius a resumable
+store-backed job with the approximated netlists content-addressed
+(warm re-sweeps skip the area search and the rebuild);
+``serve-batch`` does the same for a whole manifest of requests
+(which may carry per-request ``e`` values), deduplicating them
+against the store.
 
 Store maintenance::
 
@@ -144,7 +152,8 @@ def _run_store_gc(args: argparse.Namespace) -> int:
     print(f"[store gc] {verb} {report['grids_deleted']} grids, "
           f"{report['variants_deleted']} variants, "
           f"{report['shards_deleted']} shard checkpoints, "
-          f"{report['coeff_deleted']} coeff-cache rows "
+          f"{report['coeff_deleted']} coeff-cache rows, "
+          f"{report['coeff_netlists_deleted']} coeff netlists "
           f"(keep-days: {report['keep_days']:g}); "
           f"db {report['db_bytes_before']} -> "
           f"{report['db_bytes_after']} bytes")
@@ -156,6 +165,36 @@ def _run_store_stats(args: argparse.Namespace) -> int:
     from .service import DesignStore
 
     print(json.dumps(DesignStore(args.store).stats(), indent=2))
+    return 0
+
+
+def _run_sweep_e(args: argparse.Namespace) -> int:
+    from .service import ExploreRequest
+
+    if args.e:
+        e_values = tuple(args.e)
+    else:
+        e_values = tuple(range(args.e_min, args.e_max + 1))
+    service = _open_service(args)
+    request = ExploreRequest.from_dict({
+        "dataset": args.dataset,
+        "model": args.model,
+        "tau_grid": args.tau,
+        "identity": args.identity,
+    })
+    out, close = _out_stream(args.out)
+    try:
+        summary = service.run_sweep(request, e_values, out,
+                                    resume=not args.fresh,
+                                    include_cross=not args.coeff_only)
+    finally:
+        if close:
+            out.close()
+    print(f"[sweep-e] {args.dataset}/{args.model} e={list(e_values)}: "
+          f"{summary['n_designs']} designs, "
+          f"{summary['n_grid_hits']}/{summary['n_e_values']} grid hits, "
+          f"{summary['runtime_s']:.2f}s (store: {args.store})",
+          file=sys.stderr)
     return 0
 
 
@@ -239,6 +278,27 @@ def main(argv: list[str] | None = None) -> int:
                          help="tau_c grid (default: the paper's 80..99%%)")
     _add_service_options(explore)
     explore.set_defaults(handler=_run_explore)
+
+    sweep = sub.add_parser(
+        "sweep-e", help="sweep the coefficient search radius (Fig. 2 "
+                        "style) with per-e coeff+cross families")
+    sweep.add_argument("--dataset", required=True,
+                       help="zoo dataset (e.g. redwine, cardio)")
+    sweep.add_argument("--model", required=True, choices=MODEL_KINDS,
+                       help="zoo model kind")
+    sweep.add_argument("--e", type=int, nargs="*", default=None,
+                       help="explicit radius list (default: e-min..e-max)")
+    sweep.add_argument("--e-min", type=int, default=1,
+                       help="first radius of the sweep (default: 1)")
+    sweep.add_argument("--e-max", type=int, default=10,
+                       help="last radius of the sweep (default: 10)")
+    sweep.add_argument("--coeff-only", action="store_true",
+                       help="skip the per-e pruning (cross) families")
+    sweep.add_argument("--tau", type=float, nargs="*", default=None,
+                       help="tau_c grid for the cross families "
+                            "(default: the paper's 80..99%%)")
+    _add_service_options(sweep)
+    sweep.set_defaults(handler=_run_sweep_e)
 
     batch = sub.add_parser(
         "serve-batch", help="run a manifest of exploration requests")

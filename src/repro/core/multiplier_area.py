@@ -30,6 +30,8 @@ class BespokeMultiplierLibrary:
     def __init__(self, coeff_bits: int = DEFAULT_COEFF_BITS) -> None:
         self.coeff_bits = coeff_bits
         self._cache: dict[tuple[int, int], float] = {}
+        self._areas_np: dict[int, np.ndarray] = {}
+        self._ladders: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
 
     def area(self, coefficient: int, input_bits: int) -> float:
         """Synthesized area (mm^2) of ``BM_coefficient`` at ``input_bits``."""
@@ -56,10 +58,54 @@ class BespokeMultiplierLibrary:
         return float(sum(self.area(int(w), input_bits) for w in coefficients))
 
     def areas_array(self, input_bits: int) -> np.ndarray:
-        """Area table as an array indexed by ``w - w_min``."""
-        table = self.area_table(input_bits)
-        lo, hi = coeff_range(self.coeff_bits)
-        return np.array([table[w] for w in range(lo, hi + 1)])
+        """Area table as an array indexed by ``w - w_min`` (cached)."""
+        cached = self._areas_np.get(input_bits)
+        if cached is None:
+            table = self.area_table(input_bits)
+            lo, hi = coeff_range(self.coeff_bits)
+            cached = np.array([table[w] for w in range(lo, hi + 1)])
+            self._areas_np[input_bits] = cached
+        return cached
+
+    def candidate_ladder(self, input_bits: int,
+                         e_max: int) -> tuple[np.ndarray, np.ndarray]:
+        """Prefix-minima candidate tables for *every* search radius at once.
+
+        Returns ``(minus, plus)`` int64 arrays of shape ``(e_max + 1, N)``
+        over the coefficient index ``w - w_min``: ``minus[e][i]`` is the
+        index of the minimum-area candidate in ``[w, w + e]`` (ties go to
+        the candidate closest to ``w`` — an unbeaten coefficient keeps its
+        value, the paper's zero-reduction case) and ``plus[e][i]`` the
+        same for ``[w - e, w]``.  Rung ``e`` extends rung ``e - 1``'s
+        winners by the single new border candidate, so the whole ladder
+        is O(N · e_max) NumPy work shared by every ``e`` of a sweep —
+        replacing the O(window) Python rescan per coefficient per ``e``.
+        The result is cached and grown on demand.
+        """
+        cached = self._ladders.get(input_bits)
+        if cached is not None and cached[0] >= e_max:
+            have, minus, plus = cached
+            return minus[:e_max + 1], plus[:e_max + 1]
+        areas = self.areas_array(input_bits)
+        n = len(areas)
+        idx = np.arange(n, dtype=np.int64)
+        minus = np.empty((e_max + 1, n), dtype=np.int64)
+        plus = np.empty((e_max + 1, n), dtype=np.int64)
+        minus[0] = idx
+        plus[0] = idx
+        for e in range(1, e_max + 1):
+            up = np.minimum(idx + e, n - 1)
+            prev = minus[e - 1]
+            # The farther border candidate only displaces the incumbent
+            # on *strictly* smaller area (the closest-tie rule).
+            better = (idx + e <= n - 1) & (areas[up] < areas[prev])
+            minus[e] = np.where(better, up, prev)
+            down = np.maximum(idx - e, 0)
+            prev = plus[e - 1]
+            better = (idx - e >= 0) & (areas[down] < areas[prev])
+            plus[e] = np.where(better, down, prev)
+        self._ladders[input_bits] = (e_max, minus, plus)
+        return minus, plus
 
     @property
     def cache_size(self) -> int:

@@ -105,6 +105,7 @@ __all__ = [
     "PrunedDesign",
     "NetlistPruner",
     "DEFAULT_TAU_GRID",
+    "RELAXED_BLOCK",
     "assemble_designs",
     "prune_key_ids",
     "prune_key_bytes",
@@ -112,6 +113,15 @@ __all__ = [
 
 # tau_c in {0.80, 0.81, ..., 0.99}, the paper's grid.
 DEFAULT_TAU_GRID = tuple(np.round(np.arange(0.80, 1.00, 0.01), 2))
+
+# Chains per relaxed-mode lattice block.  The relaxed walk resets its
+# cross-tau lattice (top chain, protection set, plan epochs) at *grid*
+# positions — every RELAXED_BLOCK-th tau of the pruner's sorted full
+# grid — never at whatever chain subset one call happens to receive.
+# Records are therefore a function of the grid alone: serial walks,
+# and sharded jobs of any shard size (the service rounds relaxed
+# shards up to whole blocks), all produce identical relaxed records.
+RELAXED_BLOCK = 5
 
 
 def compute_phi(nl: Netlist,
@@ -404,7 +414,8 @@ def _explore_trie_batched(base: ArrayCircuit, evaluator: CircuitEvaluator,
                           chains: list[tuple[float, list]],
                           known_records: dict | None,
                           root_state: tuple,
-                          relaxed: bool = False) -> list[list[tuple]]:
+                          relaxed: bool = False,
+                          grid: tuple | None = None) -> list[list[tuple]]:
     """The exploration walk on the batched engine.
 
     The trie of prune-set prefixes is walked exactly as in
@@ -651,7 +662,7 @@ def _explore_trie_batched(base: ArrayCircuit, evaluator: CircuitEvaluator,
             capture(key, state, refresh)
         return state
 
-    def lattice_walk() -> None:
+    def lattice_walk(block_cis: list[int]) -> None:
         """The relaxed walk: a phi-major lattice with cross-tau chaining.
 
         The exact trie is tau-major: each tau_c chain re-folds and ties
@@ -678,14 +689,19 @@ def _explore_trie_batched(base: ArrayCircuit, evaluator: CircuitEvaluator,
         and the per-column forks.  Records, keys, row ordering, and
         coordinates are identical to the exact walk; only synthesized
         structure may differ (the relaxed contract).
+
+        ``block_cis`` is one grid-pinned lattice block (the caller
+        partitions its chains at every ``RELAXED_BLOCK``-th position of
+        the sorted full grid): cross-tau sharing never crosses a block
+        boundary, which is what makes relaxed records independent of
+        how a sharded job happens to slice the grid.
         """
         # Column index: phi level -> [(chain, prefix count)] in
         # ascending *tau value* (callers may pass an unsorted grid —
         # the within-column nesting S(tau', phi) ⊇ S(tau, phi) only
         # holds along the tau order); walked in reverse inside each
         # column.
-        tau_order = sorted(range(len(chains)),
-                           key=lambda ci: chains[ci][0])
+        tau_order = sorted(block_cis, key=lambda ci: chains[ci][0])
         columns: dict[int, list[tuple[int, int]]] = {}
         for ci in tau_order:
             for phi_c, count in chain_arrays[ci][3]:
@@ -729,16 +745,38 @@ def _explore_trie_batched(base: ArrayCircuit, evaluator: CircuitEvaluator,
     root_inc, root_map, _root_gates = root_state
     if relaxed:
         pristine, pristine_map = root_inc, root_map
-        # Every gate the walk may ever tie (any candidate at the most
-        # permissive tau of this call) is *protected*: the rewriter
-        # keeps its signal un-merged (BUF aliases instead of live-merge
-        # folds), so cross-tau delta ties always land on their own
-        # nodes and the strict-target guard almost never fires.
-        gates = space.candidates(min(tau_c for tau_c, _steps in chains))
-        nodes = np.asarray(pristine_map)[n_fixed + gates]
-        pristine.protected = frozenset(
-            nodes[nodes >= n_fixed].tolist())
-        lattice_walk()
+        map_np = np.asarray(pristine_map)
+        # Partition the chains into grid-pinned lattice blocks: block
+        # membership is a tau's *dense rank* among the sorted distinct
+        # values of the full grid (every RELAXED_BLOCK ranks), never
+        # this call's chain subset — so any block-aligned partition of
+        # the grid (serial, or service shards of any size) reproduces
+        # the same records, and duplicated tau values always share a
+        # block.  A tau outside the pruner's grid is its own singleton
+        # block (deterministic regardless of what it was called with).
+        position = {} if grid is None else {
+            value: index for index, value in enumerate(sorted(
+                {round(float(t), 9) for t in grid}))}
+        blocks: dict[tuple[int, int], list[int]] = {}
+        for ci, (tau_c, _steps) in enumerate(chains):
+            index = position.get(round(float(tau_c), 9))
+            key = (1, ci) if index is None else (0, index // RELAXED_BLOCK)
+            blocks.setdefault(key, []).append(ci)
+        for key in sorted(blocks):
+            block_cis = blocks[key]
+            # Every gate the block may ever tie (any candidate at its
+            # most permissive tau) is *protected*: the rewriter keeps
+            # its signal un-merged (BUF aliases instead of live-merge
+            # folds), so cross-tau delta ties always land on their own
+            # nodes and the strict-target guard almost never fires.
+            # Pinned per block for the same partition-independence.
+            gates = space.candidates(min(chains[ci][0]
+                                         for ci in block_cis))
+            nodes = map_np[n_fixed + gates]
+            pristine.protected = frozenset(
+                nodes[nodes >= n_fixed].tolist())
+            lattice_walk(block_cis)
+        pristine.protected = None
     else:
         visit(list(range(len(chains))), 0,
               [root_inc, root_map, 0, None, 0, {}])
@@ -1015,7 +1053,8 @@ class NetlistPruner:
                                                    self.evaluator, space,
                                                    chains, memo,
                                                    root_state=root,
-                                                   relaxed=relaxed)
+                                                   relaxed=relaxed,
+                                                   grid=self.tau_grid)
             else:
                 chain_rows = _explore_trie(base_circ, self.evaluator,
                                            chains, self.incremental, memo,

@@ -23,7 +23,11 @@ import numpy as np
 
 from ..hw.area import area_mm2
 from ..hw.bespoke import CLASS_OUTPUT, REGRESSOR_OUTPUT, input_payload
-from ..hw.compiled import HOST_SUPPORTS_COMPILED, pack_stimulus
+from ..hw.compiled import (
+    HOST_SUPPORTS_COMPILED,
+    MultiNetlistSim,
+    pack_stimulus,
+)
 from ..hw.netlist import Netlist
 from ..hw.power import power_mw
 from ..hw.simulate import (
@@ -294,6 +298,50 @@ class CircuitEvaluator:
                              sim.circuit.n_gates)
             for sim, acc in zip(sims, accuracies)
         ]
+
+    def evaluate_many(self, circuits: list) -> list[EvaluationRecord]:
+        """Score many *independent* circuits in one multi-netlist pass.
+
+        Bit-identical to ``[self.evaluate(c) for c in circuits]``
+        (oracle-tested in ``tests/test_multinetlist.py``): the circuits
+        — netlists or array circuits — pack into shared level-aligned
+        :class:`~repro.hw.compiled.MultiNetlistSim` batches, the fixed
+        test stimulus is validated and word-packed once, activity is a
+        stacked popcount pass, and scoring goes through
+        :meth:`evaluate_batch`.  This is the engine behind the e-sweep's
+        per-``e`` coefficient variants and the cross-layer flow's
+        exact+coeff pair.  Falls back to the per-circuit loop on the
+        bigint engine, on a single-element list, or when the circuits
+        disagree on input-bus layout (nothing to share then).
+        """
+        if len(circuits) < 2 \
+                or self.resolved_engine() not in ("compiled", "batched"):
+            return [self.evaluate(circ) for circ in circuits]
+        n, _arrays, packed = self.test_stimulus(circuits[0])
+        reference = {name: len(nets)
+                     for name, nets in circuits[0].input_buses.items()}
+        for circ in circuits[1:]:
+            if {name: len(nets)
+                    for name, nets in circ.input_buses.items()} != reference:
+                return [self.evaluate(circ) for circ in circuits]
+        plans = [circ.compiled() for circ in circuits]
+        n_words = max(1, (n + 63) // 64)
+        records: list[EvaluationRecord] = []
+        start = 0
+        while start < len(plans):
+            end = start + 1
+            total_rows = plans[start].n_nets
+            while end < len(plans):
+                grown = total_rows + plans[end].n_nets
+                if grown * n_words * 8 > MultiNetlistSim.MAX_CHUNK_BYTES:
+                    break
+                total_rows = grown
+                end += 1
+            sims = MultiNetlistSim(circuits[start:end], plans[start:end],
+                                   n, [packed] * (end - start)).evaluate()
+            records.extend(self.evaluate_batch(sims))
+            start = end
+        return records
 
     def accuracy(self, nl: Netlist) -> float:
         """Test-set accuracy only — skips the activity/power pass."""

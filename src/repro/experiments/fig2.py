@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.multiplier_area import BespokeMultiplierLibrary
-from ..quant.fixed_point import coeff_range
 
 __all__ = ["Fig2Cell", "run", "format_table", "CONFIGURATIONS"]
 
@@ -59,28 +58,36 @@ class Fig2Cell:
 
 def best_in_window(table: dict[int, float], w: int, e: int,
                    lo: int, hi: int) -> float:
-    """Smallest multiplier area reachable from ``w`` within ``e``."""
+    """Smallest multiplier area reachable from ``w`` within ``e``.
+
+    Kept as a point-query helper (and the reference the vectorized
+    path is tested against); :func:`run` itself reads whole-table
+    window minima off the library's shared candidate ladder instead of
+    rescanning a window per coefficient per ``e``.
+    """
     return min(table[c] for c in range(max(w - e, lo), min(w + e, hi) + 1))
 
 
 def run(e_values: tuple[int, ...] = tuple(range(1, 11)),
         configurations: tuple[tuple[int, int], ...] = CONFIGURATIONS
         ) -> list[Fig2Cell]:
-    """Compute the area-reduction distributions for every subfigure."""
+    """Compute the area-reduction distributions for every subfigure.
+
+    One prefix-minima ladder pass per configuration
+    (:meth:`~repro.core.multiplier_area.BespokeMultiplierLibrary.
+    candidate_ladder`) serves every ``e`` at once: the window minimum of
+    ``[w - e, w + e]`` is the cheaper of the two half-window winners.
+    """
     cells = []
     for input_bits, coeff_bits in configurations:
         library = BespokeMultiplierLibrary(coeff_bits=coeff_bits)
-        table = library.area_table(input_bits)
-        lo, hi = coeff_range(coeff_bits)
+        areas = library.areas_array(input_bits)
+        minus, plus = library.candidate_ladder(input_bits, max(e_values))
+        reducible = areas > 0.0  # zero-area w cannot be reduced (w stays)
         for e in e_values:
-            reductions = []
-            for w, area in table.items():
-                if area == 0.0:
-                    continue  # zero-area w cannot be reduced (w stays)
-                best = best_in_window(table, w, e, lo, hi)
-                reductions.append(100.0 * (1.0 - best / area))
-            cells.append(Fig2Cell(input_bits, coeff_bits, e,
-                                  np.array(reductions)))
+            best = np.minimum(areas[minus[e]], areas[plus[e]])
+            reductions = 100.0 * (1.0 - best[reducible] / areas[reducible])
+            cells.append(Fig2Cell(input_bits, coeff_bits, e, reductions))
     return cells
 
 

@@ -50,6 +50,8 @@ __all__ = [
     "CompiledNetlist",
     "CompiledSimulation",
     "HOST_SUPPORTS_COMPILED",
+    "MultiNetlistSim",
+    "MultiNetlistView",
     "VariantSpec",
     "pack_bit_matrix",
     "pack_stimulus",
@@ -139,6 +141,55 @@ def pack_stimulus(arrays: dict[str, np.ndarray], widths: dict[str, int],
     return packed
 
 
+def _run_levels(words: np.ndarray, levels_plan: list,
+                max_level_width: int) -> None:
+    """Evaluate a levelized plan in place over 2-D ``uint64`` words.
+
+    One gather, a handful of in-place ufuncs over contiguous opcode
+    segments, and one scatter per *level*; scratch slabs sized to the
+    widest level avoid per-level reallocation.  Shared by the
+    single-netlist engine (:meth:`CompiledNetlist.simulate`) and the
+    multi-netlist engine (:meth:`MultiNetlistSim.evaluate`) — one loop,
+    one place for opcode semantics, so the engines cannot drift.  (The
+    batched multi-variant engine keeps its own 3-D loop: it interleaves
+    per-variant constant-clamp injection between levels.)
+    """
+    max_rows = max(max_level_width, 1)
+    n_words = words.shape[1]
+    scratch_a = np.empty((max_rows, n_words), dtype=np.uint64)
+    scratch_b = np.empty((max_rows, n_words), dtype=np.uint64)
+    take = np.take
+    for out, a, b, segments in levels_plan:
+        rows = len(a)
+        va_all = take(words, a, 0, out=scratch_a[:rows])
+        vb_all = take(words, b, 0, out=scratch_b[:rows]) \
+            if b is not None else None
+        for op, s, e, c in segments:
+            va = va_all[s:e]
+            if op == OP_AND:
+                np.bitwise_and(va, vb_all[s:e], out=va)
+            elif op == OP_XOR:
+                np.bitwise_xor(va, vb_all[s:e], out=va)
+            elif op == OP_OR:
+                np.bitwise_or(va, vb_all[s:e], out=va)
+            elif op == OP_INV:
+                np.invert(va, out=va)
+            elif op == OP_NAND:
+                np.bitwise_and(va, vb_all[s:e], out=va)
+                np.invert(va, out=va)
+            elif op == OP_NOR:
+                np.bitwise_or(va, vb_all[s:e], out=va)
+                np.invert(va, out=va)
+            elif op == OP_XNOR:
+                np.bitwise_xor(va, vb_all[s:e], out=va)
+                np.invert(va, out=va)
+            elif op == OP_MUX:
+                sel = words[c]
+                va[:] = (va & ~sel) | (vb_all[s:e] & sel)
+            # OP_BUF: va already holds the source rows
+        words[out] = va_all
+
+
 class CompiledNetlist:
     """Levelized per-opcode evaluation plan for one circuit.
 
@@ -207,6 +258,8 @@ class CompiledNetlist:
         self.levels_plan = []
         self.n_levels = 0
         self.max_level_width = 0
+        empty = np.zeros(0, dtype=np.int64)
+        self.flat = (empty, empty, empty, empty, empty, empty)
 
     def _build_plan(self, ops: np.ndarray, ina: np.ndarray, inb: np.ndarray,
                     inc: np.ndarray, out: np.ndarray,
@@ -256,6 +309,11 @@ class CompiledNetlist:
         self.n_levels = len(plan)
         self.max_level_width = int(
             (level_ends - level_starts).max()) if n_gates else 0
+        # Flat (level, op)-sorted gate arrays, retained for the
+        # multi-netlist merge (:class:`MultiNetlistSim`): B plans
+        # concatenate and re-plan in one vectorized pass instead of
+        # re-walking their per-level segment lists in Python.
+        self.flat = (ops, ina, inb, inc, out, levels)
 
     @staticmethod
     def from_arrays(circ) -> "CompiledNetlist":
@@ -336,42 +394,7 @@ class CompiledNetlist:
                 rows = pack_bit_matrix(bits, n_words)
             words[np.asarray(nets, dtype=np.int64)] = rows
 
-        # One gather, a handful of in-place ufuncs over contiguous
-        # opcode segments, and one scatter per *level*; scratch slabs
-        # sized to the widest level avoid per-level reallocation.
-        max_rows = self.max_level_width
-        scratch_a = np.empty((max_rows, n_words), dtype=np.uint64)
-        scratch_b = np.empty((max_rows, n_words), dtype=np.uint64)
-        take = np.take
-        for out, a, b, segments in self.levels_plan:
-            rows = len(a)
-            va_all = take(words, a, 0, out=scratch_a[:rows])
-            vb_all = take(words, b, 0, out=scratch_b[:rows]) \
-                if b is not None else None
-            for op, s, e, c in segments:
-                va = va_all[s:e]
-                if op == OP_AND:
-                    np.bitwise_and(va, vb_all[s:e], out=va)
-                elif op == OP_XOR:
-                    np.bitwise_xor(va, vb_all[s:e], out=va)
-                elif op == OP_OR:
-                    np.bitwise_or(va, vb_all[s:e], out=va)
-                elif op == OP_INV:
-                    np.invert(va, out=va)
-                elif op == OP_NAND:
-                    np.bitwise_and(va, vb_all[s:e], out=va)
-                    np.invert(va, out=va)
-                elif op == OP_NOR:
-                    np.bitwise_or(va, vb_all[s:e], out=va)
-                    np.invert(va, out=va)
-                elif op == OP_XNOR:
-                    np.bitwise_xor(va, vb_all[s:e], out=va)
-                    np.invert(va, out=va)
-                elif op == OP_MUX:
-                    sel = words[c]
-                    va[:] = (va & ~sel) | (vb_all[s:e] & sel)
-                # OP_BUF: va already holds the source rows
-            words[out] = va_all
+        _run_levels(words, self.levels_plan, self.max_level_width)
         return CompiledSimulation(nl, n_vectors, words, self)
 
 
@@ -480,6 +503,10 @@ class VariantSpec:
     helpers: list[tuple[int, int, int, int]]  # (node, op, in_a, in_b)
     outputs: dict[str, list[int]]
     signed: dict[str, bool]
+    # Per-helper record mask (relaxed alias elision): helpers stay in
+    # the waveform replay but masked-out ones — protection BUF aliases
+    # — contribute no activity/area/gate-count.  None counts them all.
+    helper_counted: list[bool] | None = None
 
     @property
     def n_gates(self) -> int:
@@ -817,8 +844,234 @@ class BatchedEvaluator:
                     h_shift ^= stacked
                     h_shift &= toggle_mask
                     helper_flips = _popcount_rows(h_shift)
+                if spec.helper_counted is not None:
+                    keep = np.flatnonzero(
+                        np.asarray(spec.helper_counted, dtype=bool))
+                    helper_ones = helper_ones[keep]
+                    helper_flips = helper_flips[keep]
                 ones = np.concatenate((ones, helper_ones))
                 flips = np.concatenate((flips, helper_flips))
             sims.append(BatchedVariantSim(spec, n_vectors, words_k,
                                           helper_rows, ones, flips))
         return sims
+
+
+# ----------------------------------------------------------------------
+# Multi-netlist batched evaluation
+# ----------------------------------------------------------------------
+class MultiNetlistView:
+    """Read API of one netlist inside a multi-netlist simulation.
+
+    Mirrors :class:`CompiledSimulation` (``bus_ints``, ``decode_bus``,
+    ``net_bits``, ``prob_one``, ``activity``) over one netlist's strided
+    slice of the batch's flat value matrix, with the activity popcounts
+    precomputed by the batch pass, so
+    :meth:`repro.eval.accuracy.CircuitEvaluator.evaluate_simulated` /
+    ``evaluate_batch`` score it exactly like a standalone compiled
+    simulation.  ``circuit`` is the original netlist (or array circuit)
+    — the same object a per-netlist evaluation would score — so area and
+    power reductions are bit-identical by construction.
+    """
+
+    __slots__ = ("circuit", "plan", "n_vectors", "words", "_ones", "_flips")
+
+    def __init__(self, circuit, plan: CompiledNetlist, n_vectors: int,
+                 words: np.ndarray, ones: np.ndarray,
+                 flips: np.ndarray) -> None:
+        self.circuit = circuit
+        self.plan = plan
+        self.n_vectors = n_vectors
+        self.words = words  # (n_nets, n_words) strided view, tails zeroed
+        self._ones = ones    # per gate, in plan.gate_out order
+        self._flips = flips
+
+    @property
+    def netlist(self):
+        return self.circuit
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[1]
+
+    def net_bits(self, net: int) -> np.ndarray:
+        """The 0/1 waveform of one net across all vectors."""
+        return unpack_bit_matrix(self.words[net:net + 1], self.n_vectors)[0]
+
+    def prob_one(self, net: int) -> float:
+        ones = _popcount_rows(np.ascontiguousarray(self.words[net:net + 1]))
+        return float(ones[0]) / self.n_vectors
+
+    def bus_ints(self, name: str) -> np.ndarray:
+        """Decode an output bus to per-vector integers (LSB-first bus)."""
+        nets = self.circuit.output_buses[name]
+        signed = self.circuit.output_signed[name]
+        return self.decode_bus(nets, signed)
+
+    def decode_bus(self, nets: list[int], signed: bool) -> np.ndarray:
+        if not nets:
+            return np.zeros(self.n_vectors, dtype=np.int64)
+        rows = self.words[np.asarray(nets, dtype=np.int64)]
+        bits = unpack_bit_matrix(rows, self.n_vectors).astype(np.int64)
+        weights = np.int64(1) << np.arange(len(nets), dtype=np.int64)
+        values = weights @ bits
+        if signed:
+            values -= bits[-1] << np.int64(len(nets))
+        return values
+
+    def activity(self):
+        """Per-gate :class:`~repro.hw.simulate.ActivityReport`."""
+        from .simulate import ActivityReport  # deferred: avoids module cycle
+
+        n = self.n_vectors
+        n_gates = self.plan.n_gates
+        if n_gates == 0:
+            empty = np.zeros(0)
+            zeros_int = np.zeros(0, dtype=np.int64)
+            return ActivityReport(0, empty, empty,
+                                  np.zeros(0, dtype=np.int8), empty,
+                                  zeros_int, zeros_int, n)
+        prob = self._ones / n
+        toggles = self._flips / (n - 1) if n > 1 else np.zeros(n_gates)
+        tau = np.maximum(prob, 1.0 - prob)
+        const_value = (prob >= 0.5).astype(np.int8)
+        return ActivityReport(n_gates, prob, tau, const_value, toggles,
+                              self._ones, self._flips, n)
+
+
+class MultiNetlistSim:
+    """Evaluate B *independent* netlists in one word-parallel pass.
+
+    Where :class:`BatchedEvaluator` batches K constant-tie variants of
+    one parent circuit (shared plan, per-variant clamp masks), this
+    engine batches netlists that share nothing but the stimulus — the
+    e-sweep's coefficient-approximated variants, a service manifest's
+    base circuits, the cross-layer flow's exact+coeff pair.  The B
+    netlists pack into one flat ``(sum n_nets, n_words)`` ``uint64``
+    value matrix — netlist ``b`` owns the contiguous row block starting
+    at ``offset[b]``, so every gather stays inside its own netlist's
+    block (the per-netlist working set, not the whole batch) — and
+    their levelized plans merge into one *union-level* schedule:
+
+    * a gate at level L only reads nets its own netlist produced at
+      levels < L, so all netlists' level-L gates evaluate together —
+      one gather, a few per-opcode segment ufuncs, and one scatter per
+      union level, amortizing the per-level NumPy dispatch that
+      dominates small circuits;
+    * each netlist's packed stimulus scatters into its own rows (the
+      e-sweep shares one prepacked set across the batch);
+    * switching activity is one stacked popcount pass over the
+      concatenated live-gate rows, split back per netlist.
+
+    Per-netlist reads come back through :class:`MultiNetlistView`,
+    which mirrors the :class:`CompiledSimulation` API; records are
+    bit-identical to per-netlist :meth:`CompiledNetlist.simulate`
+    (oracle-tested in ``tests/test_multinetlist.py``).  Callers chunk
+    large batches themselves (one ``MultiNetlistSim`` per chunk) —
+    see :meth:`repro.eval.accuracy.CircuitEvaluator.evaluate_many`.
+    """
+
+    # Soft cap on the flat value matrix per batch, applied by callers
+    # when they slice a long netlist list into chunks.
+    MAX_CHUNK_BYTES = 1 << 26
+
+    def __init__(self, circuits: list, plans: list[CompiledNetlist],
+                 n_vectors: int, packed_list: list[dict]) -> None:
+        self.circuits = circuits
+        self.plans = plans
+        self.n_vectors = n_vectors
+        self.n_words = max(1, (n_vectors + _WORD_BITS - 1) // _WORD_BITS)
+        self.packed_list = packed_list
+        self.offsets = np.concatenate(
+            ([0], np.cumsum([plan.n_nets for plan in plans],
+                            dtype=np.int64)))
+        self._merge_levels()
+
+    def _merge_levels(self) -> None:
+        """Build the union-level schedule with flat row indices.
+
+        One vectorized concatenation of the per-plan flat gate arrays
+        (``CompiledNetlist.flat``, already (level, op)-sorted) rebased
+        into the flat row space, re-planned by the same ``_build_plan``
+        sweep a single netlist uses — no per-level Python piecework.
+        """
+        live = [(int(self.offsets[b_idx]), plan)
+                for b_idx, plan in enumerate(self.plans) if plan.n_gates]
+        merged = CompiledNetlist.__new__(CompiledNetlist)
+        merged.netlist = None
+        merged.n_nets = int(self.offsets[-1])
+        merged.n_gates = sum(plan.n_gates for _o, plan in live)
+        merged.gate_out = np.zeros(0, dtype=np.int64)
+        if not live:
+            merged._empty_plan()
+        else:
+            ops = np.concatenate([plan.flat[0] for _o, plan in live])
+            ina = np.concatenate([plan.flat[1] + offset
+                                  for offset, plan in live])
+            inb = np.concatenate([plan.flat[2] + offset
+                                  for offset, plan in live])
+            inc = np.concatenate([plan.flat[3] + offset
+                                  for offset, plan in live])
+            out = np.concatenate([plan.flat[4] + offset
+                                  for offset, plan in live])
+            levels = np.concatenate([plan.flat[5] for _o, plan in live])
+            merged._build_plan(ops, ina, inb, inc, out, levels)
+        self.levels_plan = merged.levels_plan
+        self.max_level_width = merged.max_level_width
+
+    def evaluate(self) -> list[MultiNetlistView]:
+        """Simulate the batch; one read view per netlist."""
+        n_netlists = len(self.plans)
+        if n_netlists == 0:
+            return []
+        n_words = self.n_words
+        n_vectors = self.n_vectors
+        offsets = self.offsets
+        words = np.zeros((int(offsets[-1]), n_words), dtype=np.uint64)
+        # Net 1 is the constant-one tie of every netlist.
+        words[offsets[:-1] + 1] = _ALL_ONES
+
+        for b_idx, (plan, packed) in enumerate(zip(self.plans,
+                                                   self.packed_list)):
+            offset = int(offsets[b_idx])
+            for name, nets in plan.netlist.input_buses.items():
+                words[np.asarray(nets, dtype=np.int64) + offset] = \
+                    packed[name]
+
+        _run_levels(words, self.levels_plan, self.max_level_width)
+
+        # Zero the tail bits once; every later reduction and decode then
+        # works on clean rows (0 is legal "garbage").
+        words &= _valid_mask(n_vectors, n_words)[None, :]
+
+        # Stacked activity popcounts over every netlist's live gate rows
+        # (plan.gate_out order — the order per-netlist activity uses).
+        gate_counts = [plan.n_gates for plan in self.plans]
+        if sum(gate_counts):
+            all_rows = np.concatenate(
+                [plan.gate_out + int(offsets[b_idx])
+                 for b_idx, plan in enumerate(self.plans)])
+            gate_rows = np.take(words, all_rows, 0)
+            ones_all = _popcount_rows(gate_rows)
+            if n_vectors > 1:
+                shifted = gate_rows >> np.uint64(1)
+                if n_words > 1:
+                    shifted[:, :-1] |= gate_rows[:, 1:] << \
+                        np.uint64(_WORD_BITS - 1)
+                shifted ^= gate_rows
+                shifted &= _valid_mask(n_vectors - 1, n_words)[None, :]
+                flips_all = _popcount_rows(shifted)
+            else:
+                flips_all = np.zeros_like(ones_all)
+        else:
+            ones_all = flips_all = np.zeros(0, dtype=np.int64)
+
+        views = []
+        pos = 0
+        for b_idx, (circ, plan) in enumerate(zip(self.circuits, self.plans)):
+            count = gate_counts[b_idx]
+            views.append(MultiNetlistView(
+                circ, plan, n_vectors,
+                words[int(offsets[b_idx]):int(offsets[b_idx + 1])],
+                ones_all[pos:pos + count], flips_all[pos:pos + count]))
+            pos += count
+        return views

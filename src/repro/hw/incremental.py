@@ -1055,6 +1055,16 @@ class IncrementalCircuit:
         absent from the shared plan, replayed per-variant by the batch
         evaluator (in level order, so operands always precede their
         consumers).
+
+        Alias elision: under candidate protection (the relaxed walk),
+        live ``BUF`` gates are exactly the aliases :meth:`_to_buf`
+        created to keep prune candidates un-merged — pure wires the
+        exact from-scratch fold would have merged away (a folded base
+        circuit contains no ``BUF``).  They stay in the waveform
+        machinery (consumers and outputs read them) but drop out of the
+        *record view* — ``live_nodes``/``live_ops`` and the helper
+        activity mask — so gate counts, areas, and powers don't charge
+        for the walk's bookkeeping wires.
         """
         from .compiled import VariantSpec
 
@@ -1065,15 +1075,23 @@ class IncrementalCircuit:
         split = int(np.searchsorted(live, n_parent_slots))
         parent_live = live[:split]
         helper_slots = live[split:]
+        elide = self.protected is not None
+        if elide:
+            parent_live = parent_live[
+                ops_np[parent_live] != OP_BUF]
+        helper_counted = None
         if helper_slots.size:
             level = self.level
             ordered = sorted(helper_slots.tolist(), key=level.__getitem__)
             ina, inb, ops = self.ina, self.inb, self.ops
             helpers = [(n_fixed + s, ops[s], ina[s], inb[s])
                        for s in ordered]
+            counted = np.asarray(ordered, dtype=np.int64)
+            if elide:
+                helper_counted = [ops[s] != OP_BUF for s in ordered]
+                counted = counted[np.asarray(helper_counted)]
             live_ops = np.concatenate(
-                (ops_np[parent_live],
-                 ops_np[np.asarray(ordered, dtype=np.int64)]))
+                (ops_np[parent_live], ops_np[counted]))
         else:
             helpers = []
             live_ops = ops_np[parent_live]
@@ -1085,6 +1103,7 @@ class IncrementalCircuit:
             outputs={name: list(nodes)
                      for name, nodes in self.outputs.items()},
             signed=dict(self.signed),
+            helper_counted=helper_counted,
         )
 
     # ------------------------------------------------------------------

@@ -9,8 +9,9 @@ and repeated requests without recomputing anything twice:
 * :mod:`repro.service.jobs` — sharded, checkpointed exploration jobs
   that resume exactly where a killed run stopped;
 * :mod:`repro.service.runner` — the batch facade behind the
-  ``repro-printed-ml explore`` / ``serve-batch`` CLI: manifests of
-  (dataset, model, grid) requests, store deduplication, JSONL results.
+  ``repro-printed-ml explore`` / ``sweep-e`` / ``serve-batch`` CLI:
+  manifests of (dataset, model, grid) requests, coefficient e-sweeps,
+  store deduplication, JSONL results.
 
 See the "Service layer" section of ``docs/ARCHITECTURE.md`` for the
 store schema, the hash contract, and the shard/checkpoint lifecycle.

@@ -42,12 +42,12 @@ Identity modes: the job keys everything on the pruner's *resolved
 identity* (``exact`` or ``relaxed``) — relaxed records may differ
 structurally from exact ones, so the two populations never share
 fingerprints, and resume/warm-hit semantics hold within each mode
-independently.  Relaxed resumption note: the serial relaxed walk
-shares rewrites across the tau chains *inside* one shard, so the
-structure a record reports can depend on the shard partition — cold
-vs resumed runs of the same ``shard_size`` are identical, but records
-produced under different shard sizes may differ within the relaxed
-tolerance (accuracies and coordinates never differ).
+independently.  Relaxed runs share rewrites only inside grid-pinned
+lattice blocks (:data:`~repro.core.pruning.RELAXED_BLOCK` chains of
+the sorted tau grid), and :meth:`ExplorationJob.shards` rounds the
+shard partition up to whole blocks — so relaxed records are identical
+across *every* ``shard_size`` and match the serial walk's (the
+shard-partition sensitivity PR 4 documented is gone).
 """
 
 from __future__ import annotations
@@ -56,6 +56,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..core.pruning import (
+    RELAXED_BLOCK,
     NetlistPruner,
     PrunedDesign,
     assemble_designs,
@@ -136,12 +137,16 @@ class ExplorationJob:
         store: the content-addressed design store (or a path to one).
         shard_size: tau_c chains per checkpoint shard.
         label: human-readable tag recorded in the grid metadata.
+        grid_meta: extra keys merged into the stored grid metadata —
+            the e-sweep records its ``coeff_netlist_key``/``e`` here so
+            ``store gc`` can keep a grid's base netlist reachable.
     """
 
     pruner: NetlistPruner
     store: DesignStore
     shard_size: int = DEFAULT_SHARD_SIZE
     label: str = "circuit"
+    grid_meta: dict | None = None
     _base_key: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -161,11 +166,39 @@ class ExplorationJob:
         """Content key of this exploration's finished design list."""
         return grid_key(self.base_key(), self.pruner.tau_grid)
 
+    def _relaxed(self) -> bool:
+        return self.pruner.resolved_identity() == "relaxed"
+
     def shards(self) -> list[tuple[float, ...]]:
-        """The tau grid partitioned into checkpoint units, in order."""
+        """The tau grid partitioned into checkpoint units, in order.
+
+        Relaxed explorations partition the grid's *sorted distinct
+        values* into groups of whole lattice blocks
+        (:data:`~repro.core.pruning.RELAXED_BLOCK` ranks, the
+        grid-pinned reset unit of the relaxed walk; the shard size
+        rounds up to a block multiple): every shard then covers
+        complete blocks — for any grid order the caller spelled, with
+        duplicated tau values kept together — so the records a sharded
+        run produces are identical for *any* configured ``shard_size``,
+        and to the serial walk's (shard-partition sensitivity
+        removed).  Assembly restores the caller's grid order
+        afterwards (see :meth:`run`), keeping design-list ordering and
+        duplicate attribution untouched.
+        """
         taus = [float(t) for t in self.pruner.tau_grid]
-        return [tuple(taus[i:i + self.shard_size])
-                for i in range(0, len(taus), self.shard_size)]
+        size = self.shard_size
+        if not self._relaxed():
+            return [tuple(taus[i:i + size])
+                    for i in range(0, len(taus), size)]
+        size = -(-max(size, 1) // RELAXED_BLOCK) * RELAXED_BLOCK
+        distinct = sorted({round(tau, 9) for tau in taus})
+        ordered = sorted(taus)
+        shards = []
+        for start in range(0, len(distinct), size):
+            group = set(distinct[start:start + size])
+            shards.append(tuple(tau for tau in ordered
+                                if round(tau, 9) in group))
+        return shards
 
     def _preload_memo(self) -> int:
         """Seed the pruner's record memo from the store's variants.
@@ -242,12 +275,39 @@ class ExplorationJob:
             if on_shard is not None:
                 on_shard(index, len(shards))
 
+        if self._relaxed():
+            # Relaxed shards walked the grid in value order (block
+            # alignment above); assembly is order-sensitive (duplicate
+            # attribution follows the first chain that produced a prune
+            # set), so restore the caller's grid order first.  Equal-tau
+            # chains are interchangeable (identical candidate sets,
+            # identical rows), so the k-th walked copy of a value takes
+            # the value's k-th position in the caller's grid — which
+            # re-interleaves duplicates exactly as the serial walk
+            # returns them.
+            positions: dict[float, list[int]] = {}
+            for index, tau_c in enumerate(self.pruner.tau_grid):
+                positions.setdefault(round(float(tau_c), 9),
+                                     []).append(index)
+            seen: dict[float, int] = {}
+            targets = []
+            for tau_c, _steps in all_chains:
+                value = round(float(tau_c), 9)
+                k = seen.get(value, 0)
+                seen[value] = k + 1
+                targets.append(positions[value][k])
+            order = sorted(range(len(all_chains)),
+                           key=targets.__getitem__)
+            all_chains = [all_chains[i] for i in order]
+            all_rows = [all_rows[i] for i in order]
+
         designs = assemble_designs(all_chains, all_rows)
         self.store.put_grid(gkey, designs, meta={
             "label": self.label,
             "base_key": self.base_key(),
             "tau_grid": [float(t) for t in self.pruner.tau_grid],
             "n_designs": len(designs),
+            **(self.grid_meta or {}),
         })
         self.store.clear_shards(gkey)
         report.runtime_s = time.perf_counter() - start

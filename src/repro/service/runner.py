@@ -26,20 +26,31 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core.multiplier_area import default_library
 from ..core.coeff_approx import CoefficientApproximator
+from ..core.cross_layer import DEFAULT_E_SWEEP
 from ..core.pruning import DEFAULT_TAU_GRID, NetlistPruner, PrunedDesign
 from ..eval.accuracy import CircuitEvaluator
 from ..hw.bespoke import build_bespoke_netlist
 from .jobs import DEFAULT_SHARD_SIZE, ExplorationJob, JobReport
-from .store import DesignStore, approximate_model_cached
+from .store import (
+    DesignStore,
+    base_fingerprint,
+    base_fingerprint_from_parts,
+    build_coeff_netlist_cached,
+    coeff_netlist_key,
+    evaluator_fingerprint,
+    grid_key as make_grid_key,
+    variant_key,
+)
 
 __all__ = ["ExploreRequest", "ExplorationService"]
 
 _BASES = ("exact", "coeff")
 _IDENTITIES = ("exact", "relaxed")
+_DEFAULT_E = 4  # the paper's fixed coefficient search radius
 
 
 @dataclass(frozen=True)
@@ -51,6 +62,13 @@ class ExploreRequest:
     — see :class:`~repro.core.pruning.NetlistPruner`.  Relaxed and
     exact runs of the same circuit resolve to *different* content keys
     by construction.
+
+    ``e`` is the coefficient search radius of a ``base="coeff"``
+    request (``None``: the paper's e = 4).  Sweeps enumerate it —
+    :meth:`ExplorationService.sweep` runs one request per radius, and
+    a manifest may carry per-request ``e`` values; content addressing
+    makes requests at the same radius resolve to the same keys however
+    they were spelled.
     """
 
     dataset: str
@@ -59,11 +77,12 @@ class ExploreRequest:
     tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID
     label: str | None = None
     identity: str | None = None
+    e: int | None = None
 
     @staticmethod
     def from_dict(data: dict) -> "ExploreRequest":
         known = {"dataset", "model", "base", "tau_grid", "label",
-                 "identity"}
+                 "identity", "e"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request fields {sorted(unknown)}; "
@@ -80,15 +99,25 @@ class ExploreRequest:
         if identity is not None and identity not in _IDENTITIES:
             raise ValueError(f"unknown identity {identity!r}; "
                              f"use one of {_IDENTITIES}")
+        e = data.get("e")
+        if e is not None:
+            e = int(e)
+            if e < 0:
+                raise ValueError("coefficient search radius e must be >= 0")
+            if base != "coeff":
+                raise ValueError(
+                    "e is only meaningful for base='coeff' requests")
         tau_grid = data.get("tau_grid")
         tau_grid = DEFAULT_TAU_GRID if tau_grid is None \
             else tuple(float(t) for t in tau_grid)
         return ExploreRequest(dataset, model, base, tau_grid,
-                              data.get("label"), identity)
+                              data.get("label"), identity, e)
 
     @property
     def name(self) -> str:
         name = self.label or f"{self.dataset}/{self.model}/{self.base}"
+        if self.label is None and self.e is not None:
+            name += f"@e{self.e}"
         if self.label is None and self.identity == "relaxed":
             name += "@relaxed"
         return name
@@ -116,50 +145,265 @@ class ExplorationService:
         self.engine = engine
         self.shard_size = shard_size
         self.identity = identity
-        self._contexts: dict[tuple, tuple] = {}
+        self._evaluators: dict[tuple, CircuitEvaluator] = {}
+        self._evaluator_fps: dict[tuple, str] = {}
+        self._netlists: dict[tuple, tuple] = {}
+        self._base_keys: dict[tuple, str] = {}
 
-    def _context(self, request: ExploreRequest) -> tuple:
-        """(netlist, evaluator) for one request, cached per process."""
-        key = (request.dataset, request.model, request.base)
-        cached = self._contexts.get(key)
+    def _evaluator(self, dataset: str, model: str) -> CircuitEvaluator:
+        """The per-(dataset, model) scoring context, cached per process.
+
+        One evaluator (quantized split, packed stimulus) serves every
+        base/radius of a circuit — which is what lets a sweep score all
+        its per-``e`` netlists in one multi-netlist batch.
+        """
+        key = (dataset, model)
+        cached = self._evaluators.get(key)
+        if cached is not None:
+            return cached
+        from ..experiments.zoo import get_case  # heavy import, deferred
+        case = get_case(dataset, model)
+        split = case.split
+        evaluator = CircuitEvaluator.from_split(
+            case.quant_model, split.X_train, split.X_test, split.y_test,
+            clock_ms=case.clock_ms, engine=self.engine)
+        self._evaluators[key] = evaluator
+        return evaluator
+
+    def _netlist(self, request: ExploreRequest) -> tuple:
+        """``(netlist, grid_meta, store_hit)`` for one request's base.
+
+        ``coeff`` bases route through the store's coefficient cache
+        *and* coefficient-netlist table: a warm request skips the area
+        search and the bespoke rebuild.  ``grid_meta`` carries the
+        netlist's content key so ``store gc`` keeps it reachable while
+        any surviving grid was explored on it.
+        """
+        key = (request.dataset, request.model, request.base, request.e)
+        cached = self._netlists.get(key)
         if cached is not None:
             return cached
         from ..experiments.zoo import get_case  # heavy import, deferred
         case = get_case(request.dataset, request.model)
         model = case.quant_model
+        name = f"{request.dataset}_{request.model}_{request.base}"
         if request.base == "coeff":
-            # Warm runs hit the store's coefficient cache and skip the
-            # per-coefficient area search entirely (cached == fresh).
+            e = _DEFAULT_E if request.e is None else request.e
             approximator = CoefficientApproximator(
-                library=default_library(), e=4)
-            model, _reports = approximate_model_cached(
-                approximator, model, self.store)
-        netlist = build_bespoke_netlist(
-            model, name=f"{request.dataset}_{request.model}_{request.base}")
-        split = case.split
-        evaluator = CircuitEvaluator.from_split(
-            case.quant_model, split.X_train, split.X_test, split.y_test,
-            clock_ms=case.clock_ms, engine=self.engine)
-        self._contexts[key] = (netlist, evaluator)
-        return self._contexts[key]
+                library=default_library(), e=e)
+            netlist, hit = build_coeff_netlist_cached(
+                approximator, model, self.store, name=name)
+            grid_meta = {
+                "coeff_netlist_key": coeff_netlist_key(model, approximator),
+                "e": e,
+            }
+        else:
+            netlist = build_bespoke_netlist(model, name=name)
+            grid_meta, hit = {}, False
+        self._netlists[key] = (netlist, grid_meta, hit)
+        return self._netlists[key]
+
+    def _evaluator_fp(self, dataset: str, model: str) -> str:
+        key = (dataset, model)
+        cached = self._evaluator_fps.get(key)
+        if cached is None:
+            cached = evaluator_fingerprint(self._evaluator(dataset, model))
+            self._evaluator_fps[key] = cached
+        return cached
+
+    def _base_key(self, request: ExploreRequest) -> str:
+        """The request's base fingerprint, without a netlist if possible.
+
+        ``coeff`` bases whose netlist the store already holds resolve
+        through the *stored* netlist fingerprint
+        (:meth:`~repro.service.store.DesignStore.
+        get_coeff_netlist_fingerprint`) — no bespoke build, no JSON
+        deserialize.  Everything else materializes the netlist once
+        (cached per process) and fingerprints it.
+        """
+        identity = request.identity or self.identity
+        cache_key = (request.dataset, request.model, request.base,
+                     request.e, identity)
+        cached = self._base_keys.get(cache_key)
+        if cached is not None:
+            return cached
+        base_key = None
+        if request.base == "coeff" \
+                and cache_key[:4] not in self._netlists:
+            from ..experiments.zoo import get_case
+            model = get_case(request.dataset, request.model).quant_model
+            e = _DEFAULT_E if request.e is None else request.e
+            approximator = CoefficientApproximator(
+                library=default_library(), e=e)
+            stored_fp = self.store.get_coeff_netlist_fingerprint(
+                coeff_netlist_key(model, approximator))
+            if stored_fp is not None:
+                base_key = base_fingerprint_from_parts(
+                    stored_fp,
+                    self._evaluator_fp(request.dataset, request.model),
+                    identity)
+        if base_key is None:
+            netlist, _meta, _hit = self._netlist(request)
+            base_key = base_fingerprint(
+                netlist, self._evaluator(request.dataset, request.model),
+                identity)
+        self._base_keys[cache_key] = base_key
+        return base_key
+
+    def _warm_grid(self, request: ExploreRequest):
+        """A finished grid served purely by content key, or ``None``.
+
+        The warm fast path: base and grid keys derive from stored
+        fingerprints, so a repeated request never rebuilds (or even
+        deserializes) its base netlist — it is one SQLite lookup.
+        """
+        start = time.perf_counter()
+        gkey = make_grid_key(self._base_key(request), request.tau_grid)
+        designs = self.store.get_grid(gkey)
+        if designs is None:
+            return None
+        report = JobReport(gkey, grid_hit=True,
+                           runtime_s=time.perf_counter() - start)
+        return designs, report
 
     def job(self, request: ExploreRequest) -> ExplorationJob:
         """The resumable job a request maps to (exposes its content key)."""
-        netlist, evaluator = self._context(request)
+        netlist, grid_meta, _hit = self._netlist(request)
+        evaluator = self._evaluator(request.dataset, request.model)
         pruner = NetlistPruner(netlist, evaluator, request.tau_grid,
                                n_workers=self.n_workers, engine=self.engine,
                                identity=request.identity or self.identity)
         return ExplorationJob(pruner, self.store,
                               shard_size=self.shard_size,
-                              label=request.name)
+                              label=request.name,
+                              grid_meta=grid_meta)
 
     def explore(self, request: ExploreRequest, resume: bool = True,
                 on_shard=None) -> tuple[list[PrunedDesign], JobReport]:
-        """Run (or look up) one request; returns (designs, report)."""
+        """Run (or look up) one request; returns (designs, report).
+
+        A finished grid is served straight off its content key (no
+        netlist materialization — see :meth:`_warm_grid`); anything
+        else goes through the resumable job.
+        """
+        if resume:
+            warm = self._warm_grid(request)
+            if warm is not None:
+                return warm
         job = self.job(request)
         report = JobReport(job.grid_key())
         designs = job.run(resume=resume, on_shard=on_shard, report=report)
         return designs, report
+
+    def sweep(self, request: ExploreRequest,
+              e_values: tuple[int, ...] = DEFAULT_E_SWEEP,
+              resume: bool = True, include_cross: bool = True,
+              on_shard=None) -> list[tuple]:
+        """Per-radius coeff+cross families of one circuit (Fig. 2 style).
+
+        Runs one ``base="coeff"`` request per ``e`` in ``e_values``:
+        the coefficient-approximated designs score in a single
+        multi-netlist batch (their netlists come store-warm when
+        possible), and — with ``include_cross`` — each radius's pruning
+        grid runs as its own resumable :class:`ExplorationJob`.  The
+        sweep is therefore *sharded by radius on top of the per-grid
+        shard checkpoints*: a kill loses at most the in-flight shard of
+        the in-flight radius, and a resumed sweep reproduces the cold
+        sweep exactly (finished radii are grid hits, the interrupted
+        one resumes from its checkpoint).
+
+        The per-radius coefficient records are themselves
+        content-addressed (empty-pruneset ``variants`` rows under each
+        radius's base fingerprint), and base fingerprints resolve from
+        the stored netlist fingerprints — so a warm re-sweep touches
+        neither the approximator, nor the bespoke builder, nor the
+        simulator: it is a sequence of SQLite lookups.
+
+        Returns ``[(e, coeff record, warm_hit, designs, report)]``
+        with ``designs``/``report`` ``None`` when cross is skipped.
+        """
+        e_values = tuple(int(e) for e in e_values)
+        requests = [replace(request, base="coeff", e=e) for e in e_values]
+        evaluator = self._evaluator(request.dataset, request.model)
+        base_keys = [self._base_key(req) for req in requests]
+        record_keys = [variant_key(base_key, ()) for base_key in base_keys]
+        records = [self.store.get_variant(key) if resume else None
+                   for key in record_keys]
+        missing = [i for i, record in enumerate(records) if record is None]
+        if missing:
+            fresh = evaluator.evaluate_many(
+                [self._netlist(requests[i])[0] for i in missing])
+            for i, record in zip(missing, fresh):
+                records[i] = record
+                self.store.put_variant(record_keys[i], base_keys[i], (),
+                                       record)
+        cold = set(missing)
+        results = []
+        for i, (req, record) in enumerate(zip(requests, records)):
+            designs = report = None
+            if include_cross:
+                designs, report = self.explore(req, resume=resume,
+                                               on_shard=on_shard)
+            results.append((req.e, record, i not in cold, designs, report))
+        return results
+
+    def run_sweep(self, request: ExploreRequest, e_values, out,
+                  resume: bool = True,
+                  include_cross: bool = True) -> dict:
+        """Stream :meth:`sweep` as JSONL; returns the summary dict.
+
+        Lines: one ``sweep`` header; per radius a ``coeff`` line (the
+        coefficient-approximated design's record, with its
+        ``coeff_hit`` warm flag) and — with cross — a ``request``
+        header plus ``design`` lines, every one tagged with its ``e``;
+        one final ``summary``.
+        """
+        start = time.perf_counter()
+        results = self.sweep(request, e_values, resume=resume,
+                             include_cross=include_cross)
+        out.write(json.dumps({
+            "type": "sweep",
+            "dataset": request.dataset, "model": request.model,
+            "e_values": [e for e, *_rest in results],
+            "tau_grid_points": len(request.tau_grid),
+            "include_cross": include_cross,
+        }) + "\n")
+        n_designs = 0
+        n_cached = 0
+        for index, (e, record, hit, designs, report) in enumerate(results):
+            out.write(json.dumps({
+                "type": "coeff", "index": index, "e": e,
+                "coeff_hit": hit, **record.to_dict(),
+            }) + "\n")
+            if designs is None:
+                continue
+            n_cached += int(report.grid_hit)
+            n_designs += len(designs)
+            out.write(json.dumps({
+                "type": "request", "index": index, "e": e,
+                "dataset": request.dataset, "model": request.model,
+                "base": "coeff", "n_designs": len(designs),
+                **report.to_dict(),
+            }) + "\n")
+            for design in designs:
+                out.write(json.dumps({
+                    "type": "design", "index": index, "e": e,
+                    "tau_c": design.tau_c, "phi_c": design.phi_c,
+                    "n_pruned": design.n_pruned,
+                    "duplicate_of": design.duplicate_of,
+                    **design.record.to_dict(),
+                }) + "\n")
+        summary = {
+            "type": "summary",
+            "kind": "sweep",
+            "n_e_values": len(results),
+            "n_grid_hits": n_cached,
+            "n_designs": n_designs,
+            "runtime_s": time.perf_counter() - start,
+            "store": self.store.stats(),
+        }
+        out.write(json.dumps(summary) + "\n")
+        return summary
 
     def run_manifest(self, manifest, out, resume: bool = True) -> dict:
         """Stream a manifest of requests to ``out`` as JSONL.

@@ -47,14 +47,17 @@ import numpy as np
 from ..core.coeff_approx import ApproximatedSum
 from ..core.pruning import PrunedDesign, prune_key_ids
 from ..eval.accuracy import EvaluationRecord
-from ..hw.netlist_io import netlist_to_dict
+from ..hw.netlist_io import netlist_from_dict, netlist_to_dict
 
 __all__ = [
     "DesignStore",
     "approximate_model_cached",
+    "build_coeff_netlist_cached",
     "canonical_json",
     "coeff_key",
+    "coeff_netlist_key",
     "content_key",
+    "model_fingerprint",
     "netlist_fingerprint",
     "evaluator_fingerprint",
     "base_fingerprint",
@@ -69,7 +72,11 @@ __all__ = [
 # 2: base fingerprints include the exploration identity mode (relaxed
 #    and exact records must never alias), and the coeff_cache table
 #    memoizes coefficient-approximation results.
-STORE_FORMAT = 2
+# 3: coefficient-approximated *netlists* are content-addressed
+#    (coeff_netlists table) so warm cross-layer sweeps skip the bespoke
+#    rebuild, and both coefficient tables carry hit counters
+#    (``repro store stats`` observability).
+STORE_FORMAT = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -102,7 +109,15 @@ CREATE TABLE IF NOT EXISTS shards (
 CREATE TABLE IF NOT EXISTS coeff_cache (
     key        TEXT PRIMARY KEY,
     payload    TEXT NOT NULL,
+    hits       INTEGER NOT NULL DEFAULT 0,
     created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS coeff_netlists (
+    key         TEXT PRIMARY KEY,
+    netlist     TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0,
+    created_at  REAL NOT NULL
 );
 """
 
@@ -181,6 +196,18 @@ def evaluator_fingerprint(evaluator) -> str:
         {"clock_ms": evaluator.clock_ms})
 
 
+def base_fingerprint_from_parts(netlist_fp: str, evaluator_fp: str,
+                                identity: str = "exact") -> str:
+    """:func:`base_fingerprint` from precomputed part fingerprints.
+
+    The warm service path resolves grid keys from the *stored* netlist
+    fingerprint (``coeff_netlists.fingerprint``) without deserializing
+    or rebuilding the circuit — a warm request is then a pure lookup.
+    """
+    return content_key("base", netlist_fp, evaluator_fp,
+                       {"identity": identity})
+
+
 def base_fingerprint(netlist, evaluator, identity: str = "exact") -> str:
     """The (circuit, evaluation context) identity all keys derive from.
 
@@ -189,9 +216,9 @@ def base_fingerprint(netlist, evaluator, identity: str = "exact") -> str:
     areas/gate counts, so their records must never alias exact ones —
     the mode is part of every derived key.
     """
-    return content_key("base", netlist_fingerprint(netlist),
-                       evaluator_fingerprint(evaluator),
-                       {"identity": identity})
+    return base_fingerprint_from_parts(netlist_fingerprint(netlist),
+                                       evaluator_fingerprint(evaluator),
+                                       identity)
 
 
 def grid_key(base_key: str, tau_grid) -> str:
@@ -268,6 +295,80 @@ def approximate_model_cached(approximator, model, store: "DesignStore"):
          "area_after": report.area_after}
         for report in reports])
     return approx_model, reports
+
+
+def model_fingerprint(model) -> str:
+    """Content hash of everything a bespoke netlist build reads.
+
+    Covers the integer weight matrices and biases, the per-layer shifts
+    and activation widths (MLPs), the model kind, and the quantization
+    configuration — the full input set of
+    :func:`~repro.hw.bespoke.build_bespoke_netlist`.  Decode-only
+    fields (class labels, scales, label range) are excluded: they shape
+    predictions, not structure, and the evaluator fingerprint covers
+    them where they matter.
+    """
+    weights = model.weights
+    biases = model.biases
+    if not isinstance(weights, list):
+        weights, biases = [weights], [biases]
+    return content_key(
+        "quant-model",
+        [_array_digest(np.asarray(w)) for w in weights],
+        [_array_digest(np.asarray(b)) for b in biases],
+        {
+            "kind": model.kind,
+            "input_bits": model.input_bits,
+            "coeff_bits": getattr(model, "coeff_bits", None),
+            "hidden_bits": getattr(model, "hidden_bits", None),
+            "shifts": list(getattr(model, "shifts", []) or []),
+            "activation_bits": list(getattr(model, "activation_bits", [])
+                                    or []),
+        })
+
+
+def coeff_netlist_key(model, approximator) -> str:
+    """Content key of one coefficient-approximated *netlist*.
+
+    The build is a deterministic function of (model, approximation
+    inputs): :func:`model_fingerprint` pins every structural model
+    field and :func:`coeff_key` the approximation's own inputs, so two
+    runs that share this key rebuild byte-identical netlist JSON.
+    """
+    return content_key("coeff-netlist", model_fingerprint(model),
+                       coeff_key(model, approximator))
+
+
+def build_coeff_netlist_cached(approximator, model, store: "DesignStore",
+                               name: str = "coeff",
+                               approx_model=None) -> tuple:
+    """The coefficient-approximated netlist, through the store.
+
+    Returns ``(netlist, hit)``.  A warm hit deserializes the stored
+    JSON (:func:`~repro.hw.netlist_io.netlist_from_dict` reproduces the
+    build's exact gate list and net numbering, so fingerprints and
+    evaluations of the rebuilt netlist are bit-identical — pinned by
+    the service tests) and skips the bespoke build+synthesis entirely;
+    a miss builds and persists it.  ``approx_model`` short-circuits the
+    (cached) approximation step when the caller already holds it; the
+    netlist's cosmetic ``name`` is always the caller's.
+    """
+    from ..hw.bespoke import build_bespoke_netlist  # lazy: service -> hw
+
+    key = coeff_netlist_key(model, approximator)
+    data = store.get_coeff_netlist(key)
+    if data is not None:
+        netlist = netlist_from_dict(data)
+        netlist.name = name
+        return netlist, True
+    if approx_model is None:
+        approx_model, _reports = approximate_model_cached(
+            approximator, model, store)
+    netlist = build_bespoke_netlist(approx_model, name=name)
+    payload = netlist_to_dict(netlist)
+    payload["name"] = "coeff"  # cosmetic; keep stored payloads canonical
+    store.put_coeff_netlist(key, payload, netlist_fingerprint(netlist))
+    return netlist, False
 
 
 def design_from_dict(data: dict) -> PrunedDesign:
@@ -423,18 +524,72 @@ class DesignStore:
 
     # -- coefficient-approximation cache -------------------------------
 
+    def _count_hit(self, con: sqlite3.Connection, table: str,
+                   key: str) -> None:
+        """Best-effort hit-counter bump; reads stay usable on stores
+        the process cannot write (read-only mounts, foreign files)."""
+        try:
+            con.execute(f"UPDATE {table} SET hits=hits+1 WHERE key=?",
+                        (key,))
+        except sqlite3.OperationalError:
+            pass  # read-only database: serve the hit, skip the count
+
     def get_coeff(self, key: str) -> list | None:
-        """Cached per-sum approximation payload, or ``None``."""
+        """Cached per-sum approximation payload, or ``None``.
+
+        A hit bumps the row's counter (``stats()`` reports the totals —
+        the cheap answer to "are warm sweeps actually warm?").
+        """
         with closing(self._connect()) as con, con:
             row = con.execute("SELECT payload FROM coeff_cache WHERE key=?",
                               (key,)).fetchone()
+            if row is not None:
+                self._count_hit(con, "coeff_cache", key)
         return None if row is None else json.loads(row[0])
 
     def put_coeff(self, key: str, payload: list) -> None:
         with closing(self._connect()) as con, con:
             con.execute(
-                "INSERT OR IGNORE INTO coeff_cache VALUES (?,?,?)",
+                "INSERT OR IGNORE INTO coeff_cache(key, payload, created_at)"
+                " VALUES (?,?,?)",
                 (key, canonical_json(payload), time.time()))
+
+    # -- coefficient-approximated netlists -----------------------------
+
+    def get_coeff_netlist(self, key: str) -> dict | None:
+        """Stored netlist JSON of one approximated circuit, or ``None``."""
+        with closing(self._connect()) as con, con:
+            row = con.execute(
+                "SELECT netlist FROM coeff_netlists WHERE key=?",
+                (key,)).fetchone()
+            if row is not None:
+                self._count_hit(con, "coeff_netlists", key)
+        return None if row is None else json.loads(row[0])
+
+    def put_coeff_netlist(self, key: str, netlist_data: dict,
+                          fingerprint: str) -> None:
+        # Plain (insertion-ordered) JSON, *not* canonical_json: bus
+        # declaration order is structural — ``netlist_from_dict``
+        # re-allocates nets in iteration order, so sorting the keys
+        # would renumber the rebuilt netlist and break the rebuilt ==
+        # fresh fingerprint identity.  The key is derived from the
+        # model, not this payload, so no canonical form is needed.
+        # ``fingerprint`` (the netlist content hash) rides along so
+        # warm requests can derive base/grid keys without ever
+        # deserializing the circuit.
+        with closing(self._connect()) as con, con:
+            con.execute(
+                "INSERT OR IGNORE INTO coeff_netlists"
+                "(key, netlist, fingerprint, created_at) VALUES (?,?,?,?)",
+                (key, json.dumps(netlist_data), fingerprint, time.time()))
+
+    def get_coeff_netlist_fingerprint(self, key: str) -> str | None:
+        """The stored netlist's content hash (no payload deserialize)."""
+        with closing(self._connect()) as con, con:
+            row = con.execute(
+                "SELECT fingerprint FROM coeff_netlists WHERE key=?",
+                (key,)).fetchone()
+        return None if row is None else row[0]
 
     # -- garbage collection --------------------------------------------
 
@@ -451,6 +606,11 @@ class DesignStore:
           ``keep_days`` *and* unreachable — no surviving grid manifest
           references their base fingerprint (recent variants stay even
           without a grid: they may belong to an in-flight run);
+        * **coefficient netlists** follow the same reachability rule
+          through the grids' ``coeff_netlist_key`` metadata: a stale
+          netlist survives while any surviving grid was explored on it
+          (deleting it would turn those grids' warm re-sweeps back
+          into rebuilds);
         * orphaned **shard checkpoints** and **coefficient-cache** rows
           older than the cutoff are dropped.
 
@@ -486,10 +646,22 @@ class DesignStore:
             stale_coeff = con.execute(
                 "SELECT COUNT(*) FROM coeff_cache WHERE created_at < ?",
                 (cutoff,)).fetchone()[0]
+            live_coeff_netlists = {row[0] for row in con.execute(
+                "SELECT json_extract(meta, '$.coeff_netlist_key') "
+                "FROM grids WHERE created_at >= ?", (cutoff,)) if row[0]}
+            netlist_placeholders = ",".join("?" * len(live_coeff_netlists))
+            netlist_filter = (
+                f" AND key NOT IN ({netlist_placeholders})"
+                if live_coeff_netlists else "")
+            stale_coeff_netlists = con.execute(
+                "SELECT COUNT(*) FROM coeff_netlists WHERE created_at < ?"
+                + netlist_filter,
+                (cutoff, *live_coeff_netlists)).fetchone()[0]
             report.update(grids_deleted=len(stale_grids),
                           variants_deleted=stale_variants,
                           shards_deleted=stale_shards,
-                          coeff_deleted=stale_coeff)
+                          coeff_deleted=stale_coeff,
+                          coeff_netlists_deleted=stale_coeff_netlists)
             if not dry_run:
                 con.execute("DELETE FROM grids WHERE created_at < ?",
                             (cutoff,))
@@ -500,6 +672,9 @@ class DesignStore:
                             (cutoff,))
                 con.execute("DELETE FROM coeff_cache WHERE created_at < ?",
                             (cutoff,))
+                con.execute(
+                    "DELETE FROM coeff_netlists WHERE created_at < ?"
+                    + netlist_filter, (cutoff, *live_coeff_netlists))
         if not dry_run:
             with closing(self._connect()) as con:
                 con.execute("VACUUM")  # needs autocommit, no transaction
@@ -510,12 +685,16 @@ class DesignStore:
     # -- inspection ----------------------------------------------------
 
     def stats(self) -> dict:
-        """Row counts per table (cheap health/inspection summary)."""
+        """Row counts per table plus coefficient-axis hit counters."""
         with closing(self._connect()) as con, con:
             counts = {table: con.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
                 for table in ("variants", "grids", "shards",
-                              "coeff_cache")}
+                              "coeff_cache", "coeff_netlists")}
+            for table in ("coeff_cache", "coeff_netlists"):
+                counts[f"{table}_hits"] = con.execute(
+                    f"SELECT COALESCE(SUM(hits), 0) FROM {table}"
+                ).fetchone()[0]
         counts["path"] = self.path
         counts["format"] = STORE_FORMAT
         return counts

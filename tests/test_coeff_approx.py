@@ -154,3 +154,132 @@ class TestModelLevel:
         approximated, _ = approximator.approximate_model(quant)
         assert approximated.weights.max() <= 127
         assert approximated.weights.min() >= -128
+
+
+class TestCandidateLadder:
+    """The vectorized prefix-minima ladder vs the reference window scan."""
+
+    @given(w=st.integers(-128, 127), e=st.integers(0, 12),
+           input_bits=st.sampled_from([4, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_ladder_pair_matches_reference_scan(self, w, e, input_bits):
+        a = CoefficientApproximator(library=default_library(), e=e)
+        ref = (a._min_area_candidate(w, min(w + e, 127), input_bits, w),
+               a._min_area_candidate(max(w - e, -128), w, input_bits, w))
+        assert a.candidate_pair(w, input_bits) == ref
+
+    @given(e_max=st.integers(1, 10), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_ladder_shared_pairs_match_per_e(self, e_max, seed):
+        """One ladder serves every e: rung e == a fresh e-radius pair."""
+        rng = np.random.default_rng(seed)
+        coefficients = rng.integers(-128, 128, size=8).tolist()
+        sweep = CoefficientApproximator(library=default_library(), e=e_max)
+        for e in range(0, e_max + 1):
+            shared = sweep.candidate_pairs(coefficients, 4, e=e)
+            fresh = CoefficientApproximator(library=default_library(), e=e)
+            assert shared == [fresh.candidate_pair(w, 4)
+                              for w in coefficients]
+
+    def test_vectorized_pairs_match_scalar(self, approximator):
+        coefficients = list(range(-128, 128))
+        assert approximator.candidate_pairs(coefficients, 4) \
+            == [approximator.candidate_pair(w, 4) for w in coefficients]
+
+    def test_mismatched_coeff_bits_falls_back_to_scan(self):
+        """An approximator narrower than its library cannot use the
+        shared ladder (different clip borders) — the scan must kick in
+        and still clip at the approximator's range."""
+        a = CoefficientApproximator(library=default_library(), e=6,
+                                    coeff_bits=6)
+        minus, plus = a.candidate_pair(30, 4)
+        assert 30 <= minus <= 31  # clipped at the 6-bit border, not 36
+        assert 24 <= plus <= 30
+        assert a.candidate_pairs([30], 4) == [(minus, plus)]
+
+    def test_out_of_range_coefficient_rejected(self, approximator):
+        with pytest.raises(ValueError, match="outside"):
+            approximator.candidate_pair(400, 4)
+        with pytest.raises(ValueError, match="outside"):
+            approximator.candidate_pairs([0, 400], 4)
+
+
+class TestSelectionEquivalence:
+    """Vectorized selection vs the Python reference implementations."""
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=10),
+           st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_exhaustive_picks_equal_reference(self, coeffs, e):
+        """Not just the objective: the *picks* are identical (same
+        enumeration order, same float accumulation, same tie rule)."""
+        a = CoefficientApproximator(library=default_library(), e=e,
+                                    strategy="exhaustive")
+        pairs = a.candidate_pairs(coeffs, 4)
+        assert a._select_exhaustive(coeffs, pairs, 4) \
+            == a._select_exhaustive_reference(coeffs, pairs, 4)
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=8),
+           st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_array_dp_equals_dict_dp_equals_exhaustive(self, coeffs, e):
+        """The three selectors agree on the paper's objective
+        (|error sum|, area); picks may differ only on exact area ties."""
+        library = default_library()
+        a = CoefficientApproximator(library=library, e=e)
+        pairs = a.candidate_pairs(coeffs, 4)
+        selections = {
+            "dp": a._select_dp(coeffs, pairs, 4),
+            "dict": a._select_dp_dict(coeffs, pairs, 4),
+            "exhaustive": a._select_exhaustive(coeffs, pairs, 4),
+        }
+        objectives = {}
+        for name, chosen in selections.items():
+            for w, c, (minus, plus) in zip(coeffs, chosen, pairs):
+                assert c in (minus, plus)
+                assert abs(w - c) <= e
+            error = abs(sum(w - c for w, c in zip(coeffs, chosen)))
+            area = sum(library.area(c, 4) for c in chosen)
+            objectives[name] = (error, area)
+        assert objectives["dp"][0] == objectives["dict"][0] \
+            == objectives["exhaustive"][0]
+        assert objectives["dp"][1] == pytest.approx(objectives["dict"][1])
+        assert objectives["dp"][1] == pytest.approx(
+            objectives["exhaustive"][1])
+
+    def test_array_dp_wide_sum(self):
+        """A sum far past the exhaustive limit still balances exactly."""
+        rng = np.random.default_rng(5)
+        coeffs = rng.integers(-128, 128, size=48).tolist()
+        a = CoefficientApproximator(library=default_library(), e=4,
+                                    strategy="dp")
+        pairs = a.candidate_pairs(coeffs, 4)
+        dp = a._select_dp(coeffs, pairs, 4)
+        dict_dp = a._select_dp_dict(coeffs, pairs, 4)
+        assert abs(sum(w - c for w, c in zip(coeffs, dp))) \
+            == abs(sum(w - c for w, c in zip(coeffs, dict_dp)))
+
+    def test_empty_coefficient_vector(self):
+        a = CoefficientApproximator(library=default_library(), e=4,
+                                    strategy="dp")
+        result = a.approximate_coefficients([], 4)
+        assert result.approximated == ()
+        assert result.error_sum == 0
+
+
+class TestFig2Ladder:
+    def test_run_matches_best_in_window_reference(self):
+        from repro.experiments import fig2
+        from repro.core.multiplier_area import BespokeMultiplierLibrary
+        from repro.quant.fixed_point import coeff_range
+
+        library = BespokeMultiplierLibrary(coeff_bits=6)
+        table = library.area_table(4)
+        lo, hi = coeff_range(6)
+        for cell in fig2.run(e_values=(1, 4, 9),
+                             configurations=((4, 6),)):
+            expected = [100.0 * (1.0 - fig2.best_in_window(
+                table, w, cell.e, lo, hi) / area)
+                for w, area in table.items() if area > 0.0]
+            assert np.array_equal(cell.reductions_pct,
+                                  np.array(expected))

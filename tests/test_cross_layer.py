@@ -127,3 +127,62 @@ class TestFrameworkOptions:
                                    split.y_test)
         assert result.baseline.accuracy > 0.3
         assert result.technique("cross")
+
+
+class TestESweep:
+    def _quant_svm(self):
+        split = load_dataset("redwine").standard_split(seed=0)
+        model = LinearSVMRegressor(seed=1, max_epochs=150).fit(
+            split.X_train, split.y_train)
+        return split, quantize_model(model)
+
+    def test_sweep_matches_per_e_explore(self):
+        """The sweep's records equal a naive per-e explore loop's."""
+        split, quant = self._quant_svm()
+        framework = CrossLayerFramework(tau_grid=(0.9, 0.95))
+        sweep = framework.sweep_e(quant, split.X_train, split.X_test,
+                                  split.y_test, e_values=(1, 2),
+                                  include=("coeff", "cross"))
+        assert sweep.e_values == (1, 2)
+        for e in (1, 2):
+            naive = CrossLayerFramework(e=e, tau_grid=(0.9, 0.95)).explore(
+                quant, split.X_train, split.X_test, split.y_test,
+                include=("coeff", "cross"))
+            got = sweep.coeff_point(e)
+            want = naive.coeff_point
+            assert (got.accuracy, got.area_mm2, got.power_mw, got.n_gates) \
+                == (want.accuracy, want.area_mm2, want.power_mw,
+                    want.n_gates)
+            cross_got = [(p.tau_c, p.phi_c, p.accuracy, p.area_mm2,
+                          p.duplicate)
+                         for p in sweep.family(e) if p.technique == "cross"]
+            cross_want = [(p.tau_c, p.phi_c, p.accuracy, p.area_mm2,
+                           p.duplicate)
+                          for p in naive.technique("cross")]
+            assert cross_got == cross_want
+        assert sweep.baseline.technique == "exact"
+        assert sweep.baseline.e is None
+
+    def test_coeff_only_sweep_and_pareto_union(self):
+        split, quant = self._quant_svm()
+        framework = CrossLayerFramework(tau_grid=(0.95,))
+        sweep = framework.sweep_e(quant, split.X_train, split.X_test,
+                                  split.y_test, e_values=(1, 4, 8),
+                                  include=("coeff",))
+        assert [p.e for p in sweep.technique("coeff")] == [1, 4, 8]
+        front = sweep.pareto()
+        assert front  # the union front is never empty
+        areas = [p.area_mm2 for p in front]
+        assert areas == sorted(areas)
+
+    def test_bigint_engine_sweep_matches_compiled(self):
+        """The array-form fast path must stay off engines that need
+        netlists; records are engine-identical either way."""
+        split, quant = self._quant_svm()
+        sweep = CrossLayerFramework(tau_grid=(0.95,), engine="bigint") \
+            .sweep_e(quant, split.X_train, split.X_test, split.y_test,
+                     e_values=(1, 2), include=("coeff",))
+        reference = CrossLayerFramework(tau_grid=(0.95,)).sweep_e(
+            quant, split.X_train, split.X_test, split.y_test,
+            e_values=(1, 2), include=("coeff",))
+        assert sweep.points == reference.points
