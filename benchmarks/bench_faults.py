@@ -1,0 +1,373 @@
+"""Chaos benchmark: crash consistency of the exploration service.
+
+Sweeps a matrix of deterministic fault schedules
+(:mod:`repro.service.faults`) over real explorations and asserts the
+**crash-consistency invariant**: whatever faults fire — store locks,
+corrupt database files, failing engines, dying pool workers, hung
+chains, SIGKILLed processes — the design list that finally comes out of
+the store is *identical* to a fault-free cold run.  Any divergence
+exits non-zero, so CI treats consistency as a hard gate, not a metric.
+
+Scenario classes (one row per (circuit, scenario) in the report):
+
+* ``baseline``         — no faults (also records the reference timing);
+* ``store-*``          — injected busy/locked inside store writes,
+  absorbed by the store's bounded retry;
+* ``store-corrupt``    — a garbage store file quarantined to a
+  ``.corrupt-<n>`` sidecar and rebuilt;
+* ``shard-fault``      — a shard's compute raises once; job-level retry;
+* ``assemble-fault``   — the final assembly raises; restart resumes
+  from checkpoints;
+* ``engine-fault``     — the batched walk fails; the engine ladder
+  degrades (batched → compiled → bigint);
+* ``worker-exit``      — a pool worker dies mid-chain (``os._exit``);
+  the pool is respawned, the shard retried;
+* ``hung-chain``       — a chain sleeps past the shard timeout; the
+  pool is killed and respawned;
+* ``sigkill-resume``   — a real subprocess SIGKILLs itself mid-grid
+  (``REPRO_FAULTS`` + marker dir make the kill one-shot); a second
+  process resumes from the checkpoints;
+* ``seeded-<n>``       — a :func:`~repro.service.faults.seeded_schedule`
+  soak over the store/job sites, restarted on every surfaced fault.
+
+Run standalone (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py           # full
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick   # CI
+
+Quick mode shrinks the circuit set, grid, and seed count so the whole
+matrix finishes in well under a minute while still firing every fault
+class at least once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+import warnings
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pruning import NetlistPruner  # noqa: E402
+from repro.eval.accuracy import CircuitEvaluator  # noqa: E402
+from repro.experiments.zoo import get_case  # noqa: E402
+from repro.hw.bespoke import build_bespoke_netlist  # noqa: E402
+from repro.service import (  # noqa: E402
+    DesignStore,
+    ExplorationJob,
+    JobReport,
+)
+from repro.service.faults import (  # noqa: E402
+    ENV_SCHEDULE,
+    ENV_STATE,
+    FaultInjector,
+    installed,
+    seeded_schedule,
+)
+
+OUTPUT = REPO_ROOT / "BENCH_faults.json"
+
+CIRCUITS = [("redwine", "svm_r"), ("redwine", "mlp_c")]
+SMOKE_CIRCUITS = [("redwine", "svm_r")]
+FULL_GRID = (0.80, 0.85, 0.90, 0.95, 0.97, 0.99)
+SMOKE_GRID = (0.85, 0.90, 0.95, 0.99)
+
+# Seeds of the random-schedule soak (deterministically derived faults
+# over the store/job sites — see seeded_schedule).
+FULL_SEEDS = range(5)
+SMOKE_SEEDS = range(2)
+SEEDED_SITES = ["store.put_shard", "store.put_variants", "store.put_grid",
+                "job.shard", "job.assemble"]
+
+# A run interrupted by a surfaced fault (anything the supervision
+# chose to re-raise) is restarted, modeling a crash-looped worker; the
+# invariant is that the *final* designs still match, in at most:
+MAX_RESTARTS = 4
+
+SIGKILL_SPEC = "job.shard@index=1:1=kill"
+
+# The resumed half of the sigkill scenario, run as a real subprocess so
+# the kill takes the whole interpreter with it.  Placeholders are
+# substituted via %-formatting (no brace escaping games).
+SIGKILL_SCRIPT = """\
+import json, sys
+sys.path.insert(0, %(src)r)
+from repro.core.pruning import NetlistPruner
+from repro.eval.accuracy import CircuitEvaluator
+from repro.experiments.zoo import get_case
+from repro.hw.bespoke import build_bespoke_netlist
+from repro.service import DesignStore, ExplorationJob
+from repro.service.store import design_to_dict
+
+case = get_case(%(dataset)r, %(model)r)
+netlist = build_bespoke_netlist(case.quant_model)
+evaluator = CircuitEvaluator.from_split(
+    case.quant_model, case.split.X_train, case.split.X_test,
+    case.split.y_test)
+job = ExplorationJob(NetlistPruner(netlist, evaluator, %(grid)r),
+                     DesignStore(%(store)r), shard_size=2)
+designs = job.run()
+json.dump([design_to_dict(d) for d in designs], open(%(out)r, "w"))
+"""
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+class Case:
+    """One prepared circuit plus its fault-free reference designs."""
+
+    def __init__(self, dataset: str, model: str, grid) -> None:
+        self.dataset, self.model, self.grid = dataset, model, tuple(grid)
+        case = get_case(dataset, model)
+        self.netlist = build_bespoke_netlist(case.quant_model)
+        self.evaluator = CircuitEvaluator.from_split(
+            case.quant_model, case.split.X_train, case.split.X_test,
+            case.split.y_test)
+        self.reference = None  # filled by the baseline scenario
+
+    def job(self, store_path, **pruner_kwargs) -> ExplorationJob:
+        pruner = NetlistPruner(self.netlist, self.evaluator, self.grid,
+                               **pruner_kwargs)
+        return ExplorationJob(pruner, DesignStore(store_path),
+                              shard_size=2)
+
+
+def run_with_restarts(case: Case, scratch: pathlib.Path,
+                      **pruner_kwargs) -> tuple[list, JobReport, int]:
+    """One store-backed exploration, restarted on surfaced faults.
+
+    Each restart resumes from the store's checkpoints — exactly what a
+    supervisor (or the fleet's lease reclamation) does to a crashed
+    worker.  Raises after :data:`MAX_RESTARTS` genuine failures.
+    """
+    store_path = scratch / "store.sqlite"
+    report = JobReport("")
+    for restart in range(MAX_RESTARTS + 1):
+        try:
+            designs = case.job(store_path, **pruner_kwargs).run(
+                report=report)
+            return designs, report, restart
+        except Exception:
+            if restart == MAX_RESTARTS:
+                raise
+    raise AssertionError("unreachable")
+
+
+def in_process_scenarios(quick: bool):
+    """(name, schedule spec, pruner kwargs) of the installed-injector runs."""
+    scenarios = [
+        ("store-locked", "store.put_shard:1=err-locked", {}),
+        ("store-busy", "store.put_variants:1=err-busy", {}),
+        ("shard-fault", "job.shard@index=0:1=err", {}),
+        ("assemble-fault", "job.assemble:1=err", {}),
+        ("engine-fault", "engine.batched:1=err", {}),
+    ]
+    seeds = SMOKE_SEEDS if quick else FULL_SEEDS
+    scenarios += [(f"seeded-{seed}",
+                   seeded_schedule(seed, SEEDED_SITES), {})
+                  for seed in seeds]
+    return scenarios
+
+
+def env_scenarios():
+    """(name, env schedule, pruner kwargs) of the pool-worker fault runs.
+
+    These go through ``REPRO_FAULTS`` because the fault fires inside a
+    *pool worker* process, and a state dir keeps each entry one-shot
+    across the respawned pools.
+    """
+    return [
+        ("worker-exit", "worker.chain:1=exit",
+         {"n_workers": 2, "retry_backoff_s": 0.0}),
+        ("hung-chain", "worker.chain:1=sleep(30)",
+         {"n_workers": 2, "retry_backoff_s": 0.0, "shard_timeout_s": 2.0}),
+    ]
+
+
+def run_scenario(case: Case, name: str, spec: str, pruner_kwargs: dict,
+                 via_env: bool) -> dict:
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            if via_env:
+                state = scratch / "fault-state"
+                os.environ[ENV_SCHEDULE] = spec
+                os.environ[ENV_STATE] = str(state)
+                try:
+                    elapsed, (designs, report, restarts) = _timed(
+                        lambda: run_with_restarts(case, scratch,
+                                                  **pruner_kwargs))
+                finally:
+                    os.environ.pop(ENV_SCHEDULE, None)
+                    os.environ.pop(ENV_STATE, None)
+            else:
+                with installed(FaultInjector.parse(spec)):
+                    elapsed, (designs, report, restarts) = _timed(
+                        lambda: run_with_restarts(case, scratch,
+                                                  **pruner_kwargs))
+    return {
+        "scenario": name,
+        "spec": spec,
+        "identical": designs == case.reference,
+        "n_designs": len(designs),
+        "restarts": restarts,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {
+            "shards_retried": report.shards_retried,
+            "pool_respawns": report.pool_respawns,
+            "serial_fallbacks": report.serial_fallbacks,
+            "engine_fallbacks": report.engine_fallbacks,
+            "shard_timeouts": report.shard_timeouts,
+        },
+    }
+
+
+def run_corrupt_scenario(case: Case) -> dict:
+    """A pre-corrupted store file: quarantine, rebuild, full identity."""
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        store_path = scratch / "store.sqlite"
+        store_path.write_bytes(b"not a sqlite database at all" * 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            elapsed, designs = _timed(
+                lambda: case.job(store_path).run())
+        quarantined = (scratch / "store.sqlite.corrupt-0").exists()
+    return {
+        "scenario": "store-corrupt",
+        "spec": "<garbage store file>",
+        "identical": designs == case.reference and quarantined,
+        "n_designs": len(designs),
+        "restarts": 0,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"quarantined": quarantined},
+    }
+
+
+def run_sigkill_scenario(case: Case) -> dict:
+    """A real SIGKILL mid-grid, then a resumed subprocess.
+
+    The first process dies on shard 1 (the marker dir makes the kill
+    one-shot); the second resumes from the surviving checkpoints and
+    must reproduce the reference designs exactly.
+    """
+    from repro.service.store import design_to_dict
+
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        out = scratch / "designs.json"
+        script = SIGKILL_SCRIPT % {
+            "src": str(REPO_ROOT / "src"),
+            "dataset": case.dataset, "model": case.model,
+            "grid": case.grid, "store": str(scratch / "store.sqlite"),
+            "out": str(out),
+        }
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_FAULTS=SIGKILL_SPEC,
+                   REPRO_FAULTS_STATE=str(scratch / "fault-state"))
+        start = time.perf_counter()
+        first = subprocess.run([sys.executable, "-c", script], env=env,
+                               capture_output=True, timeout=600)
+        killed = first.returncode == -9
+        second = subprocess.run([sys.executable, "-c", script], env=env,
+                                capture_output=True, timeout=600)
+        elapsed = time.perf_counter() - start
+        resumed = second.returncode == 0 and out.exists()
+        identical = False
+        if resumed:
+            identical = json.load(open(out)) \
+                == [design_to_dict(d) for d in case.reference]
+    return {
+        "scenario": "sigkill-resume",
+        "spec": SIGKILL_SPEC,
+        "identical": killed and identical,
+        "n_designs": len(case.reference) if resumed else 0,
+        "restarts": 1,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"first_returncode": first.returncode,
+                      "second_returncode": second.returncode},
+    }
+
+
+def bench_circuit(dataset: str, model: str, grid, quick: bool) -> dict:
+    case = Case(dataset, model, grid)
+
+    with tempfile.TemporaryDirectory() as td:
+        baseline_s, (case.reference, _report, _restarts) = _timed(
+            lambda: run_with_restarts(case, pathlib.Path(td)))
+    rows = [{
+        "scenario": "baseline", "spec": "", "identical": True,
+        "n_designs": len(case.reference), "restarts": 0,
+        "runtime_s": round(baseline_s, 3), "telemetry": {},
+    }]
+
+    for name, spec, kwargs in in_process_scenarios(quick):
+        rows.append(run_scenario(case, name, spec, kwargs, via_env=False))
+    for name, spec, kwargs in env_scenarios():
+        rows.append(run_scenario(case, name, spec, kwargs, via_env=True))
+    rows.append(run_corrupt_scenario(case))
+    rows.append(run_sigkill_scenario(case))
+
+    for row in rows:
+        status = "ok" if row["identical"] else "DIVERGED"
+        print(f"  {row['scenario']:<16} {status:<9} "
+              f"{row['runtime_s']:>7.3f}s  restarts={row['restarts']} "
+              f"{row['spec']}")
+    return {
+        "dataset": dataset, "model": model,
+        "tau_grid": list(grid),
+        "scenarios": rows,
+        "all_identical": all(row["identical"] for row in rows),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small circuit set / grid / seed count (CI)")
+    parser.add_argument("--out", type=pathlib.Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    circuits = SMOKE_CIRCUITS if args.quick else CIRCUITS
+    grid = SMOKE_GRID if args.quick else FULL_GRID
+
+    results = []
+    for dataset, model in circuits:
+        print(f"[bench_faults] {dataset}/{model} "
+              f"({'quick' if args.quick else 'full'})")
+        results.append(bench_circuit(dataset, model, grid, args.quick))
+
+    all_identical = all(entry["all_identical"] for entry in results)
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "invariant": "designs under any injected fault schedule are "
+                     "identical to a fault-free cold run",
+        "circuits": results,
+        "all_identical": all_identical,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_faults] wrote {args.out} "
+          f"(all_identical={all_identical})")
+    if not all_identical:
+        print("[bench_faults] CRASH-CONSISTENCY INVARIANT VIOLATED",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,6 +129,8 @@ def _run_explore(args: argparse.Namespace) -> int:
         "identity": args.identity,
     }
     request = ExploreRequest.from_dict(request_dict)  # validate early
+    if args.worker_id:
+        return _run_fleet_worker(args, service, request)
     out, close = _out_stream(args.out)
     try:
         summary = service.run_manifest([request_dict], out,
@@ -143,6 +145,32 @@ def _run_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet_worker(args: argparse.Namespace, service, request) -> int:
+    """One lease-based fleet worker: claim and compute shards until the
+    grid is done.  Launch N of these against one ``--store`` to drain a
+    grid concurrently; every process prints the identical design count
+    plus its own worker report as JSONL."""
+    from .service.jsonl import write_line
+
+    designs, report = service.fleet_worker(
+        request, args.worker_id, ttl_s=args.lease_ttl)
+    out, close = _out_stream(args.out)
+    try:
+        write_line(out, {"type": "fleet-worker",
+                         "n_designs": len(designs),
+                         **report.to_dict()})
+    finally:
+        if close:
+            out.close()
+    print(f"[explore] fleet worker {args.worker_id}: "
+          f"{len(designs)} designs, "
+          f"computed shards {report.shards_computed} "
+          f"of {report.n_shards}, grid hit: {report.grid_hit}, "
+          f"{report.runtime_s:.2f}s (store: {args.store})",
+          file=sys.stderr)
+    return 0
+
+
 def _run_store_gc(args: argparse.Namespace) -> int:
     from .service import DesignStore
 
@@ -152,6 +180,7 @@ def _run_store_gc(args: argparse.Namespace) -> int:
     print(f"[store gc] {verb} {report['grids_deleted']} grids, "
           f"{report['variants_deleted']} variants, "
           f"{report['shards_deleted']} shard checkpoints, "
+          f"{report['leases_deleted']} expired leases, "
           f"{report['coeff_deleted']} coeff-cache rows, "
           f"{report['coeff_netlists_deleted']} coeff netlists "
           f"(keep-days: {report['keep_days']:g}); "
@@ -276,6 +305,15 @@ def main(argv: list[str] | None = None) -> int:
                               "approximated (default: coeff)")
     explore.add_argument("--tau", type=float, nargs="*", default=None,
                          help="tau_c grid (default: the paper's 80..99%%)")
+    explore.add_argument("--worker-id", default=None,
+                         help="run as a lease-based fleet worker under "
+                              "this id: N processes with distinct ids "
+                              "and one shared --store drain the grid's "
+                              "shards concurrently")
+    explore.add_argument("--lease-ttl", type=float, default=300.0,
+                         help="fleet shard-lease TTL in seconds; a "
+                              "worker dead longer than this has its "
+                              "shard reclaimed (default: 300)")
     _add_service_options(explore)
     explore.set_defaults(handler=_run_explore)
 

@@ -80,10 +80,12 @@ contract).
 
 from __future__ import annotations
 
+import time
 import warnings
 from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -113,6 +115,21 @@ __all__ = [
 
 # tau_c in {0.80, 0.81, ..., 0.99}, the paper's grid.
 DEFAULT_TAU_GRID = tuple(np.round(np.arange(0.80, 1.00, 0.01), 2))
+
+# Lazy bridge to repro.service.faults: importing it at module level
+# would close the core ↔ service import cycle (this module loads before
+# the service package, and service.jobs loads this module mid-way).
+# Resolved on first use, long after both packages finished importing.
+_fault_point = None
+
+
+def fault_point(site: str, **ctx) -> None:
+    """Named fault-injection site (see :mod:`repro.service.faults`)."""
+    global _fault_point
+    if _fault_point is None:
+        from ..service.faults import fault_point as resolved
+        _fault_point = resolved
+    _fault_point(site, **ctx)
 
 # Chains per relaxed-mode lattice block.  The relaxed walk resets its
 # cross-tau lattice (top chain, protection set, plan epochs) at *grid*
@@ -234,16 +251,18 @@ def prune_key_ids(key) -> tuple[int, ...]:
     """Canonical prune-set identity: the sorted pruned-gate ids.
 
     The exploration walks key their steps differently — the per-variant
-    paths by a ``frozenset`` of ``(gate, constant)`` items, the batched
-    walk by the sorted gate-id int64 byte string — but for one base
-    netlist the tied constants are a pure function of the gate set (the
-    training activity fixes ``const_value``), so the sorted gate ids
-    identify the variant.  The service layer's content-addressed store
-    (:mod:`repro.service.store`) hashes this canonical form.
+    paths by a ``frozenset`` of gate ids, the batched walk by the sorted
+    gate-id int64 byte string — but for one base netlist the tied
+    constants are a pure function of the gate set (the training activity
+    fixes ``const_value``), so the sorted gate ids identify the variant.
+    The service layer's content-addressed store
+    (:mod:`repro.service.store`) hashes this canonical form.  Elements
+    may also be ``(gate, constant)`` pairs; the constant is ignored.
     """
     if isinstance(key, (bytes, bytearray)):
         return tuple(int(v) for v in np.frombuffer(key, dtype=np.int64))
-    return tuple(sorted(int(gate) for gate, _value in key))
+    return tuple(sorted(int(item[0]) if isinstance(item, tuple) else int(item)
+                        for item in key))
 
 
 def prune_key_bytes(ids) -> bytes:
@@ -827,6 +846,10 @@ def _run_chain_task(task: tuple) -> list[tuple]:
     base, evaluator, incremental, root, use_batched, space = \
         _WORKER_CONTEXT["args"]
     tau_c, steps = task
+    # Pool workers inherit REPRO_FAULTS through the environment, so a
+    # scheduled worker death ("exit"/"kill") fires here — the parent
+    # sees a broken pool and the supervision path takes over.
+    fault_point("worker.chain", tau=tau_c)
     chain_root = (root[0].fork(), root[1], root[2]) if root is not None \
         else None
     if use_batched and chain_root is not None:
@@ -932,6 +955,18 @@ class NetlistPruner:
     n_workers: int | None = None
     engine: str | None = None
     identity: str | None = None
+    # Supervision knobs (see ``_run_chains_parallel``): how often a
+    # broken/hung pool is respawned before this call degrades to the
+    # serial path, the base of the capped-exponential backoff between
+    # respawns, and an optional wall-clock budget per chain_rows() call
+    # (the service layer's per-shard timeout).
+    max_retries: int = 2
+    retry_backoff_s: float = 0.1
+    shard_timeout_s: float | None = None
+    # Supervision telemetry: per-kind counters plus an ``events`` list
+    # of ``{kind, ...}`` dicts.  The service layer folds this into its
+    # JobReport; it accumulates for the pruner's lifetime.
+    telemetry: dict = field(default_factory=dict, repr=False)
     _space: PruneSpace | None = field(default=None, repr=False)
     _record_memo: dict = field(default_factory=dict, repr=False)
     _base_arrays: ArrayCircuit | None = field(default=None, repr=False)
@@ -1024,42 +1059,100 @@ class NetlistPruner:
             tau_values = self.tau_grid
         workers = n_workers if n_workers is not None else self.n_workers
         want_parallel = bool(workers and workers > 1)
-        use_batched = self.incremental \
-            and self.resolved_engine() == "batched"
-        if not use_batched:
-            chains = [(float(tau_c), space.tau_steps(tau_c))
-                      for tau_c in tau_values]
-        else:
-            # The batched walk (serial *and* worker-side) derives steps
-            # from the candidate arrays itself; it only needs the phi
-            # grid — skip tau_steps' full per-step force-dict
-            # construction.
-            chains = [(float(tau_c),
-                       [(phi_c, None)
-                        for phi_c in space.phi_levels(tau_c)])
-                      for tau_c in tau_values]
-        chains = [(tau_c, steps) for tau_c, steps in chains if steps]
+        engine = self.resolved_engine()
+        use_batched = self.incremental and engine == "batched"
+        chains = self._build_chains(tau_values, space, use_batched)
 
         chain_rows = None
         if want_parallel and len(chains) > 1:
             chain_rows = self._run_chains_parallel(chains, workers,
                                                    use_batched)
         if chain_rows is None:
-            memo = self._record_memo if deduplicate else None
-            base_circ = self._base_circuit()
-            root = _root_state(base_circ) if self.incremental else None
-            if root is not None and use_batched:
-                chain_rows = _explore_trie_batched(base_circ,
-                                                   self.evaluator, space,
-                                                   chains, memo,
-                                                   root_state=root,
-                                                   relaxed=relaxed,
-                                                   grid=self.tau_grid)
-            else:
-                chain_rows = _explore_trie(base_circ, self.evaluator,
-                                           chains, self.incremental, memo,
-                                           root_state=root)
+            chains, chain_rows = self._run_chains_serial(
+                chains, space, engine, relaxed, deduplicate)
         return chains, chain_rows
+
+    def _build_chains(self, tau_values, space: PruneSpace,
+                      use_batched: bool) -> list:
+        """The non-empty ``(tau_c, steps)`` list of one walk.
+
+        On the batched engine (serial *and* worker-side) the walk
+        derives steps from the candidate arrays itself; it only needs
+        the phi grid — skip ``tau_steps``' full per-step force-dict
+        construction.  Both step forms cover the same phi levels, so
+        the chain list (tau values, non-empty filter) is identical
+        either way — which is what lets an engine-fallback rung rebuild
+        the steps without changing which chains are walked.
+        """
+        if not use_batched:
+            chains = [(float(tau_c), space.tau_steps(tau_c))
+                      for tau_c in tau_values]
+        else:
+            chains = [(float(tau_c),
+                       [(phi_c, None)
+                        for phi_c in space.phi_levels(tau_c)])
+                      for tau_c in tau_values]
+        return [(tau_c, steps) for tau_c, steps in chains if steps]
+
+    def _engine_ladder(self, engine: str) -> list[str]:
+        """The degradation ladder from ``engine`` down to the oracle.
+
+        ``batched`` → ``compiled`` → ``bigint``: every rung produces
+        bit-identical records (the repo's core equivalence contract),
+        so degrading under an evaluation fault trades only speed.
+        """
+        ladder = ["batched", "compiled", "bigint"]
+        if engine not in ladder:
+            return [engine]
+        return ladder[ladder.index(engine):]
+
+    def _run_chains_serial(self, chains: list, space: PruneSpace,
+                           engine: str, relaxed: bool,
+                           deduplicate: bool) -> tuple[list, list]:
+        """The serial walk, degrading down the engine ladder on faults."""
+        memo = self._record_memo if deduplicate else None
+        ladder = self._engine_ladder(engine)
+        for rung, name in enumerate(ladder):
+            use_batched = self.incremental and name == "batched"
+            if rung:
+                # Fallback rung: rebuild the steps in the form this
+                # engine's walk consumes (same chains either way).
+                chains = self._build_chains([t for t, _ in chains],
+                                            space, use_batched)
+            evaluator = self.evaluator if name == engine \
+                else replace(self.evaluator, engine=name)
+            try:
+                fault_point(f"engine.{name}")
+                base_circ = self._base_circuit()
+                root = _root_state(base_circ) if self.incremental \
+                    else None
+                if root is not None and use_batched:
+                    rows = _explore_trie_batched(base_circ, evaluator,
+                                                 space, chains, memo,
+                                                 root_state=root,
+                                                 relaxed=relaxed,
+                                                 grid=self.tau_grid)
+                else:
+                    rows = _explore_trie(base_circ, evaluator, chains,
+                                         self.incremental, memo,
+                                         root_state=root)
+                return chains, rows
+            except Exception as exc:
+                if rung == len(ladder) - 1:
+                    raise
+                self._note("engine_fallbacks", engine=name,
+                           to=ladder[rung + 1], error=repr(exc))
+                warnings.warn(
+                    f"serial exploration failed on the {name!r} engine "
+                    f"({exc!r}); degrading to {ladder[rung + 1]!r}",
+                    RuntimeWarning, stacklevel=4)
+        raise AssertionError("unreachable: ladder is never empty")
+
+    def _note(self, kind: str, **info) -> None:
+        """Record one supervision event (counter + event log)."""
+        self.telemetry[kind] = int(self.telemetry.get(kind, 0)) + 1
+        self.telemetry.setdefault("events", []).append(
+            {"kind": kind, **info})
 
     def _pool_executor(self, workers: int,
                        use_batched: bool) -> ProcessPoolExecutor:
@@ -1096,6 +1189,29 @@ class NetlistPruner:
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def _kill_pool(self) -> None:
+        """Tear down a broken or hung pool without joining its workers.
+
+        :meth:`close` waits on workers — correct for a healthy pool, a
+        deadlock against a hung one (an injected ``sleep`` fault, a
+        wedged child).  The supervision path cancels what it can,
+        terminates the worker processes, and bounds the join.
+        """
+        pool, self._pool, self._pool_key = self._pool, None, None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None)
+        processes = list(processes.values()) if processes else []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # a broken executor may refuse; we terminate anyway
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+
     def __enter__(self) -> "NetlistPruner":
         return self
 
@@ -1110,19 +1226,59 @@ class NetlistPruner:
         On the batched engine the workers run the batched walk (each
         chain is a one-chain trie), so the pool path finally shares the
         serial path's engine; the pruning statistics ship once per
-        worker as plain arrays.  Any pool failure closes the pool and
-        falls back to the serial path for this call.
+        worker as plain arrays.
+
+        Supervision: a dead pool (``BrokenProcessPool`` from a worker
+        that segfaulted, was OOM-killed, or hit an injected death) or a
+        shard that exceeds ``shard_timeout_s`` kills the pool, respawns
+        it, and retries the whole shard — up to ``max_retries`` times
+        with capped exponential backoff.  Chains are pure functions of
+        their inputs, so a retried shard recomputes the identical rows;
+        when the retries run out the call degrades to the serial path
+        (``None``), which carries its own engine-fallback ladder.
+        Every event lands in :attr:`telemetry`.
         """
-        try:
-            pool = self._pool_executor(workers, use_batched)
-            return list(pool.map(_run_chain_task, chains))
-        except Exception as exc:  # pool/pickling/OS limits: stay correct
-            self.close()
-            warnings.warn(
-                f"parallel pruning exploration failed ({exc!r}); "
-                "falling back to the serial path", RuntimeWarning,
-                stacklevel=3)
-            return None
+        attempts = max(0, int(self.max_retries)) + 1
+        delay = max(0.0, float(self.retry_backoff_s))
+        for attempt in range(attempts):
+            try:
+                fault_point("pool.map", attempt=attempt)
+                pool = self._pool_executor(workers, use_batched)
+                futures = [pool.submit(_run_chain_task, chain)
+                           for chain in chains]
+                if self.shard_timeout_s is None:
+                    return [future.result() for future in futures]
+                deadline = time.monotonic() + float(self.shard_timeout_s)
+                results = []
+                for future in futures:
+                    remaining = deadline - time.monotonic()
+                    results.append(
+                        future.result(timeout=max(0.0, remaining)))
+                return results
+            except Exception as exc:  # pool/pickling/OS limits/timeouts
+                self._kill_pool()
+                if isinstance(exc, FuturesTimeout):
+                    self._note("shard_timeouts",
+                               timeout_s=self.shard_timeout_s)
+                if attempt == attempts - 1:
+                    self._note("serial_fallbacks", error=repr(exc))
+                    warnings.warn(
+                        f"parallel pruning exploration failed after "
+                        f"{attempts} attempt(s) ({exc!r}); falling back "
+                        "to the serial path", RuntimeWarning,
+                        stacklevel=3)
+                    return None
+                self._note("pool_respawns", error=repr(exc),
+                           attempt=attempt)
+                warnings.warn(
+                    f"worker pool failed ({exc!r}); respawning and "
+                    f"retrying the shard "
+                    f"(attempt {attempt + 2}/{attempts})",
+                    RuntimeWarning, stacklevel=3)
+                if delay:
+                    time.sleep(delay)
+                    delay = min(delay * 2.0, 2.0)
+        return None
 
     def explore_legacy(self, deduplicate: bool = True,
                        synthesis: str = "compiled") -> list[PrunedDesign]:

@@ -5,19 +5,34 @@ this package makes the *system* around it scale to many models, grids,
 and repeated requests without recomputing anything twice:
 
 * :mod:`repro.service.store` — content-addressed SQLite store of every
-  evaluated variant record and every finished grid;
+  evaluated variant record and every finished grid, self-healing on
+  corruption (quarantine + rebuild) with bounded busy/locked retry;
 * :mod:`repro.service.jobs` — sharded, checkpointed exploration jobs
-  that resume exactly where a killed run stopped;
+  that resume exactly where a killed run stopped, with job-level shard
+  retry and supervision telemetry;
+* :mod:`repro.service.leases` — lease-based shard claiming: N worker
+  processes drain one grid concurrently against one shared store, with
+  stale-lease reclamation for dead workers;
+* :mod:`repro.service.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) at named sites across the whole stack, the
+  machinery behind ``benchmarks/bench_faults.py``'s crash-consistency
+  chaos bench;
+* :mod:`repro.service.jsonl` — line-atomic JSONL writes and the strict
+  crash-tolerant reader;
 * :mod:`repro.service.runner` — the batch facade behind the
   ``repro-printed-ml explore`` / ``sweep-e`` / ``serve-batch`` CLI:
   manifests of (dataset, model, grid) requests, coefficient e-sweeps,
-  store deduplication, JSONL results.
+  store deduplication, JSONL results, fleet workers.
 
-See the "Service layer" section of ``docs/ARCHITECTURE.md`` for the
-store schema, the hash contract, and the shard/checkpoint lifecycle.
+See the "Service layer" and "Fault model & recovery" sections of
+``docs/ARCHITECTURE.md`` for the store schema, the hash contract, the
+shard/checkpoint lifecycle, and the lease/supervision machinery.
 """
 
+from .faults import FaultError, FaultInjector, fault_point
 from .jobs import ExplorationJob, JobReport
+from .jsonl import read_jsonl, write_line
+from .leases import FleetReport, LeaseManager, run_fleet_worker
 from .runner import ExplorationService, ExploreRequest
 from .store import DesignStore
 
@@ -27,4 +42,12 @@ __all__ = [
     "JobReport",
     "ExplorationService",
     "ExploreRequest",
+    "FaultError",
+    "FaultInjector",
+    "fault_point",
+    "FleetReport",
+    "LeaseManager",
+    "run_fleet_worker",
+    "read_jsonl",
+    "write_line",
 ]

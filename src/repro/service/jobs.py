@@ -64,6 +64,7 @@ from ..core.pruning import (
     prune_key_ids,
 )
 from ..eval.accuracy import EvaluationRecord
+from .faults import fault_point
 from .store import DesignStore, base_fingerprint, grid_key
 
 __all__ = ["ExplorationJob", "JobReport"]
@@ -76,7 +77,16 @@ DEFAULT_SHARD_SIZE = 4
 
 @dataclass
 class JobReport:
-    """What one :meth:`ExplorationJob.run` actually did (observability)."""
+    """What one :meth:`ExplorationJob.run` actually did (observability).
+
+    The retry/fault/degradation fields are the supervision telemetry:
+    ``shards_retried`` counts job-level shard retries (a shard whose
+    compute-and-checkpoint raised and was re-walked), the pool counters
+    mirror the pruner's :attr:`~repro.core.pruning.NetlistPruner.telemetry`
+    totals at the end of the run (respawned pools, degradations to the
+    serial path, engine-ladder fallbacks, per-shard timeouts), and
+    ``fault_events`` carries the raw event dicts for post-mortems.
+    """
 
     grid_key: str
     n_shards: int = 0
@@ -85,6 +95,12 @@ class JobReport:
     grid_hit: bool = False
     variants_preloaded: int = 0
     runtime_s: float = 0.0
+    shards_retried: int = 0
+    pool_respawns: int = 0
+    serial_fallbacks: int = 0
+    engine_fallbacks: int = 0
+    shard_timeouts: int = 0
+    fault_events: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -95,7 +111,26 @@ class JobReport:
             "grid_hit": self.grid_hit,
             "variants_preloaded": self.variants_preloaded,
             "runtime_s": self.runtime_s,
+            "shards_retried": self.shards_retried,
+            "pool_respawns": self.pool_respawns,
+            "serial_fallbacks": self.serial_fallbacks,
+            "engine_fallbacks": self.engine_fallbacks,
+            "shard_timeouts": self.shard_timeouts,
+            "fault_events": self.fault_events,
         }
+
+    def absorb_telemetry(self, telemetry: dict) -> None:
+        """Fold a pruner's supervision telemetry into this report.
+
+        Copies the pruner-lifetime totals (a pruner reused across jobs
+        carries its history along — the counters answer "has this
+        pruner ever degraded", which is the question that matters).
+        """
+        self.pool_respawns = int(telemetry.get("pool_respawns", 0))
+        self.serial_fallbacks = int(telemetry.get("serial_fallbacks", 0))
+        self.engine_fallbacks = int(telemetry.get("engine_fallbacks", 0))
+        self.shard_timeouts = int(telemetry.get("shard_timeouts", 0))
+        self.fault_events = list(telemetry.get("events", []))
 
 
 def _serialize_rows(chains: list, rows: list) -> dict:
@@ -147,6 +182,15 @@ class ExplorationJob:
     shard_size: int = DEFAULT_SHARD_SIZE
     label: str = "circuit"
     grid_meta: dict | None = None
+    # Job-level shard retry: a shard whose compute-and-checkpoint
+    # raises (an evaluation fault that survived the pruner's own
+    # supervision, a store write that kept failing) is re-walked up to
+    # this many times with capped exponential backoff before the run
+    # gives up.  Chains are pure functions of their inputs and variant
+    # writes are idempotent, so a retried shard is safe by
+    # construction.
+    shard_attempts: int = 3
+    shard_retry_backoff_s: float = 0.05
     _base_key: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -237,6 +281,56 @@ class ExplorationJob:
             # worker pool (idempotent; a later run simply recreates it).
             self.pruner.close()
 
+    def load_shard(self, index: int, taus: tuple) -> tuple[list, list] | None:
+        """One checkpointed shard's ``(chains, rows)``, or ``None``.
+
+        A checkpoint only counts when its tau partition matches —
+        anything else (a different shard size from an earlier run)
+        recomputes rather than assembling the wrong grid.
+        """
+        stored = self.store.get_shard(self.grid_key(), index)
+        if stored is None or tuple(stored[0]) != taus:
+            return None
+        return _deserialize_rows(stored[1])
+
+    def compute_shard(self, index: int, taus: tuple) -> tuple[list, list]:
+        """Walk, checkpoint, and persist one shard (the fleet work unit).
+
+        Everything a shard produces is durable before this returns: the
+        checkpoint row *and* the fresh variant records.  Idempotent —
+        recomputing an already-checkpointed shard overwrites it with
+        identical content (chains are pure functions of their inputs),
+        which is what lets lease-based workers and job-level retries
+        share this method without coordination beyond the store.
+        """
+        fault_point("job.shard", index=index)
+        chains, rows = self.pruner.chain_rows(taus)
+        rows = _canonical_keys(rows)
+        self.store.put_shard(self.grid_key(), index, taus,
+                             _serialize_rows(chains, rows))
+        self.store.put_variants(
+            self.base_key(),
+            {key: record
+             for chain_rows in rows
+             for _phi, key, _n, record in chain_rows})
+        return chains, rows
+
+    def _compute_shard_with_retry(self, index: int, taus: tuple,
+                                  report: JobReport) -> tuple[list, list]:
+        delay = max(0.0, float(self.shard_retry_backoff_s))
+        attempts = max(1, int(self.shard_attempts))
+        for attempt in range(attempts):
+            try:
+                return self.compute_shard(index, taus)
+            except Exception:
+                if attempt == attempts - 1:
+                    raise
+                report.shards_retried += 1
+                if delay:
+                    time.sleep(delay)
+                    delay = min(delay * 2.0, 2.0)
+        raise AssertionError("unreachable: attempts >= 1")
+
     def _run(self, resume, on_shard, report: JobReport, gkey: str,
              start: float) -> list[PrunedDesign]:
         if not resume:
@@ -255,26 +349,34 @@ class ExplorationJob:
         all_chains: list = []
         all_rows: list = []
         for index, taus in enumerate(shards):
-            stored = self.store.get_shard(gkey, index) if resume else None
-            if stored is not None and tuple(stored[0]) == taus:
-                chains, rows = _deserialize_rows(stored[1])
+            loaded = self.load_shard(index, taus) if resume else None
+            if loaded is not None:
+                chains, rows = loaded
                 report.shards_loaded += 1
             else:
-                chains, rows = self.pruner.chain_rows(taus)
-                rows = _canonical_keys(rows)
-                self.store.put_shard(gkey, index, taus,
-                                     _serialize_rows(chains, rows))
-                self.store.put_variants(
-                    self.base_key(),
-                    {key: record
-                     for chain_rows in rows
-                     for _phi, key, _n, record in chain_rows})
+                chains, rows = self._compute_shard_with_retry(
+                    index, taus, report)
                 report.shards_computed += 1
             all_chains.extend(chains)
             all_rows.extend(rows)
             if on_shard is not None:
                 on_shard(index, len(shards))
 
+        designs = self.finalize(all_chains, all_rows)
+        report.absorb_telemetry(self.pruner.telemetry)
+        report.runtime_s = time.perf_counter() - start
+        return designs
+
+    def finalize(self, all_chains: list,
+                 all_rows: list) -> list[PrunedDesign]:
+        """Assemble the design list from all shards and store the grid.
+
+        Shared by :meth:`run` and the lease-based fleet workers
+        (:mod:`repro.service.leases`): whoever loads the last checkpoint
+        assembles.  Idempotent — assembly is a pure function of the rows
+        in grid order, so two workers racing to finalize write the
+        identical grid row.
+        """
         if self._relaxed():
             # Relaxed shards walked the grid in value order (block
             # alignment above); assembly is order-sensitive (duplicate
@@ -301,7 +403,9 @@ class ExplorationJob:
             all_chains = [all_chains[i] for i in order]
             all_rows = [all_rows[i] for i in order]
 
+        fault_point("job.assemble")
         designs = assemble_designs(all_chains, all_rows)
+        gkey = self.grid_key()
         self.store.put_grid(gkey, designs, meta={
             "label": self.label,
             "base_key": self.base_key(),
@@ -310,5 +414,5 @@ class ExplorationJob:
             **(self.grid_meta or {}),
         })
         self.store.clear_shards(gkey)
-        report.runtime_s = time.perf_counter() - start
+        self.store.clear_leases(gkey)
         return designs

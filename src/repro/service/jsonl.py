@@ -1,0 +1,68 @@
+"""Line-atomic JSONL writing and strict crash-tolerant reading.
+
+The batch runner streams results as JSONL.  A naive ``write(json +
+"\\n")`` over a buffered stream can die mid-record, leaving a truncated
+partial line that poisons every downstream consumer — and, worse, the
+truncation is silent: the file still parses line-by-line until the
+tail.  The discipline here:
+
+* :func:`write_line` emits each record as **one** ``write`` call of the
+  complete line and flushes immediately — a crash between records
+  loses nothing, and a crash mid-record leaves *at most one* trailing
+  partial line;
+* :func:`read_jsonl` parses strictly — any malformed line is an error —
+  **except** for exactly one trailing partial line, which is the
+  recognizable signature of a crash mid-write and is reported, not
+  raised.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["read_jsonl", "write_line"]
+
+
+def write_line(out, record: dict) -> None:
+    """Write one JSONL record line-atomically: single write, then flush.
+
+    The record is serialized fully before anything touches ``out``, so
+    a serialization error never emits a half-line; the flush bounds the
+    crash window to the one in-flight line.
+    """
+    line = json.dumps(record) + "\n"
+    out.write(line)
+    flush = getattr(out, "flush", None)
+    if flush is not None:
+        flush()
+
+
+def read_jsonl(source, allow_partial_tail: bool = True) -> list:
+    """Parse JSONL strictly; tolerate exactly one trailing partial line.
+
+    ``source`` is a path or an open text stream.  A malformed line
+    anywhere but the very end raises ``ValueError`` (the file is
+    corrupt, not merely truncated).  A malformed *final* line — the
+    signature of a crash mid-:func:`write_line` — is dropped and the
+    complete records are returned; pass ``allow_partial_tail=False`` to
+    treat even that as an error.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text()
+    lines = text.splitlines()
+    records = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue  # blank separators are harmless, skip them
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if number == len(lines) and allow_partial_tail:
+                break  # the one permitted crash artifact
+            raise ValueError(
+                f"malformed JSONL at line {number}: {line[:80]!r}"
+            ) from exc
+    return records

@@ -1,0 +1,222 @@
+"""Lease-based fleet claiming: shards as a concurrent work unit.
+
+The sharded :class:`~repro.service.jobs.ExplorationJob` made shards the
+*crash-safety* unit — a killed run resumes from its checkpoints.  This
+module promotes them to a *fleet work unit*: N independent worker
+processes drain one grid's shards concurrently against one shared
+store, coordinating purely through the ``shard_leases`` table (no
+sockets, no coordinator process — SQLite's WAL serialization is the
+transport, matching the store's existing concurrency model).
+
+Lease lifecycle
+---------------
+A worker **claims** a missing shard by upserting a ``(grid_key, shard,
+worker, heartbeat, expiry)`` row; the upsert only replaces a row whose
+lease has expired (or the worker's own), and the claim is verified
+inside the same transaction — two workers racing for one shard can
+never both win.  While computing, the holder's lease carries an expiry
+``ttl_s`` in the future; a finished shard **releases** its lease (its
+durable checkpoint is now the ownership record).  A worker that dies
+mid-shard simply stops heartbeating: once the lease expires, any other
+worker's claim **reclaims** the shard and recomputes it — safe because
+:meth:`~repro.service.jobs.ExplorationJob.compute_shard` is idempotent
+(chains are pure functions of their inputs, checkpoint and variant
+writes are last/first-writer-wins with identical content).
+
+``ttl_s`` must exceed the worst-case shard compute time, or a merely
+*slow* worker gets its shard stolen and executed twice — still correct
+(identical rows), but wasted work; the default is generous for
+tier-1-sized grids.
+
+Completion: whichever worker loads the last checkpoint assembles the
+design list and stores the grid
+(:meth:`~repro.service.jobs.ExplorationJob.finalize`, a pure function
+of the rows — racing finalizers write identical grids); everyone else
+observes the finished grid and returns it.  The final design list is
+byte-identical to a single-process run by the same argument that makes
+kill-and-resume exact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .jobs import ExplorationJob
+from .store import DesignStore
+
+__all__ = ["DEFAULT_LEASE_TTL_S", "FleetReport", "LeaseManager",
+           "run_fleet_worker"]
+
+# Generous against tier-1 shard compute times: reclamation is for dead
+# workers, not slow ones (a stolen live shard is wasted work, never an
+# incorrect result).
+DEFAULT_LEASE_TTL_S = 300.0
+
+
+@dataclass
+class LeaseManager:
+    """One worker's handle on one grid's shard leases.
+
+    Thin policy layer over the store's lease primitives — claim,
+    heartbeat, release, and visibility into which shards are stale
+    (expired leases left by dead workers, reclaimable by anyone).
+    """
+
+    store: DesignStore
+    grid_key: str
+    worker: str
+    ttl_s: float = DEFAULT_LEASE_TTL_S
+
+    def claim(self, shard: int) -> bool:
+        """Claim one shard (reclaims expired leases atomically)."""
+        return self.store.claim_lease(self.grid_key, shard, self.worker,
+                                      self.ttl_s)
+
+    def renew(self, shard: int) -> bool:
+        """Heartbeat a held shard; ``False`` means the lease was lost."""
+        return self.store.renew_lease(self.grid_key, shard, self.worker,
+                                      self.ttl_s)
+
+    def release(self, shard: int) -> None:
+        self.store.release_lease(self.grid_key, shard, self.worker)
+
+    def held(self) -> set[int]:
+        """Shards this worker currently holds an unexpired lease on."""
+        now = time.time()
+        return {shard for shard, info
+                in self.store.leases_for_grid(self.grid_key).items()
+                if info["worker"] == self.worker and info["expiry"] > now}
+
+    def stale(self) -> set[int]:
+        """Shards whose lease expired (dead holders, reclaimable)."""
+        now = time.time()
+        return {shard for shard, info
+                in self.store.leases_for_grid(self.grid_key).items()
+                if info["expiry"] <= now}
+
+
+@dataclass
+class FleetReport:
+    """What one fleet worker actually did (the fleet-side JobReport)."""
+
+    worker: str
+    grid_key: str = ""
+    n_shards: int = 0
+    shards_computed: list = field(default_factory=list)
+    claims_lost: int = 0
+    waits: int = 0
+    grid_hit: bool = False
+    finalized: bool = False
+    runtime_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "grid_key": self.grid_key,
+            "n_shards": self.n_shards,
+            "shards_computed": list(self.shards_computed),
+            "claims_lost": self.claims_lost,
+            "waits": self.waits,
+            "grid_hit": self.grid_hit,
+            "finalized": self.finalized,
+            "runtime_s": self.runtime_s,
+        }
+
+
+def run_fleet_worker(job: ExplorationJob, worker_id: str,
+                     ttl_s: float = DEFAULT_LEASE_TTL_S,
+                     poll_s: float = 0.2,
+                     max_wait_s: float = 600.0):
+    """Drain one grid's shards cooperatively; returns ``(designs, report)``.
+
+    Every worker of a fleet runs this same loop against the same store:
+
+    1. a finished grid in the store ends the run immediately (grid hit);
+    2. otherwise sweep the shard list — skip checkpointed shards, lease
+       missing ones, compute what was claimed (releasing the lease once
+       the checkpoint is durable); expired leases of dead workers are
+       reclaimed by the claim upsert itself;
+    3. when every shard has a checkpoint, assemble and store the grid —
+       first finalizer wins, racing finalizers write identical content;
+    4. shards leased to live peers are waited out (``poll_s`` between
+       passes, bounded by ``max_wait_s`` — a fleet where every peer died
+       *and* left unexpired leases should fail loudly, not hang).
+
+    The designs returned are byte-identical to a single-process
+    :meth:`~repro.service.jobs.ExplorationJob.run` of the same grid.
+    """
+    store, gkey = job.store, job.grid_key()
+    report = FleetReport(worker=worker_id, grid_key=gkey)
+    start = time.perf_counter()
+    shards = job.shards()
+    report.n_shards = len(shards)
+    lease = LeaseManager(store, gkey, worker_id, ttl_s)
+    deadline = time.monotonic() + max_wait_s
+    preloaded = False
+    try:
+        while True:
+            cached = store.get_grid(gkey)
+            if cached is not None:
+                report.grid_hit = True
+                report.runtime_s = time.perf_counter() - start
+                return cached, report
+
+            progress = False
+            for index, taus in enumerate(shards):
+                if job.load_shard(index, taus) is not None:
+                    continue
+                if not lease.claim(index):
+                    report.claims_lost += 1
+                    continue
+                # Won the race for a shard another worker may have just
+                # finished — re-check under the lease before computing.
+                if job.load_shard(index, taus) is not None:
+                    lease.release(index)
+                    continue
+                if not preloaded:
+                    # Seed the record memo once, lazily: a worker that
+                    # only ever loads checkpoints never pays for it.
+                    job._preload_memo()
+                    preloaded = True
+                try:
+                    job.compute_shard(index, taus)
+                finally:
+                    lease.release(index)
+                report.shards_computed.append(index)
+                progress = True
+
+            if all(job.load_shard(index, taus) is not None
+                   for index, taus in enumerate(shards)):
+                all_chains: list = []
+                all_rows: list = []
+                interrupted = False
+                for index, taus in enumerate(shards):
+                    loaded = job.load_shard(index, taus)
+                    if loaded is None:
+                        # A peer finalized mid-load and cleared the
+                        # checkpoints; the grid exists now — loop back
+                        # to pick it up.
+                        interrupted = True
+                        break
+                    all_chains.extend(loaded[0])
+                    all_rows.extend(loaded[1])
+                if not interrupted:
+                    designs = job.finalize(all_chains, all_rows)
+                    report.finalized = True
+                    report.runtime_s = time.perf_counter() - start
+                    return designs, report
+                continue
+
+            if not progress:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"fleet worker {worker_id!r}: grid {gkey[:12]} "
+                        f"still has unfinished shards after "
+                        f"{max_wait_s:.0f}s (peers holding leases may "
+                        "have hung; lower ttl_s to let the fleet "
+                        "reclaim them)")
+                report.waits += 1
+                time.sleep(poll_s)
+    finally:
+        job.pruner.close()

@@ -24,7 +24,6 @@ a ``design`` line per design point, and one final ``summary`` line.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, replace
 
@@ -34,7 +33,10 @@ from ..core.cross_layer import DEFAULT_E_SWEEP
 from ..core.pruning import DEFAULT_TAU_GRID, NetlistPruner, PrunedDesign
 from ..eval.accuracy import CircuitEvaluator
 from ..hw.bespoke import build_bespoke_netlist
+from .faults import fault_point
 from .jobs import DEFAULT_SHARD_SIZE, ExplorationJob, JobReport
+from .jsonl import write_line
+from .leases import DEFAULT_LEASE_TTL_S, FleetReport, run_fleet_worker
 from .store import (
     DesignStore,
     base_fingerprint,
@@ -361,38 +363,38 @@ class ExplorationService:
         start = time.perf_counter()
         results = self.sweep(request, e_values, resume=resume,
                              include_cross=include_cross)
-        out.write(json.dumps({
+        write_line(out, {
             "type": "sweep",
             "dataset": request.dataset, "model": request.model,
             "e_values": [e for e, *_rest in results],
             "tau_grid_points": len(request.tau_grid),
             "include_cross": include_cross,
-        }) + "\n")
+        })
         n_designs = 0
         n_cached = 0
         for index, (e, record, hit, designs, report) in enumerate(results):
-            out.write(json.dumps({
+            write_line(out, {
                 "type": "coeff", "index": index, "e": e,
                 "coeff_hit": hit, **record.to_dict(),
-            }) + "\n")
+            })
             if designs is None:
                 continue
             n_cached += int(report.grid_hit)
             n_designs += len(designs)
-            out.write(json.dumps({
+            write_line(out, {
                 "type": "request", "index": index, "e": e,
                 "dataset": request.dataset, "model": request.model,
                 "base": "coeff", "n_designs": len(designs),
                 **report.to_dict(),
-            }) + "\n")
+            })
             for design in designs:
-                out.write(json.dumps({
+                write_line(out, {
                     "type": "design", "index": index, "e": e,
                     "tau_c": design.tau_c, "phi_c": design.phi_c,
                     "n_pruned": design.n_pruned,
                     "duplicate_of": design.duplicate_of,
                     **design.record.to_dict(),
-                }) + "\n")
+                })
         summary = {
             "type": "summary",
             "kind": "sweep",
@@ -402,7 +404,7 @@ class ExplorationService:
             "runtime_s": time.perf_counter() - start,
             "store": self.store.stats(),
         }
-        out.write(json.dumps(summary) + "\n")
+        write_line(out, summary)
         return summary
 
     def run_manifest(self, manifest, out, resume: bool = True) -> dict:
@@ -420,6 +422,8 @@ class ExplorationService:
         n_cached = 0
         n_designs = 0
         for index, request in enumerate(requests):
+            fault_point("service.request", index=index,
+                        dataset=request.dataset)
             designs, report = self.explore(request, resume=resume)
             n_cached += int(report.grid_hit)
             n_designs += len(designs)
@@ -431,15 +435,15 @@ class ExplorationService:
                 "n_designs": len(designs),
                 **report.to_dict(),
             }
-            out.write(json.dumps(header) + "\n")
+            write_line(out, header)
             for design in designs:
-                out.write(json.dumps({
+                write_line(out, {
                     "type": "design", "index": index,
                     "tau_c": design.tau_c, "phi_c": design.phi_c,
                     "n_pruned": design.n_pruned,
                     "duplicate_of": design.duplicate_of,
                     **design.record.to_dict(),
-                }) + "\n")
+                })
         summary = {
             "type": "summary",
             "n_requests": len(requests),
@@ -448,5 +452,30 @@ class ExplorationService:
             "runtime_s": time.perf_counter() - start,
             "store": self.store.stats(),
         }
-        out.write(json.dumps(summary) + "\n")
+        write_line(out, summary)
         return summary
+
+    def fleet_worker(self, request: ExploreRequest, worker_id: str,
+                     ttl_s: float = DEFAULT_LEASE_TTL_S,
+                     poll_s: float = 0.2, max_wait_s: float = 600.0
+                     ) -> tuple[list[PrunedDesign], "FleetReport"]:
+        """Run one lease-based fleet worker for ``request``'s grid.
+
+        N processes calling this against the same store drain the
+        grid's shards concurrently (see
+        :func:`~repro.service.leases.run_fleet_worker`); each returns
+        the identical finished design list.  A grid the store already
+        holds is returned as a warm hit without building the netlist's
+        pruner job.
+        """
+        warm = self._warm_grid(request)
+        if warm is not None:
+            designs, job_report = warm
+            report = FleetReport(worker=worker_id,
+                                 grid_key=job_report.grid_key,
+                                 grid_hit=True,
+                                 runtime_s=job_report.runtime_s)
+            return designs, report
+        job = self.job(request)
+        return run_fleet_worker(job, worker_id, ttl_s=ttl_s,
+                                poll_s=poll_s, max_wait_s=max_wait_s)

@@ -39,6 +39,7 @@ import hashlib
 import json
 import sqlite3
 import time
+import warnings
 from contextlib import closing
 from pathlib import Path
 
@@ -48,6 +49,7 @@ from ..core.coeff_approx import ApproximatedSum
 from ..core.pruning import PrunedDesign, prune_key_ids
 from ..eval.accuracy import EvaluationRecord
 from ..hw.netlist_io import netlist_from_dict, netlist_to_dict
+from .faults import fault_point
 
 __all__ = [
     "DesignStore",
@@ -76,7 +78,10 @@ __all__ = [
 #    (coeff_netlists table) so warm cross-layer sweeps skip the bespoke
 #    rebuild, and both coefficient tables carry hit counters
 #    (``repro store stats`` observability).
-STORE_FORMAT = 3
+# 4: shard_leases table — shards become a claimable fleet work unit
+#    (see :mod:`repro.service.leases`), with per-worker heartbeats and
+#    stale-lease reclamation.
+STORE_FORMAT = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -119,7 +124,29 @@ CREATE TABLE IF NOT EXISTS coeff_netlists (
     hits        INTEGER NOT NULL DEFAULT 0,
     created_at  REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS shard_leases (
+    grid_key   TEXT NOT NULL,
+    shard      INTEGER NOT NULL,
+    worker     TEXT NOT NULL,
+    heartbeat  REAL NOT NULL,
+    expiry     REAL NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (grid_key, shard)
+);
 """
+
+# Bounded retry for busy/locked errors that outlive SQLite's own busy
+# timeout (a writer hung mid-transaction, a filesystem hiccup): short
+# capped-exponential backoff, then surface the real error.
+_RETRY_ATTEMPTS = 5
+_RETRY_BASE_S = 0.05
+
+# OperationalError text that marks a *transient* contention failure (vs
+# a structural one like "unable to open database file").
+_TRANSIENT_MARKERS = ("locked", "busy")
+
+# DatabaseError text that marks on-disk corruption worth quarantining.
+_CORRUPT_MARKERS = ("not a database", "malformed", "corrupt")
 
 
 def canonical_json(obj) -> str:
@@ -393,6 +420,22 @@ class DesignStore:
 
     def __init__(self, path: str | Path) -> None:
         self.path = str(path)
+        parent = Path(self.path).parent
+        if str(parent) not in ("", ".") and not parent.exists():
+            try:
+                parent.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ValueError(
+                    f"cannot create design store directory {str(parent)!r}"
+                    f": {exc}; pass a --store path under a writable "
+                    "directory") from exc
+        try:
+            self._open_schema()
+        except sqlite3.DatabaseError as exc:
+            self._heal_or_raise(exc)
+            self._open_schema()
+
+    def _open_schema(self) -> None:
         with closing(self._connect()) as con, con:
             con.executescript(_SCHEMA)
             row = con.execute(
@@ -406,29 +449,100 @@ class DesignStore:
                     f"design store {self.path!r} has format {row[0]}, "
                     f"this build expects {STORE_FORMAT}")
 
+    def _heal_or_raise(self, exc: sqlite3.DatabaseError) -> None:
+        """Quarantine a corrupt database file, or explain a broken path.
+
+        Corruption (``file is not a database``, a malformed image, a
+        failing ``PRAGMA integrity_check``) is recoverable: the bad file
+        moves to a ``.corrupt-<n>`` sidecar — kept for post-mortems,
+        never silently destroyed — and the caller rebuilds a clean
+        store; every row is recomputable, so losing the cache is a
+        slowdown, not data loss.  Anything else (unwritable directory,
+        read-only file, a locked store that never opens) is an
+        environment problem no rebuild can fix — re-raise with an
+        actionable message instead of the raw sqlite error.
+        """
+        path = Path(self.path)
+        text = str(exc).lower()
+        corrupt = any(marker in text for marker in _CORRUPT_MARKERS)
+        if not corrupt and path.is_file():
+            # The open failed for a non-corruption reason, but the file
+            # may still be damaged in a way that surfaces differently —
+            # ask SQLite directly before giving up on healing.
+            try:
+                with closing(sqlite3.connect(self.path, timeout=5.0)) as con:
+                    corrupt = con.execute(
+                        "PRAGMA integrity_check(1)").fetchone()[0] != "ok"
+            except sqlite3.DatabaseError:
+                corrupt = True
+        if not corrupt or not path.is_file():
+            raise ValueError(
+                f"cannot open design store at {self.path!r}: {exc}; "
+                "check that the path is writable (or point --store at "
+                "a fresh location)") from exc
+        n = 0
+        while path.with_name(f"{path.name}.corrupt-{n}").exists():
+            n += 1
+        quarantine = path.with_name(f"{path.name}.corrupt-{n}")
+        path.rename(quarantine)
+        for suffix in ("-wal", "-shm"):
+            sidecar = Path(self.path + suffix)
+            if sidecar.exists():
+                sidecar.rename(f"{quarantine}{suffix}")
+        warnings.warn(
+            f"design store {self.path!r} failed to open ({exc}); "
+            f"quarantined the corrupt file to {str(quarantine)!r} and "
+            "rebuilding a clean store (all rows are recomputable)",
+            RuntimeWarning, stacklevel=4)
+
     def _connect(self) -> sqlite3.Connection:
+        fault_point("store.connect", path=self.path)
         con = sqlite3.connect(self.path, timeout=30.0)
         con.execute("PRAGMA journal_mode=WAL")
         con.execute("PRAGMA synchronous=NORMAL")
         con.execute("PRAGMA busy_timeout=30000")
         return con
 
+    def _with_connection(self, fn, transaction: bool = True):
+        """Run ``fn(con)`` on a fresh connection with bounded retry.
+
+        Busy/locked ``OperationalError`` — contention that outlived the
+        30 s busy timeout, or an injected fault — retries up to
+        :data:`_RETRY_ATTEMPTS` times with capped exponential backoff;
+        each attempt is a whole fresh transaction, so a retried write
+        never commits twice.  Structural errors surface immediately.
+        """
+        delay = _RETRY_BASE_S
+        for attempt in range(_RETRY_ATTEMPTS):
+            try:
+                if transaction:
+                    with closing(self._connect()) as con, con:
+                        return fn(con)
+                with closing(self._connect()) as con:
+                    return fn(con)
+            except sqlite3.OperationalError as exc:
+                text = str(exc).lower()
+                transient = any(marker in text
+                                for marker in _TRANSIENT_MARKERS)
+                if not transient or attempt == _RETRY_ATTEMPTS - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2.0, 1.0)
+
     # -- variants ------------------------------------------------------
 
     def get_variant(self, key: str) -> EvaluationRecord | None:
-        with closing(self._connect()) as con, con:
-            row = con.execute("SELECT record FROM variants WHERE key=?",
-                              (key,)).fetchone()
+        row = self._with_connection(lambda con: con.execute(
+            "SELECT record FROM variants WHERE key=?", (key,)).fetchone())
         return None if row is None \
             else EvaluationRecord.from_dict(json.loads(row[0]))
 
     def put_variant(self, key: str, base_key: str, ids,
                     record: EvaluationRecord) -> None:
-        with closing(self._connect()) as con, con:
-            con.execute(
-                "INSERT OR IGNORE INTO variants VALUES (?,?,?,?,?)",
-                (key, base_key, canonical_json([int(i) for i in ids]),
-                 canonical_json(record.to_dict()), time.time()))
+        self._with_connection(lambda con: con.execute(
+            "INSERT OR IGNORE INTO variants VALUES (?,?,?,?,?)",
+            (key, base_key, canonical_json([int(i) for i in ids]),
+             canonical_json(record.to_dict()), time.time())))
 
     def put_variants(self, base_key: str, entries: dict) -> None:
         """Bulk insert ``{prune key -> record}`` for one base circuit.
@@ -446,16 +560,18 @@ class DesignStore:
                          canonical_json(record.to_dict()), now))
         if not rows:
             return
-        with closing(self._connect()) as con, con:
+
+        def write(con):
+            fault_point("store.put_variants", base_key=base_key)
             con.executemany(
                 "INSERT OR IGNORE INTO variants VALUES (?,?,?,?,?)", rows)
+        self._with_connection(write)
 
     def variants_for_base(self, base_key: str) -> dict[tuple, EvaluationRecord]:
         """All stored ``{pruned-gate ids -> record}`` of one base circuit."""
-        with closing(self._connect()) as con, con:
-            rows = con.execute(
-                "SELECT prune_ids, record FROM variants WHERE base_key=?",
-                (base_key,)).fetchall()
+        rows = self._with_connection(lambda con: con.execute(
+            "SELECT prune_ids, record FROM variants WHERE base_key=?",
+            (base_key,)).fetchall())
         return {tuple(json.loads(ids)):
                 EvaluationRecord.from_dict(json.loads(record))
                 for ids, record in rows}
@@ -464,9 +580,8 @@ class DesignStore:
 
     def get_grid(self, key: str) -> list[PrunedDesign] | None:
         """The finished design list, or ``None`` when never completed."""
-        with closing(self._connect()) as con, con:
-            row = con.execute("SELECT designs FROM grids WHERE key=?",
-                              (key,)).fetchone()
+        row = self._with_connection(lambda con: con.execute(
+            "SELECT designs FROM grids WHERE key=?", (key,)).fetchone())
         if row is None:
             return None
         return [design_from_dict(d) for d in json.loads(row[0])]
@@ -474,53 +589,122 @@ class DesignStore:
     def put_grid(self, key: str, designs: list[PrunedDesign],
                  meta: dict | None = None) -> None:
         payload = canonical_json([design_to_dict(d) for d in designs])
-        with closing(self._connect()) as con, con:
+
+        def write(con):
+            fault_point("store.put_grid", key=key)
             con.execute(
                 "INSERT OR REPLACE INTO grids VALUES (?,?,?,?,?)",
                 (key, payload, canonical_json(meta or {}), len(designs),
                  time.time()))
+        self._with_connection(write)
 
     def delete_grid(self, key: str) -> None:
         """Drop a finished grid (forces recomputation on the next run)."""
-        with closing(self._connect()) as con, con:
-            con.execute("DELETE FROM grids WHERE key=?", (key,))
+        self._with_connection(lambda con: con.execute(
+            "DELETE FROM grids WHERE key=?", (key,)))
 
     def grid_meta(self, key: str) -> dict | None:
-        with closing(self._connect()) as con, con:
-            row = con.execute("SELECT meta FROM grids WHERE key=?",
-                              (key,)).fetchone()
+        row = self._with_connection(lambda con: con.execute(
+            "SELECT meta FROM grids WHERE key=?", (key,)).fetchone())
         return None if row is None else json.loads(row[0])
 
     # -- shard checkpoints ---------------------------------------------
 
     def put_shard(self, grid_key: str, shard: int, taus, payload: dict) -> None:
-        with closing(self._connect()) as con, con:
+        def write(con):
+            fault_point("store.put_shard", grid_key=grid_key, index=shard)
             con.execute(
                 "INSERT OR REPLACE INTO shards VALUES (?,?,?,?,?)",
                 (grid_key, int(shard),
                  canonical_json([float(t) for t in taus]),
                  canonical_json(payload), time.time()))
+        self._with_connection(write)
 
     def get_shard(self, grid_key: str, shard: int) -> tuple[list, dict] | None:
         """``(taus, payload)`` of one checkpointed shard, or ``None``."""
-        with closing(self._connect()) as con, con:
-            row = con.execute(
-                "SELECT taus, payload FROM shards WHERE grid_key=? AND shard=?",
-                (grid_key, int(shard))).fetchone()
+        row = self._with_connection(lambda con: con.execute(
+            "SELECT taus, payload FROM shards WHERE grid_key=? AND shard=?",
+            (grid_key, int(shard))).fetchone())
         if row is None:
             return None
         return json.loads(row[0]), json.loads(row[1])
 
     def shard_indices(self, grid_key: str) -> set[int]:
-        with closing(self._connect()) as con, con:
-            rows = con.execute(
-                "SELECT shard FROM shards WHERE grid_key=?",
-                (grid_key,)).fetchall()
+        rows = self._with_connection(lambda con: con.execute(
+            "SELECT shard FROM shards WHERE grid_key=?",
+            (grid_key,)).fetchall())
         return {row[0] for row in rows}
 
     def clear_shards(self, grid_key: str) -> None:
-        with closing(self._connect()) as con, con:
-            con.execute("DELETE FROM shards WHERE grid_key=?", (grid_key,))
+        self._with_connection(lambda con: con.execute(
+            "DELETE FROM shards WHERE grid_key=?", (grid_key,)))
+
+    # -- shard leases ---------------------------------------------------
+    #
+    # The low-level SQL of the fleet protocol; policy (claim order,
+    # heartbeats, reclamation loops) lives in
+    # :mod:`repro.service.leases`.  Claims are atomic: the upsert only
+    # replaces a row whose lease expired (or our own), and the
+    # SELECT-verify runs inside the same transaction, so two workers
+    # racing for one shard can never both see themselves as holder.
+
+    def claim_lease(self, grid_key: str, shard: int, worker: str,
+                    ttl_s: float, now: float | None = None) -> bool:
+        """Try to claim one shard; ``True`` iff ``worker`` now holds it."""
+        now = time.time() if now is None else now
+
+        def claim(con):
+            fault_point("store.lease", grid_key=grid_key, index=shard,
+                        worker=worker)
+            con.execute(
+                "INSERT INTO shard_leases VALUES (?,?,?,?,?,?) "
+                "ON CONFLICT(grid_key, shard) DO UPDATE SET "
+                "worker=excluded.worker, heartbeat=excluded.heartbeat, "
+                "expiry=excluded.expiry "
+                "WHERE shard_leases.expiry <= excluded.heartbeat "
+                "OR shard_leases.worker = excluded.worker",
+                (grid_key, int(shard), worker, now, now + float(ttl_s),
+                 now))
+            row = con.execute(
+                "SELECT worker FROM shard_leases "
+                "WHERE grid_key=? AND shard=?",
+                (grid_key, int(shard))).fetchone()
+            return row is not None and row[0] == worker
+        return self._with_connection(claim)
+
+    def renew_lease(self, grid_key: str, shard: int, worker: str,
+                    ttl_s: float, now: float | None = None) -> bool:
+        """Heartbeat one held lease; ``False`` when it was lost."""
+        now = time.time() if now is None else now
+
+        def renew(con):
+            fault_point("store.lease", grid_key=grid_key, index=shard,
+                        worker=worker)
+            cursor = con.execute(
+                "UPDATE shard_leases SET heartbeat=?, expiry=? "
+                "WHERE grid_key=? AND shard=? AND worker=?",
+                (now, now + float(ttl_s), grid_key, int(shard), worker))
+            return cursor.rowcount == 1
+        return self._with_connection(renew)
+
+    def release_lease(self, grid_key: str, shard: int, worker: str) -> None:
+        self._with_connection(lambda con: con.execute(
+            "DELETE FROM shard_leases "
+            "WHERE grid_key=? AND shard=? AND worker=?",
+            (grid_key, int(shard), worker)))
+
+    def leases_for_grid(self, grid_key: str) -> dict[int, dict]:
+        """``{shard -> {worker, heartbeat, expiry}}`` (live and stale)."""
+        rows = self._with_connection(lambda con: con.execute(
+            "SELECT shard, worker, heartbeat, expiry FROM shard_leases "
+            "WHERE grid_key=?", (grid_key,)).fetchall())
+        return {int(shard): {"worker": worker, "heartbeat": heartbeat,
+                             "expiry": expiry}
+                for shard, worker, heartbeat, expiry in rows}
+
+    def clear_leases(self, grid_key: str) -> None:
+        self._with_connection(lambda con: con.execute(
+            "DELETE FROM shard_leases WHERE grid_key=?", (grid_key,)))
 
     # -- coefficient-approximation cache -------------------------------
 
@@ -540,30 +724,33 @@ class DesignStore:
         A hit bumps the row's counter (``stats()`` reports the totals —
         the cheap answer to "are warm sweeps actually warm?").
         """
-        with closing(self._connect()) as con, con:
+        def read(con):
             row = con.execute("SELECT payload FROM coeff_cache WHERE key=?",
                               (key,)).fetchone()
             if row is not None:
                 self._count_hit(con, "coeff_cache", key)
+            return row
+        row = self._with_connection(read)
         return None if row is None else json.loads(row[0])
 
     def put_coeff(self, key: str, payload: list) -> None:
-        with closing(self._connect()) as con, con:
-            con.execute(
-                "INSERT OR IGNORE INTO coeff_cache(key, payload, created_at)"
-                " VALUES (?,?,?)",
-                (key, canonical_json(payload), time.time()))
+        self._with_connection(lambda con: con.execute(
+            "INSERT OR IGNORE INTO coeff_cache(key, payload, created_at)"
+            " VALUES (?,?,?)",
+            (key, canonical_json(payload), time.time())))
 
     # -- coefficient-approximated netlists -----------------------------
 
     def get_coeff_netlist(self, key: str) -> dict | None:
         """Stored netlist JSON of one approximated circuit, or ``None``."""
-        with closing(self._connect()) as con, con:
+        def read(con):
             row = con.execute(
                 "SELECT netlist FROM coeff_netlists WHERE key=?",
                 (key,)).fetchone()
             if row is not None:
                 self._count_hit(con, "coeff_netlists", key)
+            return row
+        row = self._with_connection(read)
         return None if row is None else json.loads(row[0])
 
     def put_coeff_netlist(self, key: str, netlist_data: dict,
@@ -577,18 +764,16 @@ class DesignStore:
         # ``fingerprint`` (the netlist content hash) rides along so
         # warm requests can derive base/grid keys without ever
         # deserializing the circuit.
-        with closing(self._connect()) as con, con:
-            con.execute(
-                "INSERT OR IGNORE INTO coeff_netlists"
-                "(key, netlist, fingerprint, created_at) VALUES (?,?,?,?)",
-                (key, json.dumps(netlist_data), fingerprint, time.time()))
+        self._with_connection(lambda con: con.execute(
+            "INSERT OR IGNORE INTO coeff_netlists"
+            "(key, netlist, fingerprint, created_at) VALUES (?,?,?,?)",
+            (key, json.dumps(netlist_data), fingerprint, time.time())))
 
     def get_coeff_netlist_fingerprint(self, key: str) -> str | None:
         """The stored netlist's content hash (no payload deserialize)."""
-        with closing(self._connect()) as con, con:
-            row = con.execute(
-                "SELECT fingerprint FROM coeff_netlists WHERE key=?",
-                (key,)).fetchone()
+        row = self._with_connection(lambda con: con.execute(
+            "SELECT fingerprint FROM coeff_netlists WHERE key=?",
+            (key,)).fetchone())
         return None if row is None else row[0]
 
     # -- garbage collection --------------------------------------------
@@ -643,6 +828,12 @@ class DesignStore:
             stale_shards = con.execute(
                 "SELECT COUNT(*) FROM shards WHERE created_at < ?",
                 (cutoff,)).fetchone()[0]
+            # Leases expire on their own clock (seconds, not days):
+            # anything past its expiry is a dead worker's leftovers.
+            lease_now = time.time() if now is None else now
+            stale_leases = con.execute(
+                "SELECT COUNT(*) FROM shard_leases WHERE expiry <= ?",
+                (lease_now,)).fetchone()[0]
             stale_coeff = con.execute(
                 "SELECT COUNT(*) FROM coeff_cache WHERE created_at < ?",
                 (cutoff,)).fetchone()[0]
@@ -660,6 +851,7 @@ class DesignStore:
             report.update(grids_deleted=len(stale_grids),
                           variants_deleted=stale_variants,
                           shards_deleted=stale_shards,
+                          leases_deleted=stale_leases,
                           coeff_deleted=stale_coeff,
                           coeff_netlists_deleted=stale_coeff_netlists)
             if not dry_run:
@@ -670,6 +862,8 @@ class DesignStore:
                     + base_filter, (cutoff, *live_bases))
                 con.execute("DELETE FROM shards WHERE created_at < ?",
                             (cutoff,))
+                con.execute("DELETE FROM shard_leases WHERE expiry <= ?",
+                            (lease_now,))
                 con.execute("DELETE FROM coeff_cache WHERE created_at < ?",
                             (cutoff,))
                 con.execute(
@@ -690,7 +884,8 @@ class DesignStore:
             counts = {table: con.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
                 for table in ("variants", "grids", "shards",
-                              "coeff_cache", "coeff_netlists")}
+                              "shard_leases", "coeff_cache",
+                              "coeff_netlists")}
             for table in ("coeff_cache", "coeff_netlists"):
                 counts[f"{table}_hits"] = con.execute(
                     f"SELECT COALESCE(SUM(hits), 0) FROM {table}"

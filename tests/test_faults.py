@@ -1,0 +1,307 @@
+"""Tests for the deterministic fault-injection harness and recovery.
+
+Three layers, mirroring the fault machinery itself:
+
+* **injector mechanics** — schedule parsing, exact-hit firing, context
+  filters, cross-process one-shot markers, environment activation;
+* **store recovery** — injected busy/locked absorbed by the bounded
+  retry, corrupt files quarantined to ``.corrupt-<n>`` sidecars and
+  rebuilt, broken paths explained instead of raw sqlite errors;
+* **supervision** — the exploration survives injected engine failures,
+  shard failures, dead pool workers, and hung chains, and the design
+  list it produces is *identical* to the fault-free run every time
+  (the crash-consistency invariant ``benchmarks/bench_faults.py``
+  sweeps at scale).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+import warnings
+
+import pytest
+
+from repro.core.pruning import NetlistPruner
+from repro.eval.accuracy import CircuitEvaluator
+from repro.experiments.zoo import get_case
+from repro.hw.bespoke import build_bespoke_netlist
+from repro.service import DesignStore, ExplorationJob, JobReport
+from repro.service.faults import (
+    ENV_SCHEDULE,
+    ENV_STATE,
+    FaultError,
+    FaultInjector,
+    fault_point,
+    install,
+    installed,
+    seeded_schedule,
+)
+from repro.service.jsonl import read_jsonl, write_line
+from repro.service.store import _RETRY_ATTEMPTS
+
+GRID = (0.85, 0.90, 0.95, 0.99)
+
+
+@pytest.fixture(scope="module")
+def svm_setup():
+    case = get_case("redwine", "svm_r")
+    netlist = build_bespoke_netlist(case.quant_model)
+    evaluator = CircuitEvaluator.from_split(
+        case.quant_model, case.split.X_train, case.split.X_test,
+        case.split.y_test)
+    return netlist, evaluator
+
+
+@pytest.fixture(scope="module")
+def cold_designs(svm_setup):
+    netlist, evaluator = svm_setup
+    return NetlistPruner(netlist, evaluator, GRID).explore()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Every test starts and ends with no programmatic injector."""
+    install(None)
+    yield
+    install(None)
+
+
+class TestScheduleGrammar:
+    def test_spec_round_trips(self):
+        spec = ("store.put_shard:2=err-locked;job.shard@index=1:1=kill;"
+                "job.shard:1=sleep(5);engine.batched:1=err")
+        assert FaultInjector.parse(spec).spec() == spec
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ValueError, match="bad fault entry"):
+            FaultInjector.parse("store.put_shard=err")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultInjector.parse("store.put_shard:1=explode")
+
+    def test_seeded_schedule_is_deterministic_and_parseable(self):
+        sites = ["store.put_shard", "job.shard", "engine.batched"]
+        one = seeded_schedule(7, sites)
+        assert one == seeded_schedule(7, sites)
+        assert one != seeded_schedule(8, sites)
+        parsed = FaultInjector.parse(one)
+        assert [entry.site for entry in parsed.entries] == sites
+
+
+class TestFiring:
+    def test_fires_on_exact_hit_only(self):
+        with installed(FaultInjector.parse("x:2=err")):
+            fault_point("x")  # hit 1: silent
+            with pytest.raises(FaultError):
+                fault_point("x")  # hit 2: fires
+            fault_point("x")  # hit 3: spent
+
+    def test_context_filter_counts_matching_hits_only(self):
+        with installed(FaultInjector.parse("job.shard@index=1:1=err")):
+            fault_point("job.shard", index=0)
+            fault_point("job.shard", index=2)
+            with pytest.raises(FaultError):
+                fault_point("job.shard", index=1)
+
+    def test_locked_and_busy_raise_operational_errors(self):
+        with installed(FaultInjector.parse("a:1=err-locked;b:1=err-busy")):
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                fault_point("a")
+            with pytest.raises(sqlite3.OperationalError, match="busy"):
+                fault_point("b")
+
+    def test_sleep_delays(self):
+        with installed(FaultInjector.parse("slow:1=sleep(0.05)")):
+            start = time.perf_counter()
+            fault_point("slow")
+            assert time.perf_counter() - start >= 0.04
+
+    def test_corrupt_overwrites_target_head(self, tmp_path):
+        victim = tmp_path / "store.sqlite"
+        victim.write_bytes(b"SQLite format 3\x00" + b"\x00" * 64)
+        with installed(FaultInjector.parse("store.connect:1=corrupt")):
+            fault_point("store.connect", path=str(victim))
+        assert victim.read_bytes().startswith(b"\xde\xad\xbe\xef")
+
+    def test_noop_without_injector(self):
+        fault_point("anything", index=3)  # must not raise
+
+
+class TestActivation:
+    def test_installed_restores_previous(self):
+        outer = FaultInjector.parse("x:1=err")
+        with installed(outer):
+            with installed(FaultInjector.parse("y:1=err")):
+                fault_point("x")  # inner schedule: site x is silent
+            with pytest.raises(FaultError):
+                fault_point("x")  # outer schedule restored
+
+    def test_env_activation_and_deactivation(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCHEDULE, "envsite:1=err")
+        with pytest.raises(FaultError):
+            fault_point("envsite")
+        monkeypatch.setenv(ENV_SCHEDULE, "other:1=err")  # value change
+        fault_point("envsite")  # re-parsed: envsite no longer scheduled
+        monkeypatch.delenv(ENV_SCHEDULE)
+        fault_point("other")  # unset: everything is a no-op again
+
+    def test_state_dir_makes_entries_one_shot_across_injectors(
+            self, tmp_path):
+        spec = "x:1=err"
+        first = FaultInjector.parse(spec, state_dir=tmp_path)
+        with installed(first):
+            with pytest.raises(FaultError):
+                fault_point("x")
+        assert first.fired == ["x:1=err"]
+        assert list(tmp_path.glob("fired-*"))
+        # A fresh process parsing the same schedule (same state dir)
+        # sees the marker and never re-fires — modeled here by a fresh
+        # injector instance.
+        with installed(FaultInjector.parse(spec, state_dir=tmp_path)):
+            fault_point("x")  # silent
+
+
+class TestJsonlCrashDiscipline:
+    def test_write_line_is_one_write_call(self):
+        calls = []
+
+        class Stream:
+            def write(self, text):
+                calls.append(text)
+
+            def flush(self):
+                calls.append("<flush>")
+
+        write_line(Stream(), {"type": "design", "accuracy": 0.5})
+        assert calls == ['{"type": "design", "accuracy": 0.5}\n', "<flush>"]
+
+    def test_reader_round_trips(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        records = [{"i": 0}, {"i": 1, "nested": {"x": [1, 2]}}]
+        with open(path, "w") as out:
+            for record in records:
+                write_line(out, record)
+        assert read_jsonl(path) == records
+
+    def test_reader_tolerates_one_trailing_partial_line(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1}\n{"i": 2, "acc')  # crash cut
+        assert read_jsonl(path) == [{"i": 0}, {"i": 1}]
+        with pytest.raises(ValueError, match="malformed JSONL"):
+            read_jsonl(path, allow_partial_tail=False)
+
+    def test_reader_rejects_malformed_interior_line(self, tmp_path):
+        path = tmp_path / "mangled.jsonl"
+        path.write_text('{"i": 0}\nnot json at all\n{"i": 2}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(path)
+
+
+class TestStoreRecovery:
+    def test_creates_missing_parent_directories(self, tmp_path):
+        store = DesignStore(tmp_path / "deep" / "nested" / "store.sqlite")
+        assert store.stats()["variants"] == 0
+
+    def test_unusable_path_raises_actionable_error(self, tmp_path):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("plain file")
+        with pytest.raises(ValueError, match="--store"):
+            DesignStore(blocker / "store.sqlite")
+
+    def test_corrupt_file_quarantined_and_rebuilt(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"this is definitely not a sqlite database")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store = DesignStore(path)
+        assert [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert (tmp_path / "store.sqlite.corrupt-0").exists()
+        assert store.stats()["variants"] == 0  # clean rebuild works
+
+    def test_injected_lock_absorbed_by_bounded_retry(self, tmp_path):
+        store = DesignStore(tmp_path / "store.sqlite")
+        with installed(FaultInjector.parse("store.put_grid:1=err-locked")):
+            store.put_grid("k" * 64, [], meta={"label": "t"})
+        assert store.get_grid("k" * 64) == []
+
+    def test_retry_exhaustion_surfaces_the_error(self, tmp_path):
+        store = DesignStore(tmp_path / "store.sqlite")
+        # One hit-1 entry per retry attempt: a raising entry stops that
+        # call's counter sweep, so each attempt consumes exactly one.
+        spec = ";".join(["store.put_grid:1=err-locked"] * _RETRY_ATTEMPTS)
+        with installed(FaultInjector.parse(spec)):
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.put_grid("k" * 64, [], meta={"label": "t"})
+
+
+class TestSupervisedExploration:
+    """Injected faults at every layer; the design list never changes."""
+
+    def _job(self, svm_setup, tmp_path, **pruner_kwargs):
+        netlist, evaluator = svm_setup
+        pruner = NetlistPruner(netlist, evaluator, GRID, **pruner_kwargs)
+        return ExplorationJob(pruner, DesignStore(tmp_path / "s.sqlite"),
+                              shard_size=2)
+
+    def test_engine_fault_degrades_down_the_ladder(self, svm_setup,
+                                                   cold_designs, tmp_path):
+        job = self._job(svm_setup, tmp_path)
+        report = JobReport("")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with installed(FaultInjector.parse("engine.batched:1=err")):
+                designs = job.run(report=report)
+        assert designs == cold_designs
+        assert report.engine_fallbacks == 1
+        assert report.shards_retried == 0  # the ladder absorbed it
+        assert report.fault_events
+
+    def test_shard_fault_is_retried_at_the_job_level(self, svm_setup,
+                                                     cold_designs,
+                                                     tmp_path):
+        job = self._job(svm_setup, tmp_path)
+        report = JobReport("")
+        with installed(FaultInjector.parse("job.shard@index=0:1=err")):
+            designs = job.run(report=report)
+        assert designs == cold_designs
+        assert report.shards_retried == 1
+
+    def test_shard_retry_exhaustion_raises(self, svm_setup, tmp_path):
+        job = self._job(svm_setup, tmp_path)
+        job.shard_attempts = 2
+        job.shard_retry_backoff_s = 0.0
+        spec = "job.shard@index=0:1=err;job.shard@index=0:1=err"
+        with installed(FaultInjector.parse(spec)):
+            with pytest.raises(FaultError):
+                job.run()
+
+    def test_dead_pool_worker_respawned(self, svm_setup, cold_designs,
+                                        tmp_path, monkeypatch):
+        # The worker dies via os._exit on its first chain; the state
+        # dir's one-shot marker keeps the respawned pool from dying the
+        # same death (exactly a real transient worker crash).
+        state = tmp_path / "fault-state"
+        monkeypatch.setenv(ENV_SCHEDULE, "worker.chain:1=exit")
+        monkeypatch.setenv(ENV_STATE, str(state))
+        job = self._job(svm_setup, tmp_path, n_workers=2,
+                        retry_backoff_s=0.0)
+        report = JobReport("")
+        designs = job.run(report=report)
+        assert designs == cold_designs
+        assert report.pool_respawns >= 1
+
+    def test_hung_chain_times_out_and_recovers(self, svm_setup,
+                                               cold_designs, tmp_path,
+                                               monkeypatch):
+        state = tmp_path / "fault-state"
+        monkeypatch.setenv(ENV_SCHEDULE, "worker.chain:1=sleep(30)")
+        monkeypatch.setenv(ENV_STATE, str(state))
+        job = self._job(svm_setup, tmp_path, n_workers=2,
+                        retry_backoff_s=0.0, shard_timeout_s=1.0)
+        report = JobReport("")
+        designs = job.run(report=report)
+        assert designs == cold_designs
+        assert report.shard_timeouts >= 1
+        assert report.pool_respawns >= 1
