@@ -28,7 +28,12 @@ Scenario classes (one row per (circuit, scenario) in the report):
   (``REPRO_FAULTS`` + marker dir make the kill one-shot); a second
   process resumes from the checkpoints;
 * ``seeded-<n>``       — a :func:`~repro.service.faults.seeded_schedule`
-  soak over the store/job sites, restarted on every surfaced fault.
+  soak over the store/job sites, restarted on every surfaced fault;
+* ``serve-*``          — the same invariant over the HTTP transport
+  (``repro serve``): an enqueue fault surfaced to one client and
+  retried, store contention absorbed while serving, and a real server
+  subprocess SIGKILLed mid-stream by ``server.stream:2=kill`` — the
+  restarted server must serve the identical designs warm.
 
 Run standalone (not collected by pytest)::
 
@@ -43,9 +48,12 @@ class at least once.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import pathlib
+import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -302,6 +310,188 @@ def run_sigkill_scenario(case: Case) -> dict:
     }
 
 
+# Kill the server on its 2nd streamed line (header sent, first design
+# pending): a client-visible mid-stream death.
+SERVE_KILL_SPEC = "server.stream:2=kill"
+
+
+def _server_request(case: Case) -> dict:
+    return {"dataset": case.dataset, "model": case.model,
+            "base": "exact", "tau_grid": list(case.grid)}
+
+
+def _expected_design_lines(case: Case) -> list[dict]:
+    """The design records ``run_manifest`` (and so the server) streams."""
+    expected = []
+    for design in case.reference:
+        duplicate = design.duplicate_of
+        expected.append({
+            "type": "design", "index": 0,
+            "tau_c": design.tau_c, "phi_c": design.phi_c,
+            "n_pruned": design.n_pruned,
+            "duplicate_of": None if duplicate is None
+            else [duplicate[0], duplicate[1]],
+            **design.record.to_dict(),
+        })
+    return expected
+
+
+def _served_designs(body: str) -> list[dict]:
+    return [json.loads(line) for line in body.splitlines()
+            if '"type": "design"' in line]
+
+
+async def _async_explore(port: int, request: dict):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(request).encode()
+    writer.write((f"POST /v1/explore HTTP/1.1\r\nHost: b\r\n"
+                  f"Connection: close\r\nContent-Length: {len(data)}"
+                  "\r\n\r\n").encode() + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except Exception:
+        pass
+    head, _sep, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), payload.decode()
+
+
+def _sync_explore(port: int, request: dict, timeout: float = 600.0):
+    """Blocking client tolerant of the server dying mid-stream."""
+    data = json.dumps(request).encode()
+    blob = b""
+    try:
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=timeout) as sock:
+            sock.sendall(b"POST /v1/explore HTTP/1.1\r\nHost: b\r\n"
+                         b"Connection: close\r\nContent-Length: "
+                         + str(len(data)).encode() + b"\r\n\r\n" + data)
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                blob += chunk
+    except (ConnectionError, OSError):
+        pass  # the kill scenario drops the socket mid-stream
+    head, _sep, payload = blob.partition(b"\r\n\r\n")
+    parts = head.split()
+    return (int(parts[1]) if len(parts) > 1 else 0,
+            payload.decode(errors="replace"))
+
+
+def run_serve_fault_scenario(case: Case, name: str, spec: str) -> dict:
+    """An injected fault under the HTTP server.
+
+    The client retries on any surfaced error (a 4xx/5xx or an
+    ``error`` line); the designs that finally stream out must be the
+    reference list — the transport analogue of ``run_with_restarts``.
+    """
+    from repro.service.server import ExploreServer, ServeConfig
+
+    request = _server_request(case)
+
+    async def run():
+        with tempfile.TemporaryDirectory() as td:
+            config = ServeConfig(
+                port=0, store_root=str(pathlib.Path(td) / "stores"),
+                concurrency=1, queue_depth=4)
+            server = await ExploreServer(config).start()
+            attempts = 0
+            designs = []
+            try:
+                with installed(FaultInjector.parse(spec)):
+                    for _attempt in range(MAX_RESTARTS + 1):
+                        attempts += 1
+                        status, body = await _async_explore(server.port,
+                                                            request)
+                        records = [json.loads(line)
+                                   for line in body.splitlines()
+                                   if line.strip()]
+                        failed = status != 200 or any(
+                            record["type"] == "error"
+                            for record in records)
+                        if not failed:
+                            designs = [record for record in records
+                                       if record["type"] == "design"]
+                            break
+            finally:
+                await server.shutdown()
+            return attempts, designs
+
+    elapsed, (attempts, designs) = _timed(lambda: asyncio.run(run()))
+    return {
+        "scenario": name,
+        "spec": spec,
+        "identical": designs == _expected_design_lines(case),
+        "n_designs": len(designs),
+        "restarts": attempts - 1,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"attempts": attempts},
+    }
+
+
+def run_serve_kill_scenario(case: Case) -> dict:
+    """A real server subprocess SIGKILLed mid-stream, then restarted.
+
+    ``server.stream:2=kill`` (one-shot via the marker dir) takes the
+    whole server down after the request header line went out; the
+    restarted server must serve the identical designs warm off the
+    surviving store.
+    """
+    request = _server_request(case)
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_FAULTS=SERVE_KILL_SPEC,
+                   REPRO_FAULTS_STATE=str(scratch / "fault-state"))
+
+        def spawn():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve", "--port",
+                 "0", "--store-root", str(scratch / "stores")],
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                env=env, text=True, bufsize=1)
+            ready = json.loads(proc.stdout.readline())
+            return proc, ready["port"]
+
+        start = time.perf_counter()
+        proc, port = spawn()
+        _status, first_body = _sync_explore(port, request)
+        proc.wait(timeout=600)
+        killed = proc.returncode == -signal.SIGKILL
+        truncated = not _served_designs(first_body) \
+            or len(_served_designs(first_body)) < len(case.reference)
+
+        proc2, port2 = spawn()
+        try:
+            status2, body2 = _sync_explore(port2, request)
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            try:
+                proc2.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc2.kill()
+        elapsed = time.perf_counter() - start
+        designs = _served_designs(body2)
+        warm = [json.loads(line) for line in body2.splitlines()
+                if '"type": "request"' in line]
+    return {
+        "scenario": "serve-kill-mid-stream",
+        "spec": SERVE_KILL_SPEC,
+        "identical": killed and truncated and status2 == 200
+        and designs == _expected_design_lines(case),
+        "n_designs": len(designs),
+        "restarts": 1,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"first_returncode": proc.returncode,
+                      "resumed_warm": bool(warm)
+                      and bool(warm[0].get("grid_hit"))},
+    }
+
+
 def bench_circuit(dataset: str, model: str, grid, quick: bool) -> dict:
     case = Case(dataset, model, grid)
 
@@ -320,6 +510,11 @@ def bench_circuit(dataset: str, model: str, grid, quick: bool) -> dict:
         rows.append(run_scenario(case, name, spec, kwargs, via_env=True))
     rows.append(run_corrupt_scenario(case))
     rows.append(run_sigkill_scenario(case))
+    rows.append(run_serve_fault_scenario(case, "serve-enqueue-fault",
+                                         "server.enqueue:1=err"))
+    rows.append(run_serve_fault_scenario(case, "serve-store-busy",
+                                         "store.put_shard:1=err-locked"))
+    rows.append(run_serve_kill_scenario(case))
 
     for row in rows:
         status = "ok" if row["identical"] else "DIVERGED"

@@ -1,0 +1,212 @@
+"""Benchmark of the ``repro serve`` HTTP front-end.
+
+Measures, per circuit, against ``BENCH_serve.json`` at the repo root:
+
+* **cold** — the first ``POST /v1/explore`` against a fresh server and
+  fresh per-tenant store: model preparation, netlist build, the full
+  exploration, and the streamed response, end to end over a real
+  socket;
+* **warm** — the identical request re-submitted: a content-key store
+  hit streamed back (the idempotency contract).  Reported as
+  requests/s plus p50/p99 latency at 1, 8, and 32 concurrent
+  clients;
+* **identity** — the served design lines are byte-compared against the
+  same request run through ``ExplorationService.run_manifest``
+  serially on a separate store (the wire path's identity oracle).
+
+Floor (enforced on full runs, and by CI on the committed record):
+warm p50 latency at one client must be **≥ 5x better than cold** on
+every circuit, with every identity bit true.
+
+Run standalone (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import io
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pruning import DEFAULT_TAU_GRID  # noqa: E402
+from repro.service import DesignStore, ExplorationService  # noqa: E402
+from repro.service.server import ExploreServer, ServeConfig  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+# The PR-2 end-to-end benchmark circuits (see bench_simulate.py).
+CIRCUITS = [
+    ("redwine", "svm_r"),
+    ("redwine", "mlp_c"),
+    ("redwine", "svm_c"),
+    ("whitewine", "svm_c"),
+    ("cardio", "svm_c"),
+]
+QUICK_CIRCUITS = [("redwine", "svm_r")]
+QUICK_GRID = (0.9, 0.95, 0.99)
+
+CLIENT_COUNTS = (1, 8, 32)
+REQUESTS_PER_CLIENT = 8
+SPEEDUP_FLOOR = 5.0
+
+
+async def _http(port: int, method: str, path: str, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = b"" if body is None else json.dumps(body).encode()
+    head = f"{method} {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n"
+    if data:
+        head += f"Content-Length: {len(data)}\r\n"
+    writer.write(head.encode() + b"\r\n" + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except Exception:
+        pass
+    head_blob, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head_blob.split()[1]), payload.decode()
+
+
+def _design_lines(body: str) -> list[str]:
+    return [line for line in body.splitlines()
+            if '"type": "design"' in line]
+
+
+async def _bench_circuit(dataset: str, kind: str, tau_grid,
+                         scratch: pathlib.Path) -> dict:
+    request = {"dataset": dataset, "model": kind, "base": "coeff",
+               "tau_grid": [float(t) for t in tau_grid]}
+    config = ServeConfig(port=0, store_root=str(scratch / "stores"),
+                         concurrency=4, queue_depth=512)
+    server = await ExploreServer(config).start()
+    try:
+        start = time.perf_counter()
+        status, cold_body = await _http(server.port, "POST",
+                                        "/v1/explore", request)
+        cold_s = time.perf_counter() - start
+        assert status == 200, f"cold request failed: {status}"
+        served = _design_lines(cold_body)
+
+        # identity oracle: the serial batch runner on a separate store
+        service = ExplorationService(
+            DesignStore(scratch / f"serial_{dataset}_{kind}.sqlite"))
+        out = io.StringIO()
+        service.run_manifest([request], out)
+        serial = _design_lines(out.getvalue())
+        identical = bool(served) and served == serial
+
+        warm = {}
+        for n_clients in CLIENT_COUNTS:
+            latencies: list[float] = []
+
+            async def client() -> None:
+                for _round in range(REQUESTS_PER_CLIENT):
+                    begin = time.perf_counter()
+                    status, body = await _http(server.port, "POST",
+                                               "/v1/explore", request)
+                    latencies.append(time.perf_counter() - begin)
+                    assert status == 200
+                    if _design_lines(body) != served:
+                        raise AssertionError(
+                            f"warm stream diverged at {n_clients} clients")
+
+            wall_start = time.perf_counter()
+            await asyncio.gather(*[client() for _ in range(n_clients)])
+            wall = time.perf_counter() - wall_start
+            latencies.sort()
+            warm[str(n_clients)] = {
+                "requests": len(latencies),
+                "rps": len(latencies) / wall,
+                "p50_ms": statistics.median(latencies) * 1e3,
+                "p99_ms": latencies[
+                    min(len(latencies) - 1,
+                        int(len(latencies) * 0.99))] * 1e3,
+            }
+
+        warm_p50_s = warm["1"]["p50_ms"] / 1e3
+        return {
+            "dataset": dataset,
+            "model": kind,
+            "tau_points": len(tau_grid),
+            "n_designs": len(served),
+            "cold_s": cold_s,
+            "cold_rps": 1.0 / cold_s,
+            "warm": warm,
+            "warm_p50_speedup": cold_s / warm_p50_s,
+            "identical": identical,
+        }
+    finally:
+        await server.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one circuit, short grid (CI smoke; does "
+                             "not enforce the speedup floor)")
+    parser.add_argument("--out", type=pathlib.Path, default=OUTPUT,
+                        help=f"report path (default: {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    circuits = QUICK_CIRCUITS if args.quick else CIRCUITS
+    tau_grid = QUICK_GRID if args.quick else DEFAULT_TAU_GRID
+
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = pathlib.Path(tmp)
+        for dataset, kind in circuits:
+            row = asyncio.run(_bench_circuit(dataset, kind, tau_grid,
+                                             scratch / f"{dataset}_{kind}"))
+            rows.append(row)
+            print(f"[bench_serve] {dataset}/{kind}: "
+                  f"cold {row['cold_s']:.3f}s, "
+                  f"warm p50 {row['warm']['1']['p50_ms']:.2f}ms "
+                  f"({row['warm_p50_speedup']:.1f}x), "
+                  f"32-client rps {row['warm']['32']['rps']:.0f}, "
+                  f"identical: {row['identical']}", flush=True)
+
+    all_identical = all(row["identical"] for row in rows)
+    floor_met = all(row["warm_p50_speedup"] >= SPEEDUP_FLOOR
+                    for row in rows)
+    report = {
+        "schema": 1,
+        "smoke": bool(args.quick),
+        "tau_points": len(tau_grid),
+        "client_counts": list(CLIENT_COUNTS),
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "floor": {
+            "warm_p50_speedup_min": SPEEDUP_FLOOR,
+            "enforced": not args.quick,
+            "met": floor_met,
+        },
+        "all_identical": all_identical,
+        "circuits": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_serve] report -> {args.out}")
+
+    if not all_identical:
+        print("[bench_serve] FAIL: served designs diverged from the "
+              "serial runner", file=sys.stderr)
+        return 1
+    if not args.quick and not floor_met:
+        print(f"[bench_serve] FAIL: warm p50 speedup below "
+              f"{SPEEDUP_FLOOR}x on some circuit", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

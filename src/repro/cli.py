@@ -245,6 +245,17 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServeConfig, serve
+
+    serve(ServeConfig(
+        host=args.host, port=args.port, store_root=args.store_root,
+        concurrency=args.concurrency, queue_depth=args.queue_depth,
+        n_workers=args.workers, engine=args.engine,
+        shard_size=args.shard_size, identity=args.identity))
+    return 0
+
+
 def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", default=_DEFAULT_STORE,
                         help="path to the content-addressed design store "
@@ -344,6 +355,38 @@ def main(argv: list[str] | None = None) -> int:
                        help="JSON manifest: {'requests': [...]} or a list")
     _add_service_options(batch)
     batch.set_defaults(handler=_run_serve_batch)
+
+    server = sub.add_parser(
+        "serve", help="long-lived asyncio HTTP server: streaming "
+                      "JSONL/SSE explore + sweep with store-backed "
+                      "idempotency (see docs/ARCHITECTURE.md 'Server')")
+    server.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    server.add_argument("--port", type=int, default=8765,
+                        help="bind port; 0 picks an ephemeral one, "
+                             "announced on the 'serving' stdout line "
+                             "(default: 8765)")
+    server.add_argument("--store-root", default="stores",
+                        help="directory of per-tenant store files "
+                             "(default: ./stores)")
+    server.add_argument("--concurrency", type=int, default=2,
+                        help="computations running at once (default: 2)")
+    server.add_argument("--queue-depth", type=int, default=16,
+                        help="computations allowed to wait before new "
+                             "submissions get 429 (default: 16)")
+    server.add_argument("--workers", type=int, default=None,
+                        help="pool workers per exploration (default: "
+                             "serial)")
+    server.add_argument("--engine", default="auto",
+                        choices=("auto", "batched", "compiled", "bigint"),
+                        help="evaluation engine (default: auto)")
+    server.add_argument("--identity", default="exact",
+                        choices=("exact", "relaxed"),
+                        help="default record-identity mode for requests "
+                             "that do not set one (default: exact)")
+    server.add_argument("--shard-size", type=int, default=4,
+                        help="tau_c chains per checkpoint shard")
+    server.set_defaults(handler=_run_serve)
 
     store = sub.add_parser("store", help="design-store maintenance")
     store_sub = store.add_subparsers(dest="store_command", required=True,

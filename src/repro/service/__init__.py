@@ -31,9 +31,10 @@ shard/checkpoint lifecycle, and the lease/supervision machinery.
 
 from .faults import FaultError, FaultInjector, fault_point
 from .jobs import ExplorationJob, JobReport
-from .jsonl import read_jsonl, write_line
+from .jsonl import JSONLError, read_jsonl, write_line
 from .leases import FleetReport, LeaseManager, run_fleet_worker
 from .runner import ExplorationService, ExploreRequest
+from .server import ExploreServer, ServeConfig, serve
 from .store import DesignStore
 
 __all__ = [
@@ -42,12 +43,16 @@ __all__ = [
     "JobReport",
     "ExplorationService",
     "ExploreRequest",
+    "ExploreServer",
+    "ServeConfig",
+    "serve",
     "FaultError",
     "FaultInjector",
     "fault_point",
     "FleetReport",
     "LeaseManager",
     "run_fleet_worker",
+    "JSONLError",
     "read_jsonl",
     "write_line",
 ]

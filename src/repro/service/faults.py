@@ -26,6 +26,10 @@ site                        where it fires
 ``engine.<name>``           as the serial walk starts on engine ``<name>``
 ``worker.chain``            in a pool worker, per chain task (ctx: ``tau``)
 ``pool.map``                in the parent, before a parallel shard map
+``server.accept``           per accepted HTTP connection (ctx: ``peer``)
+``server.enqueue``          before a request enters the server queue
+``server.stream``           per streamed result line (ctx: ``index``)
+``server.drain``            as SIGTERM-triggered drain begins
 ==========================  ====================================================
 
 Schedule grammar (``;``-separated entries)::

@@ -199,11 +199,16 @@ class ExplorationJob:
         self.shard_size = max(1, int(self.shard_size))
 
     def base_key(self) -> str:
-        """Content fingerprint of (netlist, evaluator inputs, identity)."""
+        """Content fingerprint of (netlist, evaluator inputs, identity).
+
+        The store's tenant namespace participates: the same exploration
+        keyed through two tenants' store handles never shares rows.
+        """
         if self._base_key is None:
             self._base_key = base_fingerprint(
                 self.pruner.netlist, self.pruner.evaluator,
-                self.pruner.resolved_identity())
+                self.pruner.resolved_identity(),
+                namespace=self.store.namespace)
         return self._base_key
 
     def grid_key(self) -> str:

@@ -21,7 +21,26 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["read_jsonl", "write_line"]
+__all__ = ["JSONLError", "read_jsonl", "write_line"]
+
+
+class JSONLError(ValueError):
+    """A structurally corrupt JSONL document (not a mere truncation).
+
+    Carries the diagnostic context the bare ``JSONDecodeError`` lacked:
+    ``source`` (the file path, or ``"<stream>"`` for open handles) and
+    ``line`` (1-based).  A mid-file partial line is the signature of
+    real corruption — e.g. a quarantine-path copy truncating a sidecar
+    — and the message must say *which file and line* so the operator
+    can find it without bisecting by hand.
+    """
+
+    def __init__(self, source: str, line: int, text: str) -> None:
+        self.source = str(source)
+        self.line = int(line)
+        super().__init__(
+            f"malformed JSONL in {self.source} at line {self.line}: "
+            f"{text[:80]!r}")
 
 
 def write_line(out, record: dict) -> None:
@@ -42,17 +61,23 @@ def read_jsonl(source, allow_partial_tail: bool = True) -> list:
     """Parse JSONL strictly; tolerate exactly one trailing partial line.
 
     ``source`` is a path or an open text stream.  A malformed line
-    anywhere but the very end raises ``ValueError`` (the file is
-    corrupt, not merely truncated).  A malformed *final* line — the
-    signature of a crash mid-:func:`write_line` — is dropped and the
-    complete records are returned; pass ``allow_partial_tail=False`` to
-    treat even that as an error.
+    anywhere but the very end raises :class:`JSONLError` naming the
+    source and line (the file is corrupt, not merely truncated).  A
+    malformed *final* non-blank line — the signature of a crash
+    mid-:func:`write_line`, possibly followed by blank separators — is
+    dropped and the complete records are returned; pass
+    ``allow_partial_tail=False`` to treat even that as an error.
     """
     if hasattr(source, "read"):
         text = source.read()
+        name = getattr(source, "name", None) or "<stream>"
     else:
+        name = str(source)
         text = Path(source).read_text()
     lines = text.splitlines()
+    last_content = max(
+        (number for number, line in enumerate(lines, start=1)
+         if line.strip()), default=0)
     records = []
     for number, line in enumerate(lines, start=1):
         if not line.strip():
@@ -60,9 +85,7 @@ def read_jsonl(source, allow_partial_tail: bool = True) -> list:
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as exc:
-            if number == len(lines) and allow_partial_tail:
+            if number == last_content and allow_partial_tail:
                 break  # the one permitted crash artifact
-            raise ValueError(
-                f"malformed JSONL at line {number}: {line[:80]!r}"
-            ) from exc
+            raise JSONLError(name, number, line) from exc
     return records

@@ -137,7 +137,9 @@ class ExplorationService:
     def __init__(self, store: DesignStore | str, n_workers: int | None = None,
                  engine: str = "auto",
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 identity: str = "exact") -> None:
+                 identity: str = "exact",
+                 evaluator_cache: dict | None = None,
+                 evaluator_fp_cache: dict | None = None) -> None:
         if identity not in _IDENTITIES:
             raise ValueError(f"unknown identity {identity!r}; "
                              f"use one of {_IDENTITIES}")
@@ -147,8 +149,15 @@ class ExplorationService:
         self.engine = engine
         self.shard_size = shard_size
         self.identity = identity
-        self._evaluators: dict[tuple, CircuitEvaluator] = {}
-        self._evaluator_fps: dict[tuple, str] = {}
+        # Evaluators are pure compute contexts (no store state), so a
+        # multi-tenant embedder may pass shared caches — one trained
+        # split serves every tenant.  Keys derived *through the store*
+        # (_netlists holds store-hit flags, _base_keys folds the
+        # store's namespace) stay per-instance.
+        self._evaluators: dict[tuple, CircuitEvaluator] = \
+            evaluator_cache if evaluator_cache is not None else {}
+        self._evaluator_fps: dict[tuple, str] = \
+            evaluator_fp_cache if evaluator_fp_cache is not None else {}
         self._netlists: dict[tuple, tuple] = {}
         self._base_keys: dict[tuple, str] = {}
 
@@ -243,12 +252,12 @@ class ExplorationService:
                 base_key = base_fingerprint_from_parts(
                     stored_fp,
                     self._evaluator_fp(request.dataset, request.model),
-                    identity)
+                    identity, namespace=self.store.namespace)
         if base_key is None:
             netlist, _meta, _hit = self._netlist(request)
             base_key = base_fingerprint(
                 netlist, self._evaluator(request.dataset, request.model),
-                identity)
+                identity, namespace=self.store.namespace)
         self._base_keys[cache_key] = base_key
         return base_key
 

@@ -1,0 +1,698 @@
+"""``repro serve``: a long-lived asyncio front-end for the service.
+
+Everything below the transport existed before this module — the
+content-addressed :class:`~repro.service.store.DesignStore`, the
+resumable :class:`~repro.service.jobs.ExplorationJob`, the
+:class:`~repro.service.runner.ExplorationService` facade — but every
+client had to fork a CLI process per manifest.  This server keeps one
+process (and its trained models, built netlists, and warm stores)
+alive and speaks plain HTTP/1.1 over stdlib ``asyncio`` — no new
+dependencies, no framework.
+
+Contract highlights (the full table lives in
+``docs/ARCHITECTURE.md`` → "Server"):
+
+* **Streaming**: ``POST /v1/explore`` and ``POST /v1/sweep`` stream
+  line-atomic JSONL (one ``write`` per complete line) — or SSE frames
+  when the client sends ``Accept: text/event-stream``.  The line
+  schemas are exactly :meth:`ExplorationService.run_manifest`'s /
+  :meth:`ExplorationService.run_sweep`'s: the served bytes of a design
+  line are *identical* to the serial batch runner's, pinned by the
+  conformance suite (the wire path has an identity oracle like every
+  engine does).
+* **Idempotency / coalescing**: requests key by their content
+  fingerprint (the same base-fingerprint → grid-key derivation the
+  store uses).  A re-submitted request attaches to the in-flight
+  computation's line channel (every subscriber receives the same
+  lines) or, once the grid landed, resolves as a free store hit —
+  exactly one computation per content key, ever.
+* **Backpressure**: at most ``concurrency`` computations run and at
+  most ``queue_depth`` more may wait; beyond that a submission gets
+  ``429`` with a ``Retry-After`` header before any streaming starts.
+  Coalescing subscribers and warm hits bypass the queue (they cost no
+  computation).
+* **Tenancy**: the ``X-Tenant`` header selects a per-tenant store
+  file under ``store_root`` *and* a key namespace threaded into every
+  base fingerprint, so tenants can never alias each other's rows.
+  The default tenant keeps the empty namespace — its keys are
+  byte-compatible with CLI-built stores.
+* **Drain**: SIGTERM (or SIGINT) stops accepting, lets every
+  in-flight stream finish, then exits 0.  The fault points
+  ``server.accept`` / ``server.enqueue`` / ``server.stream`` /
+  ``server.drain`` put the transport under the same ``REPRO_FAULTS``
+  chaos grammar as the rest of the stack.
+
+Threading model: the event loop owns all bookkeeping (in-flight map,
+queues, counters); heavy work runs in a small thread pool through
+``run_in_executor``.  :class:`~repro.eval.accuracy.CircuitEvaluator`
+is *not* thread-safe (mutable simulation caches), so computations
+serialize per (dataset, model) on a lock; different circuits still
+run concurrently.  Worker threads hand finished lines back to the
+loop with ``call_soon_threadsafe`` — the loop is the only writer of
+any channel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from .faults import fault_point
+from .jobs import DEFAULT_SHARD_SIZE
+from .runner import ExplorationService, ExploreRequest
+from .store import DesignStore, canonical_json, grid_key as make_grid_key
+
+__all__ = ["ServeConfig", "ExploreServer", "serve"]
+
+_TENANT_OK = "abcdefghijklmnopqrstuvwxyz" \
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one :class:`ExploreServer` is configured by."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765            # 0 → ephemeral (the ready line names it)
+    store_root: str = "stores"  # per-tenant store files live under here
+    concurrency: int = 2        # computations running at once
+    queue_depth: int = 16       # computations allowed to wait
+    retry_after_s: int = 1      # advisory Retry-After on 429
+    n_workers: int | None = None
+    engine: str = "auto"
+    shard_size: int = DEFAULT_SHARD_SIZE
+    identity: str = "exact"
+    default_tenant: str = "default"
+    max_body_bytes: int = 1 << 20
+
+
+class _HttpError(Exception):
+    """An HTTP error response decided before streaming started."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+class _LineChannel:
+    """One computation's ordered JSONL records, loop-owned, replayable.
+
+    Records append exactly once (the loop is the only writer); any
+    number of subscribers iterate independently — a late subscriber
+    replays from the start, so every coalesced client receives the
+    full identical stream.  ``summary`` holds a suppressed trailing
+    summary record (the explore path writes its own aggregate);
+    ``error`` marks a failed computation.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.summary: dict | None = None
+        self.error: str | None = None
+        self.done = False
+        self._event = asyncio.Event()
+
+    def post(self, record: dict) -> None:
+        self.records.append(record)
+        self._event.set()
+
+    def finish(self, error: str | None = None) -> None:
+        self.error = error
+        self.done = True
+        self._event.set()
+
+    async def subscribe(self):
+        """Yield every record in order; returns when the channel ends."""
+        index = 0
+        while True:
+            while index < len(self.records):
+                yield self.records[index]
+                index += 1
+            if self.done:
+                return
+            self._event.clear()
+            if index < len(self.records) or self.done:
+                continue  # a post/finish landed between drain and clear
+            await self._event.wait()
+
+
+class _ChannelWriter:
+    """File-like ``out`` bridging a worker thread into a channel.
+
+    :func:`~repro.service.jsonl.write_line` performs one ``write`` per
+    complete line, so every ``write`` here is one record.  Summary
+    records are captured rather than forwarded when the endpoint
+    writes its own (the explore path aggregates across requests).
+    """
+
+    def __init__(self, channel: _LineChannel,
+                 loop: asyncio.AbstractEventLoop,
+                 forward_summary: bool) -> None:
+        self._channel = channel
+        self._loop = loop
+        self._forward_summary = forward_summary
+
+    def write(self, text: str) -> None:
+        record = json.loads(text)
+        if record.get("type") == "summary" and not self._forward_summary:
+            self._channel.summary = record
+            return
+        self._loop.call_soon_threadsafe(self._channel.post, record)
+
+    def flush(self) -> None:  # write_line flushes; nothing buffered here
+        pass
+
+
+def _request_dict(request: ExploreRequest) -> dict:
+    """The manifest dict form of a validated request (round-trips)."""
+    data = {"dataset": request.dataset, "model": request.model,
+            "base": request.base, "tau_grid": list(request.tau_grid)}
+    if request.label is not None:
+        data["label"] = request.label
+    if request.identity is not None:
+        data["identity"] = request.identity
+    if request.e is not None:
+        data["e"] = request.e
+    return data
+
+
+class ExploreServer:
+    """The asyncio HTTP server; one instance per process.
+
+    Lifecycle: :meth:`start` binds the socket, :meth:`begin_drain`
+    (sync — safe from a signal handler) stops accepting and lets
+    in-flight work finish, ``await stopped.wait()`` observes the
+    drain completing, :meth:`shutdown` is the composed teardown the
+    tests use.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.port = config.port
+        self.draining = False
+        self.stopped = asyncio.Event()
+        self.counters = {
+            "requests": 0, "computed": 0, "coalesced": 0,
+            "rejected_busy": 0, "errors": 0,
+        }
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(config.concurrency)) + 2,
+            thread_name_prefix="repro-serve")
+        self._services: dict[str, ExplorationService] = {}
+        self._evaluators: dict = {}   # shared across tenants (pure compute)
+        self._evaluator_fps: dict = {}
+        self._inflight: dict[tuple, _LineChannel] = {}
+        self._handlers: set[asyncio.Task] = set()
+        self._computes: set[asyncio.Task] = set()
+        self._sem = asyncio.Semaphore(max(1, int(config.concurrency)))
+        self._admitted = 0            # queued + running computations
+        self._resolve_lock = asyncio.Lock()
+        self._circuit_locks: dict[tuple, threading.Lock] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "ExploreServer":
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop accepting; finish in-flight work; then ``stopped`` sets.
+
+        Synchronous and idempotent so ``loop.add_signal_handler`` can
+        call it directly on SIGTERM.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        try:
+            fault_point("server.drain")
+        except Exception:
+            pass  # a drain fault must never prevent the drain itself
+        if self._server is not None:
+            self._server.close()
+        assert self._loop is not None
+        self._loop.create_task(self._watch_drain())
+
+    async def _watch_drain(self) -> None:
+        while self._handlers or self._computes:
+            await asyncio.sleep(0.02)
+        self.stopped.set()
+
+    async def shutdown(self) -> None:
+        """Drain, wait, and release the worker pool (test teardown)."""
+        self.begin_drain()
+        await self.stopped.wait()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=True)
+
+    # -- per-tenant services -------------------------------------------
+
+    def _tenant(self, headers: dict) -> str:
+        tenant = headers.get("x-tenant", self.config.default_tenant)
+        if not tenant or len(tenant) > 64 \
+                or any(c not in _TENANT_OK for c in tenant):
+            raise _HttpError(400, f"invalid tenant {tenant[:80]!r}: use "
+                                  "1-64 chars of [A-Za-z0-9._-]")
+        return tenant
+
+    def _service(self, tenant: str) -> ExplorationService:
+        service = self._services.get(tenant)
+        if service is None:
+            config = self.config
+            # The default tenant keeps the empty namespace: its keys
+            # are byte-identical to a CLI-built store's, so pointing
+            # store_root at existing stores serves them warm.
+            namespace = "" if tenant == config.default_tenant else tenant
+            store = DesignStore(Path(config.store_root) / f"{tenant}.sqlite",
+                                namespace=namespace)
+            service = ExplorationService(
+                store, n_workers=config.n_workers, engine=config.engine,
+                shard_size=config.shard_size, identity=config.identity,
+                evaluator_cache=self._evaluators,
+                evaluator_fp_cache=self._evaluator_fps)
+            self._services[tenant] = service
+        return service
+
+    def _circuit_lock(self, dataset: str, model: str) -> threading.Lock:
+        # CircuitEvaluator carries mutable simulation caches — one
+        # circuit must never evaluate on two threads at once.
+        return self._circuit_locks.setdefault((dataset, model),
+                                              threading.Lock())
+
+    # -- computations --------------------------------------------------
+
+    async def _resolve_key(self, service: ExplorationService,
+                           request: ExploreRequest) -> str:
+        """The request's store grid key (may train/build, hence pooled).
+
+        Serialized on one lock: first-contact resolution can train a
+        model; afterwards it is a cache read, and serializing removes
+        any duplicate heavy work between racing resolutions.
+        """
+        assert self._loop is not None
+        async with self._resolve_lock:
+            base_key = await self._loop.run_in_executor(
+                self._pool, service._base_key, request)
+        return make_grid_key(base_key, request.tau_grid)
+
+    def _admit(self, n_new: int, tenant: str) -> None:
+        """Queue admission for ``n_new`` fresh computations, or 429."""
+        if n_new == 0:
+            return
+        config = self.config
+        limit = max(1, config.concurrency) + max(0, config.queue_depth)
+        if self._admitted + n_new > limit:
+            self.counters["rejected_busy"] += 1
+            raise _HttpError(
+                429, f"queue full ({self._admitted} in flight, "
+                     f"limit {limit}); retry later",
+                headers={"Retry-After": str(config.retry_after_s)})
+        for _ in range(n_new):
+            fault_point("server.enqueue", tenant=tenant)
+        self._admitted += n_new
+
+    def _spawn_compute(self, key: tuple, channel: _LineChannel,
+                       run_sync) -> _LineChannel:
+        """Register ``channel`` under ``key`` and run ``run_sync`` pooled.
+
+        The caller has already passed admission (``_admit``); this
+        always decrements ``_admitted`` exactly once.  The in-flight
+        entry pops only *after* the work landed in the store, so a
+        late duplicate either coalesces or warm-hits — never recomputes.
+        """
+        assert self._loop is not None
+        self._inflight[key] = channel
+
+        async def compute() -> None:
+            error = None
+            try:
+                async with self._sem:
+                    await self._loop.run_in_executor(self._pool, run_sync)
+                self.counters["computed"] += 1
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                self.counters["errors"] += 1
+            finally:
+                self._admitted -= 1
+                self._inflight.pop(key, None)
+                channel.finish(error)
+
+        task = self._loop.create_task(compute())
+        self._computes.add(task)
+        task.add_done_callback(self._computes.discard)
+        return channel
+
+    def _explore_sync(self, service: ExplorationService,
+                      request: ExploreRequest,
+                      channel: _LineChannel) -> None:
+        assert self._loop is not None
+        writer = _ChannelWriter(channel, self._loop, forward_summary=False)
+        with self._circuit_lock(request.dataset, request.model):
+            service.run_manifest([_request_dict(request)], writer)
+
+    def _sweep_sync(self, service: ExplorationService,
+                    request: ExploreRequest, e_values: tuple,
+                    include_cross: bool, channel: _LineChannel) -> None:
+        assert self._loop is not None
+        writer = _ChannelWriter(channel, self._loop, forward_summary=True)
+        with self._circuit_lock(request.dataset, request.model):
+            service.run_sweep(request, e_values, writer,
+                              include_cross=include_cross)
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise _HttpError(400, "malformed HTTP request head")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {lines[0]!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(413, f"body of {length} bytes exceeds the "
+                                  f"{self.config.max_body_bytes} limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], headers, body
+
+    @staticmethod
+    def _head(status: int, content_type: str,
+              extra: dict | None = None, length: int | None = None) -> bytes:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 413: "Payload Too Large",
+                   429: "Too Many Requests", 500: "Internal Server Error",
+                   503: "Service Unavailable"}
+        lines = [f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
+                 f"Content-Type: {content_type}",
+                 "Connection: close"]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: dict, extra: dict | None = None) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        writer.write(self._head(status, "application/json", extra,
+                                len(body)) + body)
+        await writer.drain()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._handlers.add(task)
+        try:
+            peer = writer.get_extra_info("peername")
+            fault_point("server.accept", peer=str(peer))
+            try:
+                method, path, headers, body = \
+                    await self._read_request(reader)
+                await self._route(method, path, headers, body, writer)
+            except _HttpError as exc:
+                await self._send_json(writer, exc.status,
+                                      {"error": exc.message}, exc.headers)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception:
+            self.counters["errors"] += 1
+            try:
+                await self._send_json(
+                    writer, 500, {"error": "internal server error"})
+            except Exception:
+                pass
+        finally:
+            self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _route(self, method: str, path: str, headers: dict,
+                     body: bytes, writer: asyncio.StreamWriter) -> None:
+        self.counters["requests"] += 1
+        if path == "/v1/healthz":
+            if method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            status = 503 if self.draining else 200
+            await self._send_json(writer, status, {
+                "status": "draining" if self.draining else "ok",
+                "pid": os.getpid()})
+            return
+        if path == "/v1/status":
+            if method != "GET":
+                raise _HttpError(405, "status is GET-only")
+            await self._send_json(writer, 200, self._status())
+            return
+        if path in ("/v1/explore", "/v1/sweep"):
+            if method != "POST":
+                raise _HttpError(405, f"{path} is POST-only")
+            if self.draining:
+                raise _HttpError(503, "server is draining; not accepting "
+                                      "new work")
+            payload = self._parse_body(body)
+            if path == "/v1/explore":
+                await self._explore(payload, headers, writer)
+            else:
+                await self._sweep(payload, headers, writer)
+            return
+        raise _HttpError(404, f"unknown path {path!r}; endpoints: "
+                              "/v1/explore /v1/sweep /v1/status "
+                              "/v1/healthz")
+
+    @staticmethod
+    def _parse_body(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    def _status(self) -> dict:
+        running = max(0, self.config.concurrency) - self._sem._value
+        return {
+            "type": "status",
+            "draining": self.draining,
+            "admitted": self._admitted,
+            "running": max(0, running),
+            "queued": max(0, self._admitted - max(0, running)),
+            "in_flight_keys": len(self._inflight),
+            "open_connections": len(self._handlers),
+            "counters": dict(self.counters),
+            "tenants": {name: {"store": service.store.path,
+                               "namespace": service.store.namespace}
+                        for name, service in self._services.items()},
+            "limits": {"concurrency": self.config.concurrency,
+                       "queue_depth": self.config.queue_depth},
+        }
+
+    # -- streaming endpoints -------------------------------------------
+
+    async def _explore(self, payload: dict, headers: dict,
+                       writer: asyncio.StreamWriter) -> None:
+        tenant = self._tenant(headers)
+        service = self._service(tenant)
+        manifest = payload.get("requests", [payload])
+        if not isinstance(manifest, list) or not manifest:
+            raise _HttpError(400, "'requests' must be a non-empty list")
+        try:
+            requests = [ExploreRequest.from_dict(d) for d in manifest]
+        except (ValueError, TypeError) as exc:
+            raise _HttpError(400, str(exc))
+
+        # Resolve every content key first: coalescing and admission are
+        # decided *before* the response status goes out, so a full
+        # queue is a clean 429, never a broken stream.  A channel
+        # captured here stays valid even if its computation finishes
+        # before streaming starts — channels replay from the start.
+        entries = []  # (request, key, channel-or-None) — None = fresh
+        batch: dict[tuple, _LineChannel] = {}
+        for request in requests:
+            try:
+                gkey = await self._resolve_key(service, request)
+            except Exception as exc:
+                raise _HttpError(400, f"cannot resolve "
+                                      f"{request.name}: {exc}")
+            key = (tenant, gkey)
+            entries.append([request, key, self._inflight.get(key)])
+        fresh_keys = []  # unique keys needing a computation, in order
+        for request, key, channel in entries:
+            if channel is None and key not in fresh_keys:
+                fresh_keys.append(key)
+        self._admit(len(fresh_keys), tenant)
+        self.counters["coalesced"] += len(entries) - len(fresh_keys)
+        for entry in entries:
+            request, key, channel = entry
+            if channel is not None:
+                continue
+            if key in batch:  # duplicate within this manifest
+                entry[2] = batch[key]
+                continue
+            channel = _LineChannel()
+            batch[key] = channel
+            entry[2] = channel
+            self._spawn_compute(
+                key, channel,
+                lambda service=service, request=request,
+                channel=channel: self._explore_sync(
+                    service, request, channel))
+
+        await self._stream(writer, headers, entries, service)
+
+    async def _stream(self, writer: asyncio.StreamWriter, headers: dict,
+                      entries: list,
+                      service: ExplorationService) -> None:
+        start = time.perf_counter()
+        sse = "text/event-stream" in headers.get("accept", "")
+        content_type = "text/event-stream" if sse \
+            else "application/x-ndjson"
+        writer.write(self._head(200, content_type))
+        await writer.drain()
+        line_no = 0
+
+        async def send(record: dict) -> None:
+            nonlocal line_no
+            line_no += 1
+            fault_point("server.stream", index=line_no)
+            text = json.dumps(record)
+            if sse:
+                data = b"data: " + text.encode() + b"\n\n"
+            else:
+                data = text.encode() + b"\n"
+            writer.write(data)  # one write per line: line-atomic
+            await writer.drain()
+
+        n_grid_hits = 0
+        n_designs = 0
+        for index, (request, _key, channel) in enumerate(entries):
+            async for record in channel.subscribe():
+                if "index" in record:
+                    record = {**record, "index": index}
+                if record.get("type") == "request":
+                    n_grid_hits += int(bool(record.get("grid_hit")))
+                    n_designs += int(record.get("n_designs", 0))
+                await send(record)
+            if channel.error is not None:
+                await send({"type": "error", "index": index,
+                            "request": request.name,
+                            "error": channel.error})
+                return
+        assert self._loop is not None
+        stats = await self._loop.run_in_executor(
+            self._pool, service.store.stats)
+        await send({
+            "type": "summary",
+            "n_requests": len(entries),
+            "n_grid_hits": n_grid_hits,
+            "n_designs": n_designs,
+            "runtime_s": time.perf_counter() - start,
+            "store": stats,
+        })
+
+    async def _sweep(self, payload: dict, headers: dict,
+                     writer: asyncio.StreamWriter) -> None:
+        tenant = self._tenant(headers)
+        service = self._service(tenant)
+        e_values = payload.pop("e_values", None)
+        include_cross = bool(payload.pop("include_cross", True))
+        if not isinstance(e_values, list) or not e_values:
+            raise _HttpError(400, "'e_values' must be a non-empty list")
+        try:
+            e_values = tuple(int(e) for e in e_values)
+            request = ExploreRequest.from_dict({**payload, "base": "coeff"})
+        except (ValueError, TypeError) as exc:
+            raise _HttpError(400, str(exc))
+        # Sweeps coalesce on the normalized spec (cheap, no resolution):
+        # identical concurrent sweeps share one run; the store already
+        # dedupes everything under them across different spellings.
+        key = (tenant, "sweep", canonical_json({
+            "dataset": request.dataset, "model": request.model,
+            "tau_grid": list(request.tau_grid), "e_values": list(e_values),
+            "identity": request.identity, "include_cross": include_cross}))
+        channel = self._inflight.get(key)
+        if channel is None:
+            self._admit(1, tenant)
+            channel = _LineChannel()
+            self._spawn_compute(
+                key, channel, lambda: self._sweep_sync(
+                    service, request, e_values, include_cross, channel))
+        else:
+            self.counters["coalesced"] += 1
+
+        sse = "text/event-stream" in headers.get("accept", "")
+        content_type = "text/event-stream" if sse \
+            else "application/x-ndjson"
+        writer.write(self._head(200, content_type))
+        await writer.drain()
+        line_no = 0
+        async for record in channel.subscribe():
+            line_no += 1
+            fault_point("server.stream", index=line_no)
+            text = json.dumps(record)
+            data = (b"data: " + text.encode() + b"\n\n") if sse \
+                else text.encode() + b"\n"
+            writer.write(data)
+            await writer.drain()
+        if channel.error is not None:
+            text = json.dumps({"type": "error", "error": channel.error})
+            writer.write((b"data: " + text.encode() + b"\n\n") if sse
+                         else text.encode() + b"\n")
+            await writer.drain()
+
+
+async def _serve_async(config: ServeConfig) -> None:
+    server = await ExploreServer(config).start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.begin_drain)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal handler support
+    print(json.dumps({"type": "serving", "host": config.host,
+                      "port": server.port, "pid": os.getpid()}),
+          flush=True)
+    await server.stopped.wait()
+    await server.shutdown()
+    print(json.dumps({"type": "drained", "counters": server.counters}),
+          flush=True)
+
+
+def serve(config: ServeConfig) -> None:
+    """Run the server until SIGTERM/SIGINT completes a graceful drain.
+
+    Prints one ``{"type": "serving", ...}`` ready line (with the bound
+    port — pass ``port=0`` for an ephemeral one) and a final
+    ``{"type": "drained", ...}`` line on exit, both line-atomic on
+    stdout, so supervisors and tests can follow the lifecycle.
+    """
+    asyncio.run(_serve_async(config))

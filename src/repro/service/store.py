@@ -224,28 +224,39 @@ def evaluator_fingerprint(evaluator) -> str:
 
 
 def base_fingerprint_from_parts(netlist_fp: str, evaluator_fp: str,
-                                identity: str = "exact") -> str:
+                                identity: str = "exact",
+                                namespace: str = "") -> str:
     """:func:`base_fingerprint` from precomputed part fingerprints.
 
     The warm service path resolves grid keys from the *stored* netlist
     fingerprint (``coeff_netlists.fingerprint``) without deserializing
     or rebuilding the circuit — a warm request is then a pure lookup.
+
+    ``namespace`` isolates tenants that share one store file: a
+    non-empty namespace is folded into the key metadata, so two tenants
+    can never alias each other's grids or variants.  The empty default
+    hashes exactly as before the parameter existed — keys in every
+    pre-namespace store stay valid.
     """
-    return content_key("base", netlist_fp, evaluator_fp,
-                       {"identity": identity})
+    meta = {"identity": identity}
+    if namespace:
+        meta["namespace"] = namespace
+    return content_key("base", netlist_fp, evaluator_fp, meta)
 
 
-def base_fingerprint(netlist, evaluator, identity: str = "exact") -> str:
+def base_fingerprint(netlist, evaluator, identity: str = "exact",
+                     namespace: str = "") -> str:
     """The (circuit, evaluation context) identity all keys derive from.
 
     ``identity`` is the exploration's record-identity mode: relaxed
     explorations may record structurally different (functionally equal)
     areas/gate counts, so their records must never alias exact ones —
-    the mode is part of every derived key.
+    the mode is part of every derived key.  ``namespace`` is the
+    store's tenant namespace (see :class:`DesignStore`).
     """
     return base_fingerprint_from_parts(netlist_fingerprint(netlist),
                                        evaluator_fingerprint(evaluator),
-                                       identity)
+                                       identity, namespace)
 
 
 def grid_key(base_key: str, tau_grid) -> str:
@@ -416,10 +427,18 @@ class DesignStore:
     share between threads and processes: each call opens a fresh
     connection, writes are single transactions, and variant inserts are
     idempotent (same key ⇒ same content, first writer wins).
+
+    ``namespace`` is a tenant label threaded into every base
+    fingerprint derived *through this store handle* (the jobs/runner
+    layers read ``store.namespace`` when keying work).  It is a handle
+    attribute, not persisted store state: the same file opened with a
+    different namespace simply resolves different keys.  The default
+    ``""`` reproduces the historical keys byte-for-byte.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, namespace: str = "") -> None:
         self.path = str(path)
+        self.namespace = str(namespace)
         parent = Path(self.path).parent
         if str(parent) not in ("", ".") and not parent.exists():
             try:

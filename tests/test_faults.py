@@ -37,7 +37,7 @@ from repro.service.faults import (
     installed,
     seeded_schedule,
 )
-from repro.service.jsonl import read_jsonl, write_line
+from repro.service.jsonl import JSONLError, read_jsonl, write_line
 from repro.service.store import _RETRY_ATTEMPTS
 
 GRID = (0.85, 0.90, 0.95, 0.99)
@@ -197,6 +197,36 @@ class TestJsonlCrashDiscipline:
         path.write_text('{"i": 0}\nnot json at all\n{"i": 2}\n')
         with pytest.raises(ValueError, match="line 2"):
             read_jsonl(path)
+
+    def test_interior_error_names_file_and_line(self, tmp_path):
+        # The PR 6 quarantine path can truncate a sidecar *copy*
+        # mid-file; the diagnostic must name where, not just raise a
+        # bare JSONDecodeError.
+        path = tmp_path / "quarantine-copy.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1, "acc\n{"i": 2}\n')
+        with pytest.raises(JSONLError) as excinfo:
+            read_jsonl(path)
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.line == 2
+        assert str(path) in str(excinfo.value)
+        assert "line 2" in str(excinfo.value)
+        assert isinstance(excinfo.value, ValueError)  # old handlers hold
+
+    def test_interior_error_names_stream_without_path(self, tmp_path):
+        import io
+
+        with pytest.raises(JSONLError, match="<stream>"):
+            read_jsonl(io.StringIO('bad\n{"i": 1}\n'))
+
+    def test_partial_tail_followed_by_blank_lines_tolerated(self, tmp_path):
+        # A crash can leave a partial line *then* blank separators (a
+        # flushed-but-torn buffer); that is still a truncation, not
+        # interior corruption.
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1, "acc\n\n\n')
+        assert read_jsonl(path) == [{"i": 0}]
+        with pytest.raises(JSONLError, match="malformed JSONL"):
+            read_jsonl(path, allow_partial_tail=False)
 
 
 class TestStoreRecovery:
