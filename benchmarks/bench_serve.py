@@ -12,11 +12,18 @@ Measures, per circuit, against ``BENCH_serve.json`` at the repo root:
   clients;
 * **identity** — the served design lines are byte-compared against the
   same request run through ``ExplorationService.run_manifest``
-  serially on a separate store (the wire path's identity oracle).
+  serially on a separate store (the wire path's identity oracle);
+* **spans** (schema 2) — the cold request's per-stage breakdown from
+  the telemetry registry (``server.request`` down to ``engine.walk``);
+* **telemetry overhead** (schema 2) — warm p50 with tracing + an
+  events-log sink enabled vs the tracing-off baseline, with the served
+  lines byte-compared in both modes (the inertness contract on the
+  wire).
 
-Floor (enforced on full runs, and by CI on the committed record):
+Floors (enforced on full runs, and by CI on the committed record):
 warm p50 latency at one client must be **≥ 5x better than cold** on
-every circuit, with every identity bit true.
+every circuit, telemetry-on warm p50 must stay within **5%** of the
+baseline (pooled across circuits), with every identity bit true.
 
 Run standalone (not collected by pytest)::
 
@@ -41,9 +48,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.pruning import DEFAULT_TAU_GRID  # noqa: E402
 from repro.service import DesignStore, ExplorationService  # noqa: E402
+from repro.service import telemetry  # noqa: E402
 from repro.service.server import ExploreServer, ServeConfig  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+# Stages reported in the cold request's span breakdown.
+SPAN_STAGES = ("server.request", "service.request", "job.run",
+               "job.shard", "engine.walk")
 
 # The PR-2 end-to-end benchmark circuits (see bench_simulate.py).
 CIRCUITS = [
@@ -59,6 +71,12 @@ QUICK_GRID = (0.9, 0.95, 0.99)
 CLIENT_COUNTS = (1, 8, 32)
 REQUESTS_PER_CLIENT = 8
 SPEEDUP_FLOOR = 5.0
+# Telemetry must be (nearly) free on the warm path: tracing on may cost
+# at most 5% of warm p50, pooled across the circuit set.  Off/on batches
+# interleave so container-level drift hits both modes equally.
+TELEMETRY_OVERHEAD_MAX = 1.05
+OVERHEAD_ROUNDS = 8
+OVERHEAD_BATCH = 16
 
 
 async def _http(port: int, method: str, path: str, body=None):
@@ -84,6 +102,34 @@ def _design_lines(body: str) -> list[str]:
             if '"type": "design"' in line]
 
 
+def _span_breakdown() -> dict:
+    """Count + mean duration of each pipeline stage from the registry."""
+    histograms = telemetry.get_hub().registry.snapshot()["histograms"]
+    breakdown = {}
+    for stage in SPAN_STAGES:
+        hist = histograms.get(f"span.duration_ms{{name={stage}}}")
+        if hist is not None and hist["count"]:
+            breakdown[stage] = {
+                "count": hist["count"],
+                "mean_ms": hist["sum"] / hist["count"],
+            }
+    return breakdown
+
+
+async def _warm_latencies(port: int, request: dict, served: list[str],
+                          n_requests: int, tag: str) -> list[float]:
+    """Sequential warm requests; asserts every stream matches ``served``."""
+    latencies = []
+    for _round in range(n_requests):
+        begin = time.perf_counter()
+        status, body = await _http(port, "POST", "/v1/explore", request)
+        latencies.append(time.perf_counter() - begin)
+        assert status == 200
+        if _design_lines(body) != served:
+            raise AssertionError(f"warm stream diverged ({tag})")
+    return sorted(latencies)
+
+
 async def _bench_circuit(dataset: str, kind: str, tau_grid,
                          scratch: pathlib.Path) -> dict:
     request = {"dataset": dataset, "model": kind, "base": "coeff",
@@ -92,12 +138,14 @@ async def _bench_circuit(dataset: str, kind: str, tau_grid,
                          concurrency=4, queue_depth=512)
     server = await ExploreServer(config).start()
     try:
+        telemetry.reset()
         start = time.perf_counter()
         status, cold_body = await _http(server.port, "POST",
                                         "/v1/explore", request)
         cold_s = time.perf_counter() - start
         assert status == 200, f"cold request failed: {status}"
         served = _design_lines(cold_body)
+        spans = _span_breakdown()
 
         # identity oracle: the serial batch runner on a separate store
         service = ExplorationService(
@@ -135,6 +183,33 @@ async def _bench_circuit(dataset: str, kind: str, tau_grid,
                         int(len(latencies) * 0.99))] * 1e3,
             }
 
+        # Telemetry overhead: warm p50 with tracing + events sink vs
+        # the tracing-off baseline; both loops re-assert the served
+        # bytes, folding wire inertness into the gate.  Each round pairs
+        # a temporally adjacent off/on batch and yields one ratio, so
+        # slow machine drift cancels instead of biasing one mode.
+        off_lat: list[float] = []
+        on_lat: list[float] = []
+        round_ratios: list[float] = []
+        for _round in range(OVERHEAD_ROUNDS):
+            off_batch = await _warm_latencies(
+                server.port, request, served, OVERHEAD_BATCH,
+                "tracing off")
+            telemetry.configure(tracing=True,
+                                events_path=scratch / "events.jsonl")
+            on_batch = await _warm_latencies(
+                server.port, request, served, OVERHEAD_BATCH,
+                "tracing on")
+            telemetry.reset()
+            off_lat += off_batch
+            on_lat += on_batch
+            # Batch minimum estimates the latency floor; it rejects the
+            # scheduler/GC spikes that dominate median-of-batch noise
+            # while still carrying any per-request telemetry cost.
+            round_ratios.append(min(on_batch) / min(off_batch))
+        off_lat.sort()
+        on_lat.sort()
+
         warm_p50_s = warm["1"]["p50_ms"] / 1e3
         return {
             "dataset": dataset,
@@ -146,6 +221,12 @@ async def _bench_circuit(dataset: str, kind: str, tau_grid,
             "warm": warm,
             "warm_p50_speedup": cold_s / warm_p50_s,
             "identical": identical,
+            "spans": spans,
+            "telemetry": {
+                "p50_off_ms": statistics.median(off_lat) * 1e3,
+                "p50_on_ms": statistics.median(on_lat) * 1e3,
+                "round_ratios": round_ratios,
+            },
         }
     finally:
         await server.shutdown()
@@ -175,13 +256,33 @@ def main(argv: list[str] | None = None) -> int:
                   f"warm p50 {row['warm']['1']['p50_ms']:.2f}ms "
                   f"({row['warm_p50_speedup']:.1f}x), "
                   f"32-client rps {row['warm']['32']['rps']:.0f}, "
+                  f"telemetry p50 {row['telemetry']['p50_off_ms']:.2f}"
+                  f" -> {row['telemetry']['p50_on_ms']:.2f}ms, "
                   f"identical: {row['identical']}", flush=True)
 
     all_identical = all(row["identical"] for row in rows)
     floor_met = all(row["warm_p50_speedup"] >= SPEEDUP_FLOOR
                     for row in rows)
+    # Gate on the median of the paired per-round ratios pooled across
+    # circuits: each ratio compares temporally adjacent off/on batches,
+    # so machine-level drift cancels where a pooled-median comparison
+    # would swing several percent run to run.
+    pooled_ratios = sorted(r for row in rows
+                           for r in row["telemetry"]["round_ratios"])
+    overhead_ratio = statistics.median(pooled_ratios)
+    overhead = {
+        "max_ratio": TELEMETRY_OVERHEAD_MAX,
+        "pooled_p50_off_ms": statistics.median(
+            [row["telemetry"]["p50_off_ms"] for row in rows]),
+        "pooled_p50_on_ms": statistics.median(
+            [row["telemetry"]["p50_on_ms"] for row in rows]),
+        "n_rounds": len(pooled_ratios),
+        "ratio": overhead_ratio,
+        "enforced": not args.quick,
+        "met": overhead_ratio <= TELEMETRY_OVERHEAD_MAX,
+    }
     report = {
-        "schema": 1,
+        "schema": 2,
         "smoke": bool(args.quick),
         "tau_points": len(tau_grid),
         "client_counts": list(CLIENT_COUNTS),
@@ -191,10 +292,14 @@ def main(argv: list[str] | None = None) -> int:
             "enforced": not args.quick,
             "met": floor_met,
         },
+        "telemetry_overhead": overhead,
         "all_identical": all_identical,
         "circuits": rows,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_serve] telemetry-on warm p50 overhead: "
+          f"{(overhead_ratio - 1) * 100:+.1f}% "
+          f"(gate: <= {(TELEMETRY_OVERHEAD_MAX - 1) * 100:.0f}%)")
     print(f"[bench_serve] report -> {args.out}")
 
     if not all_identical:
@@ -204,6 +309,11 @@ def main(argv: list[str] | None = None) -> int:
     if not args.quick and not floor_met:
         print(f"[bench_serve] FAIL: warm p50 speedup below "
               f"{SPEEDUP_FLOOR}x on some circuit", file=sys.stderr)
+        return 1
+    if not args.quick and not overhead["met"]:
+        print(f"[bench_serve] FAIL: telemetry-on warm p50 is "
+              f"{overhead_ratio:.3f}x the baseline "
+              f"(max {TELEMETRY_OVERHEAD_MAX}x)", file=sys.stderr)
         return 1
     return 0
 

@@ -35,6 +35,12 @@ this PR onward:
   full (non-smoke) run additionally fails unless relaxed mode reaches
   the recorded speedup floor (>= 1.5x on at least two circuits).
 
+  Schema 4 adds a per-circuit ``telemetry`` block: one extra batched
+  run with tracing on (events to an in-memory sink) captures the
+  ``pruner.chain_walk_ms`` and ``engine.batch_size`` histograms, and
+  its designs must match the untraced run exactly — the
+  ``telemetry_inert`` bit folds into ``all_equivalent``.
+
 Run standalone (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_simulate.py           # full
@@ -48,6 +54,7 @@ every engine and both identity modes.
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import pathlib
 import sys
@@ -62,6 +69,7 @@ from repro.experiments.zoo import get_case  # noqa: E402
 from repro.hw.bespoke import build_bespoke_netlist, input_payload  # noqa: E402
 from repro.hw.simulate import simulate, simulate_bigint  # noqa: E402
 from repro.quant import quantize_inputs  # noqa: E402
+from repro.service import telemetry  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_simulate.json"
 
@@ -167,6 +175,24 @@ def bench_end_to_end(dataset: str, kind: str, tau_grid,
 
     identical = rows(legacy) == rows(compiled) == rows(batched)
     relaxed_identity = loose_rows(relaxed) == loose_rows(batched)
+
+    # Telemetry breakdown + inertness: one instrumented batched run with
+    # tracing on must yield the exact designs of the untraced run, and
+    # its registry histograms give the engine-level stage profile.
+    telemetry.reset()
+    telemetry.configure(tracing=True, events_out=io.StringIO())
+    traced = run_explore("batched")
+    hists = telemetry.get_hub().registry.snapshot()["histograms"]
+    telemetry.reset()
+
+    def hist_stats(key):
+        hist = hists.get(key)
+        if hist is None or not hist["count"]:
+            return None
+        return {"count": hist["count"],
+                "mean": hist["sum"] / hist["count"]}
+
+    telemetry_inert = rows(traced) == rows(batched)
     return {
         "circuit": f"{dataset}/{kind}",
         "n_gates": netlist.n_gates,
@@ -188,6 +214,12 @@ def bench_end_to_end(dataset: str, kind: str, tau_grid,
         "relaxed_max_gate_diff": max(
             (abs(a.record.n_gates - b.record.n_gates)
              for a, b in zip(relaxed, batched)), default=0),
+        "telemetry": {
+            "inert": telemetry_inert,
+            "chain_walk_ms": hist_stats(
+                "pruner.chain_walk_ms{engine=batched}"),
+            "batch_size": hist_stats("engine.batch_size"),
+        },
     }
 
 
@@ -228,7 +260,8 @@ def main(argv=None) -> int:
               f"{row['batched_vs_compiled']:.2f}x vs compiled, "
               f"relaxed {row['relaxed_vs_batched']:.2f}x vs batched, "
               f"identical={row['identical_designs']}, "
-              f"relaxed_identity={row['relaxed_identity']})")
+              f"relaxed_identity={row['relaxed_identity']}, "
+              f"telemetry_inert={row['telemetry']['inert']})")
 
     # Relaxed speedup floor: the acceptance bar this PR records.  Only
     # enforced on full runs — the smoke grid is too small/noisy to
@@ -242,7 +275,7 @@ def main(argv=None) -> int:
     }
     floor["met"] = floor["n_meeting"] >= floor["min_circuits"]
     report = {
-        "schema": 3,
+        "schema": 4,
         "smoke": args.smoke,
         "tau_grid_points": len(tau_grid),
         "micro": micro,
@@ -257,7 +290,8 @@ def main(argv=None) -> int:
         "all_relaxed_identity": all(row["relaxed_identity"]
                                     for row in end_to_end),
         "all_equivalent": all(row["equivalent"] for row in micro)
-        and all(row["identical_designs"] for row in end_to_end),
+        and all(row["identical_designs"] for row in end_to_end)
+        and all(row["telemetry"]["inert"] for row in end_to_end),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nbest end-to-end speedup: "

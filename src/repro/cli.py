@@ -105,6 +105,10 @@ def _run_experiments(args: argparse.Namespace) -> int:
 def _open_service(args: argparse.Namespace):
     from .service import ExplorationService
 
+    if getattr(args, "events_log", None):
+        from .service.telemetry import configure
+
+        configure(tracing=True, events_path=args.events_log)
     return ExplorationService(args.store, n_workers=args.workers,
                               engine=args.engine,
                               shard_size=args.shard_size,
@@ -252,7 +256,58 @@ def _run_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, store_root=args.store_root,
         concurrency=args.concurrency, queue_depth=args.queue_depth,
         n_workers=args.workers, engine=args.engine,
-        shard_size=args.shard_size, identity=args.identity))
+        shard_size=args.shard_size, identity=args.identity,
+        events_log=args.events_log, trace_sample=args.trace_sample))
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """Scrape a running server's /v1/metrics, or fold an events log."""
+    if bool(args.url) == bool(args.events):
+        print("metrics: pass exactly one of --url or --events",
+              file=sys.stderr)
+        return 2
+    if args.url:
+        from urllib.request import Request, urlopen
+
+        url = args.url.rstrip("/") + "/v1/metrics"
+        headers = {"Accept": "application/json"} if args.json else {}
+        with urlopen(Request(url, headers=headers), timeout=30) as resp:
+            sys.stdout.write(resp.read().decode())
+        return 0
+    return _fold_events(args.events)
+
+
+def _fold_events(path: str) -> int:
+    """Aggregate a ``--events-log`` JSONL file into one summary record."""
+    from .service.jsonl import read_jsonl
+
+    spans: dict[str, list] = {}
+    counts: dict[str, int] = {}
+    traces: set[str] = set()
+    n_records = 0
+    for record in read_jsonl(path):
+        n_records += 1
+        kind = record.get("type", "unknown")
+        counts[kind] = counts.get(kind, 0) + 1
+        if record.get("trace"):
+            traces.add(record["trace"])
+        if kind == "span":
+            spans.setdefault(record.get("name", "?"), []).append(
+                float(record.get("ms", 0.0)))
+    span_stats = {}
+    for name in sorted(spans):
+        durations = sorted(spans[name])
+        span_stats[name] = {
+            "count": len(durations),
+            "total_ms": round(sum(durations), 3),
+            "p50_ms": round(durations[len(durations) // 2], 3),
+            "max_ms": round(durations[-1], 3),
+        }
+    print(json.dumps({"type": "metrics-events", "path": path,
+                      "n_records": n_records, "n_traces": len(traces),
+                      "records_by_type": dict(sorted(counts.items())),
+                      "spans": span_stats}, indent=2))
     return 0
 
 
@@ -284,6 +339,10 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fresh", action="store_true",
                         help="force recomputation: discard this request's "
                              "stored grid and shard checkpoints first")
+    parser.add_argument("--events-log", default=None,
+                        help="append structured telemetry events (spans, "
+                             "supervision, faults) as JSONL to this file; "
+                             "fold it with 'metrics --events'")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -386,7 +445,26 @@ def main(argv: list[str] | None = None) -> int:
                              "that do not set one (default: exact)")
     server.add_argument("--shard-size", type=int, default=4,
                         help="tau_c chains per checkpoint shard")
+    server.add_argument("--events-log", default=None,
+                        help="append structured telemetry events (spans, "
+                             "supervision, faults) as JSONL to this file "
+                             "(enables tracing)")
+    server.add_argument("--trace-sample", type=float, default=1.0,
+                        help="fraction of traces recorded to the events "
+                             "log, decided per trace id (default: 1.0)")
     server.set_defaults(handler=_run_serve)
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape a server's /v1/metrics (--url) or fold "
+                        "an --events-log file into span/event stats")
+    metrics.add_argument("--url", default=None,
+                         help="server base URL, e.g. http://127.0.0.1:8765")
+    metrics.add_argument("--json", action="store_true",
+                         help="with --url: request the JSON snapshot "
+                              "instead of Prometheus text")
+    metrics.add_argument("--events", default=None,
+                         help="events-log JSONL file to aggregate")
+    metrics.set_defaults(handler=_run_metrics)
 
     store = sub.add_parser("store", help="design-store maintenance")
     store_sub = store.add_subparsers(dest="store_command", required=True,
@@ -406,7 +484,17 @@ def main(argv: list[str] | None = None) -> int:
     stats.set_defaults(handler=_run_store_stats)
 
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    finally:
+        if getattr(args, "events_log", None):
+            # The event sink buffers lines; flush the tail so the log
+            # is complete however the command exits.  (The serve path
+            # already closes the hub in its drain sequence — close()
+            # is idempotent.)
+            from .service.telemetry import get_hub
+
+            get_hub().close()
 
 
 if __name__ == "__main__":

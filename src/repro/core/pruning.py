@@ -131,6 +131,20 @@ def fault_point(site: str, **ctx) -> None:
         _fault_point = resolved
     _fault_point(site, **ctx)
 
+
+# Same lazy-bridge pattern for the telemetry hub: the core walk reports
+# spans and counters to :mod:`repro.service.telemetry` without ever
+# importing the service package at module level.
+_telemetry = None
+
+
+def _service_telemetry():
+    global _telemetry
+    if _telemetry is None:
+        from ..service import telemetry as resolved
+        _telemetry = resolved
+    return _telemetry
+
 # Chains per relaxed-mode lattice block.  The relaxed walk resets its
 # cross-tau lattice (top chain, protection set, plan epochs) at *grid*
 # positions — every RELAXED_BLOCK-th tau of the pruner's sorted full
@@ -896,6 +910,35 @@ def assemble_designs(chains: list, chain_rows: list,
     return designs
 
 
+class SupervisionTelemetry(dict):
+    """Registry-backed supervision log of one pruner.
+
+    Keeps the legacy mapping shape — ``{kind: count, "events": [...]}``
+    — that :meth:`repro.service.jobs.JobReport` reads, while mirroring
+    every note into the service metrics registry
+    (``pruner.events{kind=...}``) through the lazy bridge, so engine
+    fallbacks, pool respawns, and shard timeouts show up on
+    ``/v1/metrics`` without a second bookkeeping path.  Events fired
+    under a server request are stamped with its request id.
+    """
+
+    def note(self, kind: str, **info) -> None:
+        self[kind] = int(self.get(kind, 0)) + 1
+        event = {"kind": kind, **info}
+        telemetry = _service_telemetry()
+        request_id = telemetry.current_request_id()
+        if request_id is not None:
+            event["request_id"] = request_id
+        self.setdefault("events", []).append(event)
+        telemetry.counter("pruner.events", kind=kind)
+        telemetry.event({"type": "supervision",
+                         "ts": round(time.time(), 6), **event})
+
+    @property
+    def events(self) -> list:
+        return self.get("events", [])
+
+
 @dataclass
 class NetlistPruner:
     """Full-search pruning exploration over one base netlist.
@@ -964,9 +1007,11 @@ class NetlistPruner:
     retry_backoff_s: float = 0.1
     shard_timeout_s: float | None = None
     # Supervision telemetry: per-kind counters plus an ``events`` list
-    # of ``{kind, ...}`` dicts.  The service layer folds this into its
-    # JobReport; it accumulates for the pruner's lifetime.
-    telemetry: dict = field(default_factory=dict, repr=False)
+    # of ``{kind, ...}`` dicts, mirrored into the service metrics
+    # registry.  The service layer's JobReport reads it directly; it
+    # accumulates for the pruner's lifetime.
+    telemetry: "SupervisionTelemetry" = field(
+        default_factory=lambda: SupervisionTelemetry(), repr=False)
     _space: PruneSpace | None = field(default=None, repr=False)
     _record_memo: dict = field(default_factory=dict, repr=False)
     _base_arrays: ArrayCircuit | None = field(default=None, repr=False)
@@ -1063,13 +1108,20 @@ class NetlistPruner:
         use_batched = self.incremental and engine == "batched"
         chains = self._build_chains(tau_values, space, use_batched)
 
-        chain_rows = None
-        if want_parallel and len(chains) > 1:
-            chain_rows = self._run_chains_parallel(chains, workers,
-                                                   use_batched)
-        if chain_rows is None:
-            chains, chain_rows = self._run_chains_serial(
-                chains, space, engine, relaxed, deduplicate)
+        telemetry = _service_telemetry()
+        walk_start = time.perf_counter()
+        with telemetry.span("engine.walk", engine=engine,
+                            n_chains=len(chains)):
+            chain_rows = None
+            if want_parallel and len(chains) > 1:
+                chain_rows = self._run_chains_parallel(chains, workers,
+                                                       use_batched)
+            if chain_rows is None:
+                chains, chain_rows = self._run_chains_serial(
+                    chains, space, engine, relaxed, deduplicate)
+        telemetry.observe("pruner.chain_walk_ms",
+                          (time.perf_counter() - walk_start) * 1e3,
+                          engine=engine)
         return chains, chain_rows
 
     def _build_chains(self, tau_values, space: PruneSpace,
@@ -1150,9 +1202,7 @@ class NetlistPruner:
 
     def _note(self, kind: str, **info) -> None:
         """Record one supervision event (counter + event log)."""
-        self.telemetry[kind] = int(self.telemetry.get(kind, 0)) + 1
-        self.telemetry.setdefault("events", []).append(
-            {"kind": kind, **info})
+        self.telemetry.note(kind, **info)
 
     def _pool_executor(self, workers: int,
                        use_batched: bool) -> ProcessPoolExecutor:

@@ -44,6 +44,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# Lazy bridge to the service telemetry hub (the ``fault_point`` pattern
+# from core/pruning.py): plan builds and batch sizes are the engine-side
+# metrics ``/v1/metrics`` reports, but hw must never import the service
+# package at module level — ``service -> core -> hw`` stays the only
+# import direction, resolved on first use.
+_telemetry = None
+
+
+def _service_telemetry():
+    global _telemetry
+    if _telemetry is None:
+        from ..service import telemetry as resolved
+        _telemetry = resolved
+    return _telemetry
+
+
 __all__ = [
     "BatchedEvaluator",
     "BatchedVariantSim",
@@ -271,6 +287,7 @@ class CompiledNetlist:
         level* — NumPy call count scales with circuit depth, not with
         (depth × opcode) group count.
         """
+        _service_telemetry().counter("engine.plan_builds")
         n_gates = len(ops)
         combined = levels << np.int64(4) | ops
         if not np.all(combined[1:] >= combined[:-1]):
@@ -685,6 +702,9 @@ class BatchedEvaluator:
         # hierarchy and the per-level work turns bandwidth-bound;
         # measured sweet spot on the reference container.
         chunk = max(1, min(32, self.MAX_CHUNK_BYTES // max(1, per_variant)))
+        telemetry = _service_telemetry()
+        telemetry.counter("engine.batches")
+        telemetry.observe("engine.batch_size", len(specs))
         sims: list[BatchedVariantSim] = []
         for start in range(0, len(specs), chunk):
             sims.extend(self._evaluate_chunk(specs[start:start + chunk]))

@@ -19,6 +19,13 @@ and repeated requests without recomputing anything twice:
   chaos bench;
 * :mod:`repro.service.jsonl` — line-atomic JSONL writes and the strict
   crash-tolerant reader;
+* :mod:`repro.service.telemetry` — the unified observability layer:
+  a dependency-free metrics registry (counters / gauges / histograms,
+  rendered as Prometheus text by ``GET /v1/metrics``), span tracing
+  linking server request → job → shard → engine walk under one trace
+  id, and a structured JSONL event log (``--events-log``) — all
+  provably inert: served bytes and store contents are identical with
+  telemetry on, off, or sampled;
 * :mod:`repro.service.runner` — the batch facade behind the
   ``repro-printed-ml explore`` / ``sweep-e`` / ``serve-batch`` CLI:
   manifests of (dataset, model, grid) requests, coefficient e-sweeps,
@@ -36,6 +43,8 @@ from .leases import FleetReport, LeaseManager, run_fleet_worker
 from .runner import ExplorationService, ExploreRequest
 from .server import ExploreServer, ServeConfig, serve
 from .store import DesignStore
+from .telemetry import (MetricsRegistry, Telemetry, configure, counter,
+                        gauge, get_hub, observe, span)
 
 __all__ = [
     "DesignStore",
@@ -55,4 +64,12 @@ __all__ = [
     "JSONLError",
     "read_jsonl",
     "write_line",
+    "MetricsRegistry",
+    "Telemetry",
+    "configure",
+    "counter",
+    "gauge",
+    "get_hub",
+    "observe",
+    "span",
 ]

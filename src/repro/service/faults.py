@@ -208,7 +208,33 @@ class FaultInjector:
             if entry.count != entry.hit or self._already_fired(entry):
                 continue
             self._mark_fired(entry)
+            self._record_fired(entry, site, ctx)
             self._fire(entry, site, ctx)
+
+    @staticmethod
+    def _record_fired(entry: FaultEntry, site: str, ctx: dict) -> None:
+        """Attribute the fired fault: counter + structured event.
+
+        Runs after the one-shot marker and before the damage, so even a
+        ``kill`` leaves an attributable event line.  The current
+        request id (when the fault fired under a server request) makes
+        chaos runs traceable back to the connection that hit them.
+        """
+        from .telemetry import counter, current_request_id, event
+        counter("faults.fired", site=site, action=entry.action)
+        record = {
+            "type": "fault",
+            "ts": round(time.time(), 6),
+            "site": site,
+            "ident": entry.ident,
+            "action": entry.action,
+        }
+        request_id = current_request_id()
+        if request_id is not None:
+            record["request_id"] = request_id
+        if ctx:
+            record["ctx"] = {key: str(value) for key, value in ctx.items()}
+        event(record)
 
     def _fire(self, entry: FaultEntry, site: str, ctx: dict) -> None:
         action = entry.action

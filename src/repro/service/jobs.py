@@ -66,6 +66,8 @@ from ..core.pruning import (
 from ..eval.accuracy import EvaluationRecord
 from .faults import fault_point
 from .store import DesignStore, base_fingerprint, grid_key
+from .telemetry import counter as _metric
+from .telemetry import span as _span
 
 __all__ = ["ExplorationJob", "JobReport"]
 
@@ -79,13 +81,15 @@ DEFAULT_SHARD_SIZE = 4
 class JobReport:
     """What one :meth:`ExplorationJob.run` actually did (observability).
 
-    The retry/fault/degradation fields are the supervision telemetry:
     ``shards_retried`` counts job-level shard retries (a shard whose
-    compute-and-checkpoint raised and was re-walked), the pool counters
-    mirror the pruner's :attr:`~repro.core.pruning.NetlistPruner.telemetry`
-    totals at the end of the run (respawned pools, degradations to the
-    serial path, engine-ladder fallbacks, per-shard timeouts), and
-    ``fault_events`` carries the raw event dicts for post-mortems.
+    compute-and-checkpoint raised and was re-walked).  The supervision
+    counters (``pool_respawns``, ``serial_fallbacks``,
+    ``engine_fallbacks``, ``shard_timeouts``, ``fault_events``) are
+    *views* over the pruner's attached
+    :class:`~repro.core.pruning.SupervisionTelemetry` — the same
+    registry-backed log that feeds ``/v1/metrics`` — not a second
+    hand-copied set of fields.  ``to_dict()`` keys are pinned by the
+    server's wire contract and stay byte-compatible.
     """
 
     grid_key: str
@@ -96,11 +100,30 @@ class JobReport:
     variants_preloaded: int = 0
     runtime_s: float = 0.0
     shards_retried: int = 0
-    pool_respawns: int = 0
-    serial_fallbacks: int = 0
-    engine_fallbacks: int = 0
-    shard_timeouts: int = 0
-    fault_events: list = field(default_factory=list)
+    supervision: dict = field(default_factory=dict)
+
+    def _supervised(self, kind: str) -> int:
+        return int(self.supervision.get(kind, 0))
+
+    @property
+    def pool_respawns(self) -> int:
+        return self._supervised("pool_respawns")
+
+    @property
+    def serial_fallbacks(self) -> int:
+        return self._supervised("serial_fallbacks")
+
+    @property
+    def engine_fallbacks(self) -> int:
+        return self._supervised("engine_fallbacks")
+
+    @property
+    def shard_timeouts(self) -> int:
+        return self._supervised("shard_timeouts")
+
+    @property
+    def fault_events(self) -> list:
+        return list(self.supervision.get("events", []))
 
     def to_dict(self) -> dict:
         return {
@@ -120,17 +143,14 @@ class JobReport:
         }
 
     def absorb_telemetry(self, telemetry: dict) -> None:
-        """Fold a pruner's supervision telemetry into this report.
+        """Attach a pruner's supervision log as this report's source.
 
-        Copies the pruner-lifetime totals (a pruner reused across jobs
-        carries its history along — the counters answer "has this
-        pruner ever degraded", which is the question that matters).
+        The report keeps a live reference (no per-field copying): a
+        pruner reused across jobs carries its history along — the
+        counters answer "has this pruner ever degraded", which is the
+        question that matters.
         """
-        self.pool_respawns = int(telemetry.get("pool_respawns", 0))
-        self.serial_fallbacks = int(telemetry.get("serial_fallbacks", 0))
-        self.engine_fallbacks = int(telemetry.get("engine_fallbacks", 0))
-        self.shard_timeouts = int(telemetry.get("shard_timeouts", 0))
-        self.fault_events = list(telemetry.get("events", []))
+        self.supervision = telemetry
 
 
 def _serialize_rows(chains: list, rows: list) -> dict:
@@ -280,7 +300,8 @@ class ExplorationJob:
         report.grid_key = gkey
 
         try:
-            return self._run(resume, on_shard, report, gkey, start)
+            with _span("job.run", grid_key=gkey[:12]):
+                return self._run(resume, on_shard, report, gkey, start)
         finally:
             # Deterministic teardown of the pruner-owned persistent
             # worker pool (idempotent; a later run simply recreates it).
@@ -308,16 +329,18 @@ class ExplorationJob:
         which is what lets lease-based workers and job-level retries
         share this method without coordination beyond the store.
         """
-        fault_point("job.shard", index=index)
-        chains, rows = self.pruner.chain_rows(taus)
-        rows = _canonical_keys(rows)
-        self.store.put_shard(self.grid_key(), index, taus,
-                             _serialize_rows(chains, rows))
-        self.store.put_variants(
-            self.base_key(),
-            {key: record
-             for chain_rows in rows
-             for _phi, key, _n, record in chain_rows})
+        with _span("job.shard", index=index, n_taus=len(taus)):
+            fault_point("job.shard", index=index)
+            chains, rows = self.pruner.chain_rows(taus)
+            rows = _canonical_keys(rows)
+            self.store.put_shard(self.grid_key(), index, taus,
+                                 _serialize_rows(chains, rows))
+            self.store.put_variants(
+                self.base_key(),
+                {key: record
+                 for chain_rows in rows
+                 for _phi, key, _n, record in chain_rows})
+        _metric("job.shards", result="computed")
         return chains, rows
 
     def _compute_shard_with_retry(self, index: int, taus: tuple,
@@ -331,6 +354,7 @@ class ExplorationJob:
                 if attempt == attempts - 1:
                     raise
                 report.shards_retried += 1
+                _metric("job.shard_retries")
                 if delay:
                     time.sleep(delay)
                     delay = min(delay * 2.0, 2.0)
@@ -358,6 +382,7 @@ class ExplorationJob:
             if loaded is not None:
                 chains, rows = loaded
                 report.shards_loaded += 1
+                _metric("job.shards", result="loaded")
             else:
                 chains, rows = self._compute_shard_with_retry(
                     index, taus, report)

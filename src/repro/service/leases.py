@@ -40,10 +40,13 @@ kill-and-resume exact.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .jobs import ExplorationJob
 from .store import DesignStore
+from .telemetry import counter as _metric
+from .telemetry import span as _span
 
 __all__ = ["DEFAULT_LEASE_TTL_S", "FleetReport", "LeaseManager",
            "run_fleet_worker"]
@@ -124,6 +127,15 @@ class FleetReport:
         }
 
 
+@contextmanager
+def _closing_pruner(job: ExplorationJob):
+    """Deterministic pruner-pool teardown on every fleet-loop exit."""
+    try:
+        yield
+    finally:
+        job.pruner.close()
+
+
 def run_fleet_worker(job: ExplorationJob, worker_id: str,
                      ttl_s: float = DEFAULT_LEASE_TTL_S,
                      poll_s: float = 0.2,
@@ -154,7 +166,11 @@ def run_fleet_worker(job: ExplorationJob, worker_id: str,
     lease = LeaseManager(store, gkey, worker_id, ttl_s)
     deadline = time.monotonic() + max_wait_s
     preloaded = False
-    try:
+    # Claim/renew/reclaim counters live in the store's lease
+    # transactions (the only place a reclaim is detectable atomically);
+    # this span times the whole drain loop of one worker.
+    with _span("fleet.worker", worker=worker_id, grid_key=gkey[:12]), \
+            _closing_pruner(job):
         while True:
             cached = store.get_grid(gkey)
             if cached is not None:
@@ -184,6 +200,7 @@ def run_fleet_worker(job: ExplorationJob, worker_id: str,
                 finally:
                     lease.release(index)
                 report.shards_computed.append(index)
+                _metric("fleet.shards_computed")
                 progress = True
 
             if all(job.load_shard(index, taus) is not None
@@ -217,6 +234,6 @@ def run_fleet_worker(job: ExplorationJob, worker_id: str,
                         "have hung; lower ttl_s to let the fleet "
                         "reclaim them)")
                 report.waits += 1
+                _metric("fleet.waits")
                 time.sleep(poll_s)
-    finally:
-        job.pruner.close()
+

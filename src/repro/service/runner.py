@@ -36,6 +36,8 @@ from ..hw.bespoke import build_bespoke_netlist
 from .faults import fault_point
 from .jobs import DEFAULT_SHARD_SIZE, ExplorationJob, JobReport
 from .jsonl import write_line
+from .telemetry import counter as _metric
+from .telemetry import span as _span
 from .leases import DEFAULT_LEASE_TTL_S, FleetReport, run_fleet_worker
 from .store import (
     DesignStore,
@@ -297,14 +299,19 @@ class ExplorationService:
         netlist materialization — see :meth:`_warm_grid`); anything
         else goes through the resumable job.
         """
-        if resume:
-            warm = self._warm_grid(request)
-            if warm is not None:
-                return warm
-        job = self.job(request)
-        report = JobReport(job.grid_key())
-        designs = job.run(resume=resume, on_shard=on_shard, report=report)
-        return designs, report
+        with _span("service.request", dataset=request.dataset,
+                   model=request.model, base=request.base):
+            if resume:
+                warm = self._warm_grid(request)
+                if warm is not None:
+                    _metric("service.requests", outcome="grid_hit")
+                    return warm
+            job = self.job(request)
+            report = JobReport(job.grid_key())
+            designs = job.run(resume=resume, on_shard=on_shard,
+                              report=report)
+            _metric("service.requests", outcome="computed")
+            return designs, report
 
     def sweep(self, request: ExploreRequest,
               e_values: tuple[int, ...] = DEFAULT_E_SWEEP,

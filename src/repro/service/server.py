@@ -68,6 +68,11 @@ from .faults import fault_point
 from .jobs import DEFAULT_SHARD_SIZE
 from .runner import ExplorationService, ExploreRequest
 from .store import DesignStore, canonical_json, grid_key as make_grid_key
+from .telemetry import (capture_context, counter as _metric,
+                        current_request_id, current_trace_id, gauge,
+                        get_hub, new_request_id, set_request_id, span,
+                        use_context)
+from .telemetry import configure as _configure_telemetry
 
 __all__ = ["ServeConfig", "ExploreServer", "serve"]
 
@@ -91,6 +96,8 @@ class ServeConfig:
     identity: str = "exact"
     default_tenant: str = "default"
     max_body_bytes: int = 1 << 20
+    events_log: str | None = None   # JSONL span/event sink (enables tracing)
+    trace_sample: float = 1.0       # fraction of traces recorded when tracing
 
 
 class _HttpError(Exception):
@@ -225,6 +232,10 @@ class ExploreServer:
 
     async def start(self) -> "ExploreServer":
         self._loop = asyncio.get_running_loop()
+        if self.config.events_log:
+            _configure_telemetry(tracing=True,
+                                 sample=self.config.trace_sample,
+                                 events_path=self.config.events_log)
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -260,6 +271,10 @@ class ExploreServer:
         if self._server is not None:
             await self._server.wait_closed()
         self._pool.shutdown(wait=True)
+        if self.config.events_log:
+            # This server opened the sink in start(); flush the buffered
+            # tail and release it so readers see every span.
+            get_hub().close()
 
     # -- per-tenant services -------------------------------------------
 
@@ -319,6 +334,7 @@ class ExploreServer:
         limit = max(1, config.concurrency) + max(0, config.queue_depth)
         if self._admitted + n_new > limit:
             self.counters["rejected_busy"] += 1
+            _metric("server.rejected", reason="busy")
             raise _HttpError(
                 429, f"queue full ({self._admitted} in flight, "
                      f"limit {limit}); retry later",
@@ -338,16 +354,28 @@ class ExploreServer:
         """
         assert self._loop is not None
         self._inflight[key] = channel
+        # run_in_executor does not propagate contextvars: capture the
+        # handler's trace/request-id context here and reinstall it in
+        # the worker thread, so job/shard/engine spans parent under the
+        # originating server.request span.
+        ctx = capture_context()
+
+        def run_traced() -> None:
+            with use_context(ctx):
+                run_sync()
 
         async def compute() -> None:
             error = None
             try:
                 async with self._sem:
-                    await self._loop.run_in_executor(self._pool, run_sync)
+                    await self._loop.run_in_executor(self._pool,
+                                                     run_traced)
                 self.counters["computed"] += 1
+                _metric("server.computed")
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 self.counters["errors"] += 1
+                _metric("server.errors", kind="compute")
             finally:
                 self._admitted -= 1
                 self._inflight.pop(key, None)
@@ -412,6 +440,12 @@ class ExploreServer:
                  "Connection: close"]
         if length is not None:
             lines.append(f"Content-Length: {length}")
+        rid = current_request_id()
+        if rid is not None:
+            # Every response of a connection — 200 streams, 429s, drain
+            # 503s, even 500s — carries the request id (generated or
+            # client-supplied), so client logs correlate with spans.
+            lines.append(f"X-Request-Id: {rid}")
         for name, value in (extra or {}).items():
             lines.append(f"{name}: {value}")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
@@ -423,18 +457,34 @@ class ExploreServer:
                                 len(body)) + body)
         await writer.drain()
 
+    @staticmethod
+    def _client_request_id(headers: dict) -> str | None:
+        """A sanitized client-supplied ``X-Request-Id``, or ``None``."""
+        rid = headers.get("x-request-id", "")
+        if rid and len(rid) <= 64 and all(c in _TENANT_OK for c in rid):
+            return rid
+        return None
+
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
         assert task is not None
         self._handlers.add(task)
+        # One connection == one task == one context copy: the request
+        # id set here scopes the whole exchange (including 4xx/5xx
+        # replies) and dies with the task — no reset needed.
+        set_request_id(new_request_id())
         try:
             peer = writer.get_extra_info("peername")
             fault_point("server.accept", peer=str(peer))
             try:
                 method, path, headers, body = \
                     await self._read_request(reader)
-                await self._route(method, path, headers, body, writer)
+                client_rid = self._client_request_id(headers)
+                if client_rid is not None:
+                    set_request_id(client_rid)
+                with span("server.request", method=method, path=path):
+                    await self._route(method, path, headers, body, writer)
             except _HttpError as exc:
                 await self._send_json(writer, exc.status,
                                       {"error": exc.message}, exc.headers)
@@ -443,6 +493,7 @@ class ExploreServer:
             pass  # client went away; nothing to answer
         except Exception:
             self.counters["errors"] += 1
+            _metric("server.errors", kind="transport")
             try:
                 await self._send_json(
                     writer, 500, {"error": "internal server error"})
@@ -456,9 +507,19 @@ class ExploreServer:
             except Exception:
                 pass
 
+    _ENDPOINTS = ("/v1/explore", "/v1/sweep", "/v1/status", "/v1/healthz",
+                  "/v1/metrics")
+
     async def _route(self, method: str, path: str, headers: dict,
                      body: bytes, writer: asyncio.StreamWriter) -> None:
         self.counters["requests"] += 1
+        _metric("server.requests",
+                endpoint=path if path in self._ENDPOINTS else "other")
+        if path == "/v1/metrics":
+            if method != "GET":
+                raise _HttpError(405, "metrics is GET-only")
+            await self._metrics(headers, writer)
+            return
         if path == "/v1/healthz":
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
@@ -486,7 +547,7 @@ class ExploreServer:
             return
         raise _HttpError(404, f"unknown path {path!r}; endpoints: "
                               "/v1/explore /v1/sweep /v1/status "
-                              "/v1/healthz")
+                              "/v1/healthz /v1/metrics")
 
     @staticmethod
     def _parse_body(body: bytes) -> dict:
@@ -515,6 +576,31 @@ class ExploreServer:
             "limits": {"concurrency": self.config.concurrency,
                        "queue_depth": self.config.queue_depth},
         }
+
+    async def _metrics(self, headers: dict,
+                       writer: asyncio.StreamWriter) -> None:
+        """``GET /v1/metrics``: Prometheus text (default) or JSON.
+
+        Gauges are sampled at scrape time (the registry otherwise only
+        sees monotonic events); everything else is whatever the layers
+        below recorded since process start.
+        """
+        status = self._status()
+        gauge("server.admitted", status["admitted"])
+        gauge("server.running", status["running"])
+        gauge("server.open_connections", status["open_connections"])
+        gauge("server.inflight_keys", status["in_flight_keys"])
+        gauge("server.draining", int(self.draining))
+        registry = get_hub().registry
+        if "application/json" in headers.get("accept", ""):
+            await self._send_json(writer, 200, {
+                "type": "metrics", **registry.snapshot(),
+                "server": status})
+            return
+        body = registry.render_prometheus().encode()
+        writer.write(self._head(200, "text/plain; version=0.0.4",
+                                None, len(body)) + body)
+        await writer.drain()
 
     # -- streaming endpoints -------------------------------------------
 
@@ -550,7 +636,10 @@ class ExploreServer:
             if channel is None and key not in fresh_keys:
                 fresh_keys.append(key)
         self._admit(len(fresh_keys), tenant)
-        self.counters["coalesced"] += len(entries) - len(fresh_keys)
+        n_coalesced = len(entries) - len(fresh_keys)
+        self.counters["coalesced"] += n_coalesced
+        if n_coalesced:
+            _metric("server.coalesced", n_coalesced)
         for entry in entries:
             request, key, channel = entry
             if channel is not None:
@@ -569,6 +658,24 @@ class ExploreServer:
 
         await self._stream(writer, headers, entries, service)
 
+    @staticmethod
+    def _trace_stamp(headers: dict) -> dict | None:
+        """The opt-in per-line ``trace`` field (``X-Trace: 1`` header).
+
+        Default responses never carry it — served design lines stay
+        byte-identical whether telemetry is on, off, or sampled.
+        """
+        if headers.get("x-trace", "").lower() not in ("1", "true", "on"):
+            return None
+        stamp: dict = {}
+        rid = current_request_id()
+        if rid is not None:
+            stamp["request_id"] = rid
+        tid = current_trace_id()
+        if tid is not None:
+            stamp["trace_id"] = tid
+        return stamp or None
+
     async def _stream(self, writer: asyncio.StreamWriter, headers: dict,
                       entries: list,
                       service: ExplorationService) -> None:
@@ -576,6 +683,7 @@ class ExploreServer:
         sse = "text/event-stream" in headers.get("accept", "")
         content_type = "text/event-stream" if sse \
             else "application/x-ndjson"
+        trace_stamp = self._trace_stamp(headers)
         writer.write(self._head(200, content_type))
         await writer.drain()
         line_no = 0
@@ -584,6 +692,8 @@ class ExploreServer:
             nonlocal line_no
             line_no += 1
             fault_point("server.stream", index=line_no)
+            if trace_stamp is not None:
+                record = {**record, "trace": trace_stamp}
             text = json.dumps(record)
             if sse:
                 data = b"data: " + text.encode() + b"\n\n"
@@ -648,16 +758,20 @@ class ExploreServer:
                     service, request, e_values, include_cross, channel))
         else:
             self.counters["coalesced"] += 1
+            _metric("server.coalesced")
 
         sse = "text/event-stream" in headers.get("accept", "")
         content_type = "text/event-stream" if sse \
             else "application/x-ndjson"
+        trace_stamp = self._trace_stamp(headers)
         writer.write(self._head(200, content_type))
         await writer.drain()
         line_no = 0
         async for record in channel.subscribe():
             line_no += 1
             fault_point("server.stream", index=line_no)
+            if trace_stamp is not None:
+                record = {**record, "trace": trace_stamp}
             text = json.dumps(record)
             data = (b"data: " + text.encode() + b"\n\n") if sse \
                 else text.encode() + b"\n"

@@ -50,6 +50,7 @@ from ..core.pruning import PrunedDesign, prune_key_ids
 from ..eval.accuracy import EvaluationRecord
 from ..hw.netlist_io import netlist_from_dict, netlist_to_dict
 from .faults import fault_point
+from .telemetry import counter as _metric
 
 __all__ = [
     "DesignStore",
@@ -504,6 +505,7 @@ class DesignStore:
             n += 1
         quarantine = path.with_name(f"{path.name}.corrupt-{n}")
         path.rename(quarantine)
+        _metric("store.quarantines")
         for suffix in ("-wal", "-shm"):
             sidecar = Path(self.path + suffix)
             if sidecar.exists():
@@ -545,14 +547,22 @@ class DesignStore:
                                 for marker in _TRANSIENT_MARKERS)
                 if not transient or attempt == _RETRY_ATTEMPTS - 1:
                     raise
+                _metric("store.retries")
                 time.sleep(delay)
                 delay = min(delay * 2.0, 1.0)
+
+    @staticmethod
+    def _count_lookup(table: str, row) -> None:
+        """Feed the per-table hit/miss counters (``/v1/metrics``)."""
+        _metric("store.lookups", table=table,
+                result="miss" if row is None else "hit")
 
     # -- variants ------------------------------------------------------
 
     def get_variant(self, key: str) -> EvaluationRecord | None:
         row = self._with_connection(lambda con: con.execute(
             "SELECT record FROM variants WHERE key=?", (key,)).fetchone())
+        self._count_lookup("variants", row)
         return None if row is None \
             else EvaluationRecord.from_dict(json.loads(row[0]))
 
@@ -601,6 +611,7 @@ class DesignStore:
         """The finished design list, or ``None`` when never completed."""
         row = self._with_connection(lambda con: con.execute(
             "SELECT designs FROM grids WHERE key=?", (key,)).fetchone())
+        self._count_lookup("grids", row)
         if row is None:
             return None
         return [design_from_dict(d) for d in json.loads(row[0])]
@@ -644,6 +655,7 @@ class DesignStore:
         row = self._with_connection(lambda con: con.execute(
             "SELECT taus, payload FROM shards WHERE grid_key=? AND shard=?",
             (grid_key, int(shard))).fetchone())
+        self._count_lookup("shards", row)
         if row is None:
             return None
         return json.loads(row[0]), json.loads(row[1])
@@ -675,6 +687,10 @@ class DesignStore:
         def claim(con):
             fault_point("store.lease", grid_key=grid_key, index=shard,
                         worker=worker)
+            prior = con.execute(
+                "SELECT worker, expiry FROM shard_leases "
+                "WHERE grid_key=? AND shard=?",
+                (grid_key, int(shard))).fetchone()
             con.execute(
                 "INSERT INTO shard_leases VALUES (?,?,?,?,?,?) "
                 "ON CONFLICT(grid_key, shard) DO UPDATE SET "
@@ -688,7 +704,12 @@ class DesignStore:
                 "SELECT worker FROM shard_leases "
                 "WHERE grid_key=? AND shard=?",
                 (grid_key, int(shard))).fetchone()
-            return row is not None and row[0] == worker
+            won = row is not None and row[0] == worker
+            _metric("lease.claims", result="won" if won else "lost")
+            if won and prior is not None and prior[0] != worker \
+                    and prior[1] <= now:
+                _metric("lease.reclaims")
+            return won
         return self._with_connection(claim)
 
     def renew_lease(self, grid_key: str, shard: int, worker: str,
@@ -703,7 +724,9 @@ class DesignStore:
                 "UPDATE shard_leases SET heartbeat=?, expiry=? "
                 "WHERE grid_key=? AND shard=? AND worker=?",
                 (now, now + float(ttl_s), grid_key, int(shard), worker))
-            return cursor.rowcount == 1
+            renewed = cursor.rowcount == 1
+            _metric("lease.renewals", result="ok" if renewed else "lost")
+            return renewed
         return self._with_connection(renew)
 
     def release_lease(self, grid_key: str, shard: int, worker: str) -> None:
@@ -750,6 +773,7 @@ class DesignStore:
                 self._count_hit(con, "coeff_cache", key)
             return row
         row = self._with_connection(read)
+        self._count_lookup("coeff_cache", row)
         return None if row is None else json.loads(row[0])
 
     def put_coeff(self, key: str, payload: list) -> None:
@@ -770,6 +794,7 @@ class DesignStore:
                 self._count_hit(con, "coeff_netlists", key)
             return row
         row = self._with_connection(read)
+        self._count_lookup("coeff_netlists", row)
         return None if row is None else json.loads(row[0])
 
     def put_coeff_netlist(self, key: str, netlist_data: dict,

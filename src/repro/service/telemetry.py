@@ -1,0 +1,553 @@
+"""Unified telemetry: metrics registry, span tracing, structured events.
+
+Every prior PR left the stack a little more distributed — an HTTP
+front-end (PR 7) over checkpointed jobs (PR 3) over three evaluation
+engines (PRs 1–2, 5) with lease-based fleet workers (PR 6) — and the
+only observability was the pruner's ad-hoc ``telemetry`` dict.  This
+module is the one place the whole stack reports to:
+
+* :class:`MetricsRegistry` — dependency-free counters, gauges, and
+  fixed-bucket histograms, rendered as Prometheus text
+  (:meth:`MetricsRegistry.render_prometheus`) or JSON
+  (:meth:`MetricsRegistry.snapshot`);
+* :func:`span` — lightweight tracing: a context manager that times a
+  named stage, always feeds the ``span.duration_ms`` histogram, and —
+  only when tracing is enabled — emits a structured span event carrying
+  trace-id / span-id / parent-id so a request can be followed from
+  ``server.request`` down to the engine's chain walk;
+* a structured **event log**: line-atomic, buffered JSONL
+  (``--events-log`` on ``repro serve`` / ``repro explore``), consumed
+  by ``repro metrics``.
+
+The hard contract, carried from every prior PR: telemetry is **inert**.
+Metrics and spans never touch content keys, design records, or store
+bytes — they observe timings and counts only.  ``tests/test_telemetry``
+and the bench gates assert byte-identical design lines and store
+fingerprints with tracing on, off, and sampled.
+
+Import discipline: this module imports only the standard library.
+Core/hw modules must NOT import it at module level — they
+reach it through a lazy bridge (the ``fault_point`` pattern in
+``core/pruning.py``) so ``service -> core`` stays the only direction.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "DURATION_BUCKETS_MS",
+    "SIZE_BUCKETS",
+    "MetricsRegistry",
+    "Telemetry",
+    "get_hub",
+    "configure",
+    "reset",
+    "counter",
+    "gauge",
+    "observe",
+    "span",
+    "event",
+    "new_request_id",
+    "current_request_id",
+    "set_request_id",
+    "request_context",
+    "current_trace_id",
+    "capture_context",
+    "use_context",
+]
+
+# Latency buckets in milliseconds: wide enough for a 50 us dict probe
+# and a 30 s cold exploration on the same axis.
+DURATION_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+# Cardinality buckets (batch sizes, chain counts): powers of two.
+SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                256.0, 512.0, 1024.0)
+
+# Metrics whose histogram shape is part of the public contract declare
+# their bounds here; ``observe`` on an undeclared name falls back to
+# DURATION_BUCKETS_MS.
+HISTOGRAM_BUCKETS = {
+    "span.duration_ms": DURATION_BUCKETS_MS,
+    "pruner.chain_walk_ms": DURATION_BUCKETS_MS,
+    "engine.batch_size": SIZE_BUCKETS,
+}
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(key: tuple) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a number the way Prometheus text format expects."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return format(value, ".12g")
+
+
+class _Histogram:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_bounds: int) -> None:
+        self.counts = [0] * (n_bounds + 1)  # +1 for the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges, and fixed-bucket histograms.
+
+    Label sets are sorted ``(key, value)`` tuples, so the same labels in
+    any keyword order address the same series.  Histogram bucket bounds
+    are fixed at first observation (from :data:`HISTOGRAM_BUCKETS` or an
+    explicit ``buckets=``) and cumulative in the Prometheus rendering.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("store.lookups", table="grids", result="hit")
+    >>> print(reg.render_prometheus().splitlines()[1])
+    repro_store_lookups_total{result="hit",table="grids"} 1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[tuple, float]] = {}
+        self._gauges: dict[str, dict[tuple, float]] = {}
+        self._histograms: dict[str, dict[tuple, _Histogram]] = {}
+        self._bounds: dict[str, tuple] = {}
+
+    # -- recording ---------------------------------------------------
+
+    # ``name``/``value``/``buckets`` are positional-only so that label
+    # keywords (notably ``name=`` on span histograms) never collide.
+
+    def counter(self, name: str, value: float = 1, /, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, /, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(self, name: str, value: float,
+                buckets: tuple | None = None, /, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            bounds = self._bounds.get(name)
+            if bounds is None:
+                bounds = tuple(buckets if buckets is not None
+                               else HISTOGRAM_BUCKETS.get(
+                                   name, DURATION_BUCKETS_MS))
+                self._bounds[name] = bounds
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(len(bounds))
+            index = len(bounds)
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    index = i
+                    break
+            hist.counts[index] += 1
+            hist.total += value
+            hist.count += 1
+
+    # -- reading -----------------------------------------------------
+
+    def counter_value(self, name: str, /, **labels) -> float:
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across every label set."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: ``name{k=v,...}`` series keys, sorted."""
+        with self._lock:
+            counters = {
+                name + _label_suffix(key): value
+                for name, series in self._counters.items()
+                for key, value in series.items()
+            }
+            gauges = {
+                name + _label_suffix(key): value
+                for name, series in self._gauges.items()
+                for key, value in series.items()
+            }
+            histograms = {}
+            for name, series in self._histograms.items():
+                bounds = self._bounds[name]
+                for key, hist in series.items():
+                    buckets = {_fmt(b): hist.counts[i]
+                               for i, b in enumerate(bounds)}
+                    buckets["+Inf"] = hist.counts[len(bounds)]
+                    histograms[name + _label_suffix(key)] = {
+                        "count": hist.count,
+                        "sum": hist.total,
+                        "buckets": buckets,
+                    }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4).
+
+        Counters get a ``_total`` suffix, histograms the cumulative
+        ``_bucket`` / ``_sum`` / ``_count`` triplet; series are sorted
+        by name then label set so the output is deterministic (golden
+        tests pin it).
+        """
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self._counters):
+                prom = _prom_name(name) + "_total"
+                lines.append(f"# TYPE {prom} counter")
+                for key in sorted(self._counters[name]):
+                    value = self._counters[name][key]
+                    lines.append(f"{prom}{_prom_labels(key)} {_fmt(value)}")
+            for name in sorted(self._gauges):
+                prom = _prom_name(name)
+                lines.append(f"# TYPE {prom} gauge")
+                for key in sorted(self._gauges[name]):
+                    value = self._gauges[name][key]
+                    lines.append(f"{prom}{_prom_labels(key)} {_fmt(value)}")
+            for name in sorted(self._histograms):
+                prom = _prom_name(name)
+                bounds = self._bounds[name]
+                lines.append(f"# TYPE {prom} histogram")
+                for key in sorted(self._histograms[name]):
+                    hist = self._histograms[name][key]
+                    running = 0
+                    for i, bound in enumerate(bounds):
+                        running += hist.counts[i]
+                        le = key + (("le", _fmt(bound)),)
+                        lines.append(f"{prom}_bucket{_prom_labels(le)} "
+                                     f"{running}")
+                    running += hist.counts[len(bounds)]
+                    le = key + (("le", "+Inf"),)
+                    lines.append(f"{prom}_bucket{_prom_labels(le)} {running}")
+                    lines.append(f"{prom}_sum{_prom_labels(key)} "
+                                 f"{_fmt(round(hist.total, 6))}")
+                    lines.append(f"{prom}_count{_prom_labels(key)} "
+                                 f"{hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._bounds.clear()
+
+
+# -- trace context ----------------------------------------------------
+#
+# (trace_id, span_id, recorded) travels in a ContextVar so nested spans
+# parent correctly across ``await`` boundaries; ``run_in_executor``
+# does NOT propagate context, so pooled work must capture_context() /
+# use_context() explicitly (the server does).
+
+_SPAN_CTX: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_span", default=None)
+_REQUEST_ID: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_request_id", default=None)
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+def new_request_id() -> str:
+    return _new_id(8)
+
+
+def current_request_id() -> str | None:
+    return _REQUEST_ID.get()
+
+
+def set_request_id(request_id: str | None):
+    """Bind a request id to the current task/thread context.
+
+    Returns the ContextVar token; callers in short-lived task contexts
+    (one asyncio connection handler per task) may simply drop it — the
+    context dies with the task.
+    """
+    return _REQUEST_ID.set(request_id)
+
+
+@contextmanager
+def request_context(request_id: str):
+    """Bind a request id to the current context (and nested spans)."""
+    token = _REQUEST_ID.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _REQUEST_ID.reset(token)
+
+
+def current_trace_id() -> str | None:
+    ctx = _SPAN_CTX.get()
+    return ctx[0] if ctx else None
+
+
+def capture_context() -> tuple:
+    """Snapshot trace + request context for hand-off to a worker thread."""
+    return (_SPAN_CTX.get(), _REQUEST_ID.get())
+
+
+@contextmanager
+def use_context(ctx: tuple):
+    """Reinstall a :func:`capture_context` snapshot in this thread."""
+    span_token = _SPAN_CTX.set(ctx[0])
+    request_token = _REQUEST_ID.set(ctx[1])
+    try:
+        yield
+    finally:
+        _SPAN_CTX.reset(span_token)
+        _REQUEST_ID.reset(request_token)
+
+
+class _Span:
+    """One timed stage.  Always observes ``span.duration_ms``; emits a
+    span event only when the hub traces and the trace is sampled."""
+
+    __slots__ = ("_hub", "name", "attrs", "trace_id", "span_id",
+                 "parent_id", "_recorded", "_token", "_start")
+
+    def __init__(self, hub: "Telemetry", name: str, attrs: dict) -> None:
+        self._hub = hub
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = None
+        self.span_id = None
+        self.parent_id = None
+        self._recorded = False
+        self._token = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        if self._hub.tracing:
+            parent = _SPAN_CTX.get()
+            if parent is None:
+                self.trace_id = _new_id(8)
+                self._recorded = self._hub._sampled(self.trace_id)
+            else:
+                self.trace_id, self.parent_id, self._recorded = parent
+            self.span_id = _new_id(4)
+            self._token = _SPAN_CTX.set(
+                (self.trace_id, self.span_id, self._recorded))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration_ms = (time.perf_counter() - self._start) * 1e3
+        if self._token is not None:
+            _SPAN_CTX.reset(self._token)
+        self._hub.registry.observe("span.duration_ms", duration_ms,
+                                   name=self.name)
+        if self._recorded:
+            record = {
+                "type": "span",
+                "ts": round(time.time(), 6),
+                "name": self.name,
+                "trace": self.trace_id,
+                "span": self.span_id,
+                "parent": self.parent_id,
+                "ms": round(duration_ms, 3),
+            }
+            request_id = _REQUEST_ID.get()
+            if request_id is not None:
+                record["request_id"] = request_id
+            if exc_type is not None:
+                record["error"] = exc_type.__name__
+            if self.attrs:
+                record["attrs"] = self.attrs
+            self._hub.event(record)
+
+
+class Telemetry:
+    """Process-wide hub: one registry + tracing switches + event sink.
+
+    Metrics are always on (a locked dict update per increment); span
+    *events* are emitted only when ``tracing`` is true and the trace is
+    sampled.  The sampling decision is made once per trace from the
+    trace id, so a sampled trace is complete — never half its spans.
+    """
+
+    #: Sink flush cadence: the event log tolerates losing a tail of
+    #: buffered lines on a crash, so flushing every record (a syscall
+    #: per span) is pure overhead on the warm serving path.
+    FLUSH_EVERY = 64
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracing = False
+        self.sample = 1.0
+        self.events_path: str | None = None
+        self._events_out = None
+        self._owns_out = False
+        self._events_lock = threading.Lock()
+        self._unflushed = 0
+
+    def configure(self, tracing: bool | None = None,
+                  sample: float | None = None,
+                  events_path=None, events_out=None) -> "Telemetry":
+        """Adjust tracing/sampling and (re)target the event sink.
+
+        ``events_path`` opens (append) a JSONL file the hub owns;
+        ``events_out`` hands over an already-open writable (tests use
+        ``io.StringIO``).  Passing either implies ``tracing=True``
+        unless ``tracing`` is given explicitly.
+        """
+        with self._events_lock:
+            if events_path is not None or events_out is not None:
+                if self._owns_out and self._events_out is not None:
+                    self._events_out.close()
+                if events_path is not None:
+                    self.events_path = str(events_path)
+                    self._events_out = open(self.events_path, "a",
+                                            encoding="utf-8")
+                    self._owns_out = True
+                else:
+                    self.events_path = None
+                    self._events_out = events_out
+                    self._owns_out = False
+                if tracing is None:
+                    tracing = True
+            if tracing is not None:
+                self.tracing = bool(tracing)
+            if sample is not None:
+                self.sample = float(sample)
+        return self
+
+    def flush(self) -> None:
+        """Force buffered event lines to the sink."""
+        with self._events_lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        out = self._events_out
+        if out is not None:
+            fn = getattr(out, "flush", None)
+            if fn is not None:
+                try:
+                    fn()
+                except ValueError:
+                    self._events_out = None
+        self._unflushed = 0
+
+    def close(self) -> None:
+        with self._events_lock:
+            self._flush_locked()
+            if self._owns_out and self._events_out is not None:
+                self._events_out.close()
+            self._events_out = None
+            self._owns_out = False
+            self.events_path = None
+
+    def _sampled(self, trace_id: str) -> bool:
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        # Deterministic in the trace id: replaying a trace re-samples
+        # identically, and a sampled trace keeps every span.
+        return int(trace_id[:8], 16) / 0xFFFFFFFF < self.sample
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, record: dict) -> None:
+        """Write one structured event line-atomically (if a sink is set).
+
+        Lines are buffered and flushed every :data:`FLUSH_EVERY` records
+        (and on :meth:`flush`/:meth:`close`); a per-record flush costs a
+        syscall per span on the warm serving path.
+        """
+        line = json.dumps(record) + "\n"
+        with self._events_lock:
+            out = self._events_out
+            if out is None:
+                return
+            try:
+                out.write(line)
+                self._unflushed += 1
+                if self._unflushed >= self.FLUSH_EVERY:
+                    self._flush_locked()
+            except ValueError:
+                # Sink closed under us (shutdown race): telemetry must
+                # never take the serving path down.
+                self._events_out = None
+
+
+_HUB = Telemetry()
+
+
+def get_hub() -> Telemetry:
+    return _HUB
+
+
+def configure(**kwargs) -> Telemetry:
+    return _HUB.configure(**kwargs)
+
+
+def reset() -> None:
+    """Test/bench helper: clear metrics and disable tracing."""
+    _HUB.close()
+    _HUB.tracing = False
+    _HUB.sample = 1.0
+    _HUB.registry.reset()
+
+
+def counter(name: str, value: float = 1, /, **labels) -> None:
+    _HUB.registry.counter(name, value, **labels)
+
+
+def gauge(name: str, value: float, /, **labels) -> None:
+    _HUB.registry.gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, /, **labels) -> None:
+    _HUB.registry.observe(name, value, None, **labels)
+
+
+def span(name: str, **attrs) -> _Span:
+    return _HUB.span(name, **attrs)
+
+
+def event(record: dict) -> None:
+    _HUB.event(record)
