@@ -33,7 +33,14 @@ Scenario classes (one row per (circuit, scenario) in the report):
   (``repro serve``): an enqueue fault surfaced to one client and
   retried, store contention absorbed while serving, and a real server
   subprocess SIGKILLed mid-stream by ``server.stream:2=kill`` — the
-  restarted server must serve the identical designs warm.
+  restarted server must serve the identical designs warm;
+* ``fleet-*``          — the multi-host fleet under network chaos:
+  a real coordinator subprocess SIGKILLed mid-job and restarted on the
+  same port (the worker's retry policy rides it out), a worker
+  SIGKILLed mid-shard whose lease a peer reclaims, a partition during
+  checkpoint upload (the ack lost *after* the server committed —
+  idempotent replay), and seeded soaks over the ``coord.request`` /
+  ``coord.response`` network sites.
 
 Run standalone (not collected by pytest)::
 
@@ -70,6 +77,8 @@ from repro.hw.bespoke import build_bespoke_netlist  # noqa: E402
 from repro.service import (  # noqa: E402
     DesignStore,
     ExplorationJob,
+    ExplorationService,
+    ExploreRequest,
     JobReport,
 )
 from repro.service.faults import (  # noqa: E402
@@ -492,6 +501,211 @@ def run_serve_kill_scenario(case: Case) -> dict:
     }
 
 
+# -- multi-host fleet: network chaos ----------------------------------
+
+# The worker dies with SIGKILL mid-shard (lease left dangling, ttl
+# bounds how long a peer waits to reclaim it).
+FLEET_WORKER_KILL_SPEC = "job.shard@index=0:1=kill"
+# The coordinator dies inside the first checkpoint write; the marker
+# dir makes the kill one-shot so the restarted coordinator survives.
+FLEET_COORD_KILL_SPEC = "store.put_shard:1=kill"
+# The ack of a committed checkpoint upload is lost on the wire: the
+# worker's retry replays the PUT, which must be idempotent.
+FLEET_PARTITION_SPEC = "coord.response@method=PUT:1=partial-body"
+
+NETWORK_SITES = ["coord.request", "coord.response"]
+NETWORK_ACTIONS = ("drop", "delay", "error-503", "partial-body")
+FULL_NET_SEEDS = range(3)
+SMOKE_NET_SEEDS = range(1)
+
+
+def _stop(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def _spawn_coordinator(scratch: pathlib.Path, port: int = 0,
+                       env_extra: dict | None = None):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", str(port),
+         "--store-root", str(scratch / "stores")],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, text=True, bufsize=1)
+    ready = json.loads(proc.stdout.readline())
+    return proc, ready["port"]
+
+
+def _spawn_fleet_worker(scratch: pathlib.Path, case: Case, port: int,
+                        name: str, env_extra: dict | None = None,
+                        ttl_s: float = 300.0) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.update(env_extra or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "explore",
+         "--dataset", case.dataset, "--model", case.model,
+         "--base", "exact",
+         "--tau", *[str(t) for t in case.grid],
+         "--shard-size", "1",
+         "--coordinator", f"http://127.0.0.1:{port}",
+         "--worker-id", name,
+         "--lease-ttl", str(ttl_s),
+         "--out", str(scratch / f"{name}.jsonl")],
+        env=env, cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _fleet_store_designs(case: Case, scratch: pathlib.Path):
+    """Read the coordinator store back serially: (designs, grid_hit)."""
+    service = ExplorationService(
+        DesignStore(scratch / "stores" / "default.sqlite"))
+    request = ExploreRequest(dataset=case.dataset, model=case.model,
+                             base="exact", tau_grid=case.grid)
+    designs, report = service.explore(request)
+    return designs, report.grid_hit
+
+
+def run_fleet_worker_kill_scenario(case: Case) -> dict:
+    """A fleet worker SIGKILLed mid-shard; a peer reclaims its lease.
+
+    The victim dies holding shard 0's lease (short ttl); the survivor
+    drains the rest, waits out the dangling lease, reclaims, and
+    finalizes a grid identical to the serial reference.
+    """
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        start = time.perf_counter()
+        coordinator, port = _spawn_coordinator(scratch)
+        try:
+            victim = _spawn_fleet_worker(
+                scratch, case, port, "victim", ttl_s=2.0,
+                env_extra={"REPRO_FAULTS": FLEET_WORKER_KILL_SPEC,
+                           "REPRO_FAULTS_STATE":
+                               str(scratch / "fault-state")})
+            victim.communicate(timeout=600)
+            killed = victim.returncode == -signal.SIGKILL
+            survivor = _spawn_fleet_worker(scratch, case, port,
+                                           "survivor", ttl_s=2.0)
+            _out, err = survivor.communicate(timeout=600)
+            survived = survivor.returncode == 0
+        finally:
+            _stop(coordinator)
+        elapsed = time.perf_counter() - start
+        designs, grid_hit = _fleet_store_designs(case, scratch)
+        report = {}
+        if survived:
+            report = json.loads((scratch / "survivor.jsonl")
+                                .read_text().splitlines()[0])
+    return {
+        "scenario": "fleet-worker-kill",
+        "spec": FLEET_WORKER_KILL_SPEC,
+        "identical": killed and survived and grid_hit
+        and designs == case.reference,
+        "n_designs": len(designs),
+        "restarts": 1,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"victim_returncode": victim.returncode,
+                      "survivor_stderr_tail":
+                          err.decode(errors="replace")[-200:]
+                          if not survived else "",
+                      "survivor_shards":
+                          report.get("shards_computed", []),
+                      "survivor_finalized":
+                          bool(report.get("finalized"))},
+    }
+
+
+def run_fleet_coord_kill_scenario(case: Case) -> dict:
+    """The coordinator SIGKILLed mid-job, restarted on the same port.
+
+    The kill fires inside the first shard-checkpoint write (before its
+    transaction commits); the worker's in-flight request dies with the
+    connection, its retry policy spans the restart, and the replayed
+    upload lands on the revived coordinator.  One worker process runs
+    the whole job across both coordinator incarnations.
+    """
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        env_extra = {"REPRO_FAULTS": FLEET_COORD_KILL_SPEC,
+                     "REPRO_FAULTS_STATE": str(scratch / "fault-state")}
+        start = time.perf_counter()
+        coordinator, port = _spawn_coordinator(scratch,
+                                               env_extra=env_extra)
+        revived = None
+        try:
+            worker = _spawn_fleet_worker(scratch, case, port, "steady")
+            coordinator.wait(timeout=600)
+            killed = coordinator.returncode == -signal.SIGKILL
+            # Supervisor-style restart: same port, same env (the marker
+            # dir keeps the kill one-shot), well inside the worker's
+            # retry deadline.
+            revived, _port = _spawn_coordinator(scratch, port=port,
+                                                env_extra=env_extra)
+            _out, err = worker.communicate(timeout=600)
+            finished = worker.returncode == 0
+        finally:
+            _stop(coordinator)
+            if revived is not None:
+                _stop(revived)
+        elapsed = time.perf_counter() - start
+        designs, grid_hit = _fleet_store_designs(case, scratch)
+    return {
+        "scenario": "fleet-coord-kill",
+        "spec": FLEET_COORD_KILL_SPEC,
+        "identical": killed and finished and grid_hit
+        and designs == case.reference,
+        "n_designs": len(designs),
+        "restarts": 1,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"coordinator_returncode": coordinator.returncode,
+                      "worker_returncode": worker.returncode,
+                      "worker_stderr_tail":
+                          err.decode(errors="replace")[-200:]
+                          if not finished else ""},
+    }
+
+
+def run_fleet_network_scenario(case: Case, name: str, spec: str) -> dict:
+    """Client-side network chaos on one worker's coordinator link.
+
+    The injected faults (drops, delays, 503s, torn responses) fire in
+    the *worker's* client; every one must be absorbed by the retry
+    policy with the final grid identical to the serial reference.
+    """
+    with tempfile.TemporaryDirectory() as td:
+        scratch = pathlib.Path(td)
+        start = time.perf_counter()
+        coordinator, port = _spawn_coordinator(scratch)
+        try:
+            worker = _spawn_fleet_worker(
+                scratch, case, port, "chaos",
+                env_extra={"REPRO_FAULTS": spec})
+            _out, err = worker.communicate(timeout=600)
+            finished = worker.returncode == 0
+        finally:
+            _stop(coordinator)
+        elapsed = time.perf_counter() - start
+        designs, grid_hit = _fleet_store_designs(case, scratch)
+    return {
+        "scenario": name,
+        "spec": spec,
+        "identical": finished and grid_hit
+        and designs == case.reference,
+        "n_designs": len(designs),
+        "restarts": 0,
+        "runtime_s": round(elapsed, 3),
+        "telemetry": {"worker_returncode": worker.returncode,
+                      "worker_stderr_tail":
+                          err.decode(errors="replace")[-200:]
+                          if not finished else ""},
+    }
+
+
 def bench_circuit(dataset: str, model: str, grid, quick: bool) -> dict:
     case = Case(dataset, model, grid)
 
@@ -515,10 +729,19 @@ def bench_circuit(dataset: str, model: str, grid, quick: bool) -> dict:
     rows.append(run_serve_fault_scenario(case, "serve-store-busy",
                                          "store.put_shard:1=err-locked"))
     rows.append(run_serve_kill_scenario(case))
+    rows.append(run_fleet_worker_kill_scenario(case))
+    rows.append(run_fleet_coord_kill_scenario(case))
+    rows.append(run_fleet_network_scenario(case, "fleet-partition-upload",
+                                           FLEET_PARTITION_SPEC))
+    for seed in (SMOKE_NET_SEEDS if quick else FULL_NET_SEEDS):
+        rows.append(run_fleet_network_scenario(
+            case, f"fleet-net-seeded-{seed}",
+            seeded_schedule(seed, NETWORK_SITES,
+                            actions=NETWORK_ACTIONS)))
 
     for row in rows:
         status = "ok" if row["identical"] else "DIVERGED"
-        print(f"  {row['scenario']:<16} {status:<9} "
+        print(f"  {row['scenario']:<22} {status:<9} "
               f"{row['runtime_s']:>7.3f}s  restarts={row['restarts']} "
               f"{row['spec']}")
     return {
@@ -547,7 +770,7 @@ def main(argv=None) -> int:
 
     all_identical = all(entry["all_identical"] for entry in results)
     report = {
-        "schema": 1,
+        "schema": 2,
         "quick": args.quick,
         "invariant": "designs under any injected fault schedule are "
                      "identical to a fault-free cold run",

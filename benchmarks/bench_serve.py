@@ -18,7 +18,12 @@ Measures, per circuit, against ``BENCH_serve.json`` at the repo root:
 * **telemetry overhead** (schema 2) — warm p50 with tracing + an
   events-log sink enabled vs the tracing-off baseline, with the served
   lines byte-compared in both modes (the inertness contract on the
-  wire).
+  wire);
+* **keep-alive** (schema 3) — 1-client p50 of a coordinator-plane RPC
+  (``GET /v1/jobs/<key>/leases``, the fleet worker's hot poll) over one
+  kept-alive connection vs a fresh connection per request.  Explore
+  *streams* always close (their length is unknown up front), so
+  keep-alive is measured where the fleet actually uses it.
 
 Floors (enforced on full runs, and by CI on the committed record):
 warm p50 latency at one client must be **≥ 5x better than cold** on
@@ -100,6 +105,50 @@ async def _http(port: int, method: str, path: str, body=None):
 def _design_lines(body: str) -> list[str]:
     return [line for line in body.splitlines()
             if '"type": "design"' in line]
+
+
+KEEPALIVE_REQUESTS = 64
+
+
+async def _keepalive_rpc_latencies(port: int, path: str,
+                                   n_requests: int) -> list[float]:
+    """Sequential GETs over ONE kept-alive connection; per-RPC latency."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (f"GET {path} HTTP/1.1\r\nHost: b\r\n"
+            "Connection: keep-alive\r\n\r\n").encode()
+    latencies = []
+    try:
+        for _round in range(n_requests):
+            begin = time.perf_counter()
+            writer.write(head)
+            await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            assert b" 200 " in header.split(b"\r\n", 1)[0]
+            length = int(next(
+                line.split(b":", 1)[1]
+                for line in header.split(b"\r\n")
+                if line.lower().startswith(b"content-length:")))
+            await reader.readexactly(length)
+            latencies.append(time.perf_counter() - begin)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return sorted(latencies)
+
+
+async def _reconnect_rpc_latencies(port: int, path: str,
+                                   n_requests: int) -> list[float]:
+    """The same RPC, one fresh connection per request."""
+    latencies = []
+    for _round in range(n_requests):
+        begin = time.perf_counter()
+        status, _body = await _http(port, "GET", path)
+        latencies.append(time.perf_counter() - begin)
+        assert status == 200
+    return sorted(latencies)
 
 
 def _span_breakdown() -> dict:
@@ -210,6 +259,22 @@ async def _bench_circuit(dataset: str, kind: str, tau_grid,
         off_lat.sort()
         on_lat.sort()
 
+        # Keep-alive vs reconnect on the coordinator RPC plane (the
+        # fleet worker's hot path): one client, p50 per mode.
+        rpc_path = f"/v1/jobs/{'a' * 64}/leases"
+        reuse = await _keepalive_rpc_latencies(server.port, rpc_path,
+                                               KEEPALIVE_REQUESTS)
+        reconnect = await _reconnect_rpc_latencies(server.port, rpc_path,
+                                                   KEEPALIVE_REQUESTS)
+        keepalive = {
+            "rpc": rpc_path,
+            "requests": KEEPALIVE_REQUESTS,
+            "p50_reuse_ms": statistics.median(reuse) * 1e3,
+            "p50_reconnect_ms": statistics.median(reconnect) * 1e3,
+            "reuse_speedup": statistics.median(reconnect)
+            / statistics.median(reuse),
+        }
+
         warm_p50_s = warm["1"]["p50_ms"] / 1e3
         return {
             "dataset": dataset,
@@ -222,6 +287,7 @@ async def _bench_circuit(dataset: str, kind: str, tau_grid,
             "warm_p50_speedup": cold_s / warm_p50_s,
             "identical": identical,
             "spans": spans,
+            "keepalive": keepalive,
             "telemetry": {
                 "p50_off_ms": statistics.median(off_lat) * 1e3,
                 "p50_on_ms": statistics.median(on_lat) * 1e3,
@@ -256,6 +322,10 @@ def main(argv: list[str] | None = None) -> int:
                   f"warm p50 {row['warm']['1']['p50_ms']:.2f}ms "
                   f"({row['warm_p50_speedup']:.1f}x), "
                   f"32-client rps {row['warm']['32']['rps']:.0f}, "
+                  f"keep-alive RPC p50 "
+                  f"{row['keepalive']['p50_reuse_ms']:.2f}ms "
+                  f"(vs {row['keepalive']['p50_reconnect_ms']:.2f}ms "
+                  f"reconnect), "
                   f"telemetry p50 {row['telemetry']['p50_off_ms']:.2f}"
                   f" -> {row['telemetry']['p50_on_ms']:.2f}ms, "
                   f"identical: {row['identical']}", flush=True)
@@ -282,7 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         "met": overhead_ratio <= TELEMETRY_OVERHEAD_MAX,
     }
     report = {
-        "schema": 2,
+        "schema": 3,
         "smoke": bool(args.quick),
         "tau_points": len(tau_grid),
         "client_counts": list(CLIENT_COUNTS),

@@ -109,6 +109,15 @@ def _open_service(args: argparse.Namespace):
         from .service.telemetry import configure
 
         configure(tracing=True, events_path=args.events_log)
+    if getattr(args, "coordinator", None):
+        from .service.coordinator import CoordinatorClient, RemoteStore
+
+        store = RemoteStore(CoordinatorClient(args.coordinator,
+                                              tenant=args.tenant))
+        return ExplorationService(store, n_workers=args.workers,
+                                  engine=args.engine,
+                                  shard_size=args.shard_size,
+                                  identity=args.identity)
     return ExplorationService(args.store, n_workers=args.workers,
                               engine=args.engine,
                               shard_size=args.shard_size,
@@ -133,6 +142,10 @@ def _run_explore(args: argparse.Namespace) -> int:
         "identity": args.identity,
     }
     request = ExploreRequest.from_dict(request_dict)  # validate early
+    if args.coordinator and not args.worker_id:
+        print("[explore] --coordinator requires --worker-id "
+              "(coordinator mode is fleet-worker mode)", file=sys.stderr)
+        return 2
     if args.worker_id:
         return _run_fleet_worker(args, service, request)
     out, close = _out_stream(args.out)
@@ -154,10 +167,20 @@ def _run_fleet_worker(args: argparse.Namespace, service, request) -> int:
     grid is done.  Launch N of these against one ``--store`` to drain a
     grid concurrently; every process prints the identical design count
     plus its own worker report as JSONL."""
+    from .service.coordinator import CoordinatorError
     from .service.jsonl import write_line
 
-    designs, report = service.fleet_worker(
-        request, args.worker_id, ttl_s=args.lease_ttl)
+    backend = args.coordinator or args.store
+    try:
+        designs, report = service.fleet_worker(
+            request, args.worker_id, ttl_s=args.lease_ttl)
+    except CoordinatorError as exc:
+        # The coordinator stayed unreachable past the retry deadline:
+        # abandon cleanly (the lease expires, a peer reclaims the
+        # shard, our fence blocks any stale write) and fail loudly.
+        print(f"[explore] fleet worker {args.worker_id}: abandoning — "
+              f"{exc}", file=sys.stderr)
+        return 3
     out, close = _out_stream(args.out)
     try:
         write_line(out, {"type": "fleet-worker",
@@ -170,7 +193,7 @@ def _run_fleet_worker(args: argparse.Namespace, service, request) -> int:
           f"{len(designs)} designs, "
           f"computed shards {report.shards_computed} "
           f"of {report.n_shards}, grid hit: {report.grid_hit}, "
-          f"{report.runtime_s:.2f}s (store: {args.store})",
+          f"{report.runtime_s:.2f}s (store: {backend})",
           file=sys.stderr)
     return 0
 
@@ -298,10 +321,16 @@ def _fold_events(path: str) -> int:
     span_stats = {}
     for name in sorted(spans):
         durations = sorted(spans[name])
+        # Exact (not interpolated) percentiles: the event log holds
+        # every sampled duration, unlike the fixed-bucket histograms.
         span_stats[name] = {
             "count": len(durations),
             "total_ms": round(sum(durations), 3),
             "p50_ms": round(durations[len(durations) // 2], 3),
+            "p90_ms": round(durations[min(int(len(durations) * 0.90),
+                                          len(durations) - 1)], 3),
+            "p99_ms": round(durations[min(int(len(durations) * 0.99),
+                                          len(durations) - 1)], 3),
             "max_ms": round(durations[-1], 3),
         }
     print(json.dumps({"type": "metrics-events", "path": path,
@@ -384,6 +413,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="fleet shard-lease TTL in seconds; a "
                               "worker dead longer than this has its "
                               "shard reclaimed (default: 300)")
+    explore.add_argument("--coordinator", default=None, metavar="URL",
+                         help="fleet-worker mode over HTTP: talk to a "
+                              "repro serve coordinator at this "
+                              "http://host:port instead of a shared "
+                              "--store file (requires --worker-id)")
+    explore.add_argument("--tenant", default=None,
+                         help="coordinator tenant (X-Tenant header; "
+                              "default: the server's default store)")
     _add_service_options(explore)
     explore.set_defaults(handler=_run_explore)
 

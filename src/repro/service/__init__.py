@@ -12,7 +12,15 @@ and repeated requests without recomputing anything twice:
   retry and supervision telemetry;
 * :mod:`repro.service.leases` — lease-based shard claiming: N worker
   processes drain one grid concurrently against one shared store, with
-  stale-lease reclamation for dead workers;
+  stale-lease reclamation for dead workers and monotonic fencing
+  tokens so a reclaimed (zombie) holder can never land a stale write;
+* :mod:`repro.service.coordinator` — the multi-host half of the fleet:
+  a stdlib HTTP client + store-shaped facade that runs the same worker
+  loop against a ``repro serve`` coordinator over the network, with
+  keep-alive, deadline-bounded retry, and heartbeat lease renewal;
+* :mod:`repro.service.retry` — the one retry/backoff policy (exponential
+  with decorrelated jitter, deadline-bounded) shared by the store's
+  busy/locked loop and the coordinator client;
 * :mod:`repro.service.faults` — deterministic fault injection
   (``REPRO_FAULTS``) at named sites across the whole stack, the
   machinery behind ``benchmarks/bench_faults.py``'s crash-consistency
@@ -36,18 +44,30 @@ See the "Service layer" and "Fault model & recovery" sections of
 shard/checkpoint lifecycle, and the lease/supervision machinery.
 """
 
-from .faults import FaultError, FaultInjector, fault_point
+from .coordinator import (CoordinatorClient, CoordinatorError,
+                          RemoteLeaseManager, RemoteStore)
+from .faults import FaultError, FaultInjector, NetworkFault, fault_point
 from .jobs import ExplorationJob, JobReport
 from .jsonl import JSONLError, read_jsonl, write_line
 from .leases import FleetReport, LeaseManager, run_fleet_worker
+from .retry import RetryError, RetryPolicy, retry_call
 from .runner import ExplorationService, ExploreRequest
 from .server import ExploreServer, ServeConfig, serve
-from .store import DesignStore
+from .store import DesignStore, FencedWriteError
 from .telemetry import (MetricsRegistry, Telemetry, configure, counter,
                         gauge, get_hub, observe, span)
 
 __all__ = [
+    "CoordinatorClient",
+    "CoordinatorError",
     "DesignStore",
+    "FencedWriteError",
+    "NetworkFault",
+    "RemoteLeaseManager",
+    "RemoteStore",
+    "RetryError",
+    "RetryPolicy",
+    "retry_call",
     "ExplorationJob",
     "JobReport",
     "ExplorationService",

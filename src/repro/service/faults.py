@@ -30,6 +30,10 @@ site                        where it fires
 ``server.enqueue``          before a request enters the server queue
 ``server.stream``           per streamed result line (ctx: ``index``)
 ``server.drain``            as SIGTERM-triggered drain begins
+``coord.request``           in the HTTP client, before a request is sent
+``coord.response``          in the HTTP client, after the response body
+                            was read (the server committed; losing it
+                            here exercises idempotent replay)
 ==========================  ====================================================
 
 Schedule grammar (``;``-separated entries)::
@@ -49,6 +53,15 @@ worker dying without cleanup, surfacing as ``BrokenProcessPool`` in the
 parent), ``sleep(s)`` (a slow/hung shard, exercising timeouts), and
 ``corrupt`` (overwrite the head of the file named by the fault point's
 ``path`` context — a corrupt store, exercising quarantine).
+
+Network actions (for the ``coord.*`` client sites): ``drop`` (raise
+:class:`NetworkFault` — the request, or its response, vanished),
+``delay(s)`` (latency before the call proceeds, default 0.05 s),
+``error-503`` (the coordinator answered 503 — retryable without a
+reconnect), and ``partial-body`` (the response arrived truncated).
+All three raising actions are :class:`NetworkFault`\\ s — subclasses of
+``ConnectionError`` — so the client's retry policy treats injected and
+real network failures identically.
 
 Enabling: programmatically via :func:`install` (or the
 :func:`installed` context manager), or through the environment —
@@ -83,6 +96,7 @@ from pathlib import Path
 __all__ = [
     "FaultError",
     "FaultInjector",
+    "NetworkFault",
     "fault_point",
     "install",
     "installed",
@@ -97,6 +111,22 @@ class FaultError(RuntimeError):
     """The generic injected failure (``err`` action)."""
 
 
+class NetworkFault(ConnectionError):
+    """An injected network failure (``drop``/``error-503``/
+    ``partial-body``).
+
+    A ``ConnectionError`` subclass so the coordinator client's retry
+    predicate needs no special case for injected chaos — it retries
+    these exactly as it would a real reset.  ``kind`` names the action
+    that fired, ``site`` the fault point it fired at.
+    """
+
+    def __init__(self, kind: str, site: str, detail: str) -> None:
+        super().__init__(detail)
+        self.kind = kind
+        self.site = site
+
+
 _ENTRY_RE = re.compile(
     r"^(?P<site>[\w.-]+)"
     r"(?:@(?P<ckey>[\w.-]+)=(?P<cval>[^:]+))?"
@@ -105,7 +135,7 @@ _ENTRY_RE = re.compile(
     r"(?:\((?P<arg>[^)]*)\))?$")
 
 _ACTIONS = ("err", "err-locked", "err-busy", "kill", "exit", "sleep",
-            "corrupt")
+            "corrupt", "drop", "delay", "error-503", "partial-body")
 
 
 @dataclass
@@ -255,6 +285,20 @@ class FaultInjector:
         if action == "sleep":
             time.sleep(float(entry.arg or "1"))
             return
+        if action == "drop":
+            raise NetworkFault("drop", site,
+                               f"injected network drop at {site} "
+                               f"({entry.ident})")
+        if action == "delay":
+            time.sleep(float(entry.arg or "0.05"))
+            return
+        if action == "error-503":
+            raise NetworkFault("error-503", site,
+                               f"injected 503 at {site} ({entry.ident})")
+        if action == "partial-body":
+            raise NetworkFault("partial-body", site,
+                               f"injected truncated response at {site} "
+                               f"({entry.ident})")
         if action == "corrupt":
             path = ctx.get("path")
             if path and Path(path).exists():

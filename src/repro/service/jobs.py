@@ -214,7 +214,10 @@ class ExplorationJob:
     _base_key: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if not isinstance(self.store, DesignStore):
+        # Coerce only paths; any ready-made store-like object (a
+        # DesignStore, a coordinator-backed RemoteStore) passes through.
+        if isinstance(self.store, (str, bytes)) or hasattr(self.store,
+                                                           "__fspath__"):
             self.store = DesignStore(self.store)
         self.shard_size = max(1, int(self.shard_size))
 
@@ -319,7 +322,8 @@ class ExplorationJob:
             return None
         return _deserialize_rows(stored[1])
 
-    def compute_shard(self, index: int, taus: tuple) -> tuple[list, list]:
+    def compute_shard(self, index: int, taus: tuple,
+                      fence: tuple | None = None) -> tuple[list, list]:
         """Walk, checkpoint, and persist one shard (the fleet work unit).
 
         Everything a shard produces is durable before this returns: the
@@ -328,13 +332,19 @@ class ExplorationJob:
         identical content (chains are pure functions of their inputs),
         which is what lets lease-based workers and job-level retries
         share this method without coordination beyond the store.
+
+        ``fence`` is a ``(worker, token)`` pair from the worker's lease:
+        the store rejects the checkpoint (and this method writes
+        *nothing* — the fence gates the first write) when the lease was
+        reclaimed, so a zombie worker can never land stale rows.
         """
         with _span("job.shard", index=index, n_taus=len(taus)):
             fault_point("job.shard", index=index)
             chains, rows = self.pruner.chain_rows(taus)
             rows = _canonical_keys(rows)
             self.store.put_shard(self.grid_key(), index, taus,
-                                 _serialize_rows(chains, rows))
+                                 _serialize_rows(chains, rows),
+                                 fence=fence)
             self.store.put_variants(
                 self.base_key(),
                 {key: record

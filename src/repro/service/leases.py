@@ -44,7 +44,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .jobs import ExplorationJob
-from .store import DesignStore
+from .store import DesignStore, FencedWriteError
 from .telemetry import counter as _metric
 from .telemetry import span as _span
 
@@ -70,19 +70,45 @@ class LeaseManager:
     grid_key: str
     worker: str
     ttl_s: float = DEFAULT_LEASE_TTL_S
+    tokens: dict = field(default_factory=dict)
 
     def claim(self, shard: int) -> bool:
-        """Claim one shard (reclaims expired leases atomically)."""
-        return self.store.claim_lease(self.grid_key, shard, self.worker,
-                                      self.ttl_s)
+        """Claim one shard (reclaims expired leases atomically).
+
+        A successful claim records the lease's fencing token; it rides
+        along on every subsequent renew and shard upload for this
+        ownership span, so a reclaimed (zombie) holder can never land a
+        stale write.
+        """
+        token = self.store.claim_lease(self.grid_key, shard, self.worker,
+                                       self.ttl_s)
+        if token:
+            self.tokens[shard] = int(token)
+        return bool(token)
 
     def renew(self, shard: int) -> bool:
         """Heartbeat a held shard; ``False`` means the lease was lost."""
         return self.store.renew_lease(self.grid_key, shard, self.worker,
-                                      self.ttl_s)
+                                      self.ttl_s,
+                                      token=self.tokens.get(shard))
 
     def release(self, shard: int) -> None:
+        self.tokens.pop(shard, None)
         self.store.release_lease(self.grid_key, shard, self.worker)
+
+    def fence(self, shard: int) -> tuple:
+        """``(worker, token)`` to stamp on this shard's checkpoint write."""
+        return (self.worker, self.tokens.get(shard, 0))
+
+    @contextmanager
+    def guarding(self, shard: int):
+        """Hold-open hook around one shard's compute (local no-op).
+
+        Remote lease managers run a heartbeat thread here so a long
+        compute outlives its TTL; the local SQLite fleet relies on a
+        generous ``ttl_s`` instead.
+        """
+        yield
 
     def held(self) -> set[int]:
         """Shards this worker currently holds an unexpired lease on."""
@@ -108,6 +134,7 @@ class FleetReport:
     n_shards: int = 0
     shards_computed: list = field(default_factory=list)
     claims_lost: int = 0
+    fenced: int = 0
     waits: int = 0
     grid_hit: bool = False
     finalized: bool = False
@@ -120,6 +147,7 @@ class FleetReport:
             "n_shards": self.n_shards,
             "shards_computed": list(self.shards_computed),
             "claims_lost": self.claims_lost,
+            "fenced": self.fenced,
             "waits": self.waits,
             "grid_hit": self.grid_hit,
             "finalized": self.finalized,
@@ -163,7 +191,12 @@ def run_fleet_worker(job: ExplorationJob, worker_id: str,
     start = time.perf_counter()
     shards = job.shards()
     report.n_shards = len(shards)
-    lease = LeaseManager(store, gkey, worker_id, ttl_s)
+    # Stores that front a remote coordinator supply their own manager
+    # (heartbeat thread, HTTP-side fencing); plain stores get the local
+    # SQLite one.  Duck-typed so RemoteStore needs no import from here.
+    factory = getattr(store, "make_lease_manager", None)
+    lease = (factory(gkey, worker_id, ttl_s) if factory is not None
+             else LeaseManager(store, gkey, worker_id, ttl_s))
     deadline = time.monotonic() + max_wait_s
     preloaded = False
     # Claim/renew/reclaim counters live in the store's lease
@@ -196,7 +229,17 @@ def run_fleet_worker(job: ExplorationJob, worker_id: str,
                     job._preload_memo()
                     preloaded = True
                 try:
-                    job.compute_shard(index, taus)
+                    with lease.guarding(index):
+                        job.compute_shard(index, taus,
+                                          fence=lease.fence(index))
+                except FencedWriteError:
+                    # The lease was reclaimed mid-compute and the store
+                    # refused the stale checkpoint: nothing was written,
+                    # the shard belongs to a peer now.  Drop it and move
+                    # on (the release in ``finally`` only deletes our
+                    # own row, so the peer's lease is untouched).
+                    report.fenced += 1
+                    continue
                 finally:
                     lease.release(index)
                 report.shards_computed.append(index)

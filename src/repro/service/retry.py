@@ -1,0 +1,132 @@
+"""One retry policy for the whole repo: bounded, jittered, deadlined.
+
+Before this module the repo had two hand-rolled backoff loops — the
+store's busy/locked retry in ``DesignStore._with_connection`` and the
+job-level shard retry — and the HTTP coordinator client (PR 9) would
+have added a third.  A retry loop is exactly the kind of code that
+looks trivial and then differs in every copy (caps, off-by-one attempt
+counts, sleep-after-last-failure bugs), so there is now one tested
+implementation:
+
+* :class:`RetryPolicy` — attempts, base/cap delay, an optional
+  **deadline** (a retry loop that can outlive its caller's patience is
+  a hang with extra steps), and a jitter mode;
+* :func:`retry_call` — run a callable under a policy, retrying only
+  exceptions the caller's predicate marks transient.
+
+Jitter is **decorrelated** (AWS-style): each delay is drawn uniformly
+from ``[base, prev * 3]`` and capped, so a thundering herd of workers
+that failed together spreads out instead of re-colliding every
+``base * 2^n`` milliseconds.  ``jitter="none"`` keeps the legacy
+deterministic doubling — the store uses it so fault-schedule tests
+stay exactly replayable.
+
+Determinism note: jittered delays draw from a caller-injectable
+``random.Random``; nothing here touches global random state, and no
+delay decision ever influences *what* is computed — only *when* it is
+retried — so the design-identity contracts are untouched by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy", "RetryError", "retry_call"]
+
+
+class RetryError(RuntimeError):
+    """Raised when a deadline expires with no underlying exception.
+
+    Normal exhaustion re-raises the last *real* exception; this only
+    surfaces when ``retry_call`` is asked to start an attempt after the
+    deadline with nothing to re-raise (attempts == 0 edge).
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between.
+
+    ``attempts`` counts *tries*, not retries (``attempts=1`` means no
+    retry at all).  ``deadline_s`` bounds the whole loop including
+    sleeps: once exceeded, the last failure surfaces immediately —
+    sleeps are truncated so the loop never oversleeps its budget.
+    ``jitter`` is ``"decorrelated"`` (default) or ``"none"``.
+    """
+
+    attempts: int = 5
+    base_s: float = 0.05
+    cap_s: float = 1.0
+    deadline_s: float | None = None
+    jitter: str = "decorrelated"
+    rng: random.Random = field(default_factory=random.Random, repr=False,
+                               compare=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.jitter not in ("decorrelated", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}; "
+                             "use 'decorrelated' or 'none'")
+
+    def next_delay(self, previous: float | None) -> float:
+        """The sleep before the next attempt, given the previous one.
+
+        ``previous=None`` marks the first backoff.  Decorrelated
+        jitter draws uniformly from ``[base, previous * 3]`` (AWS
+        exponential-backoff-and-jitter); ``"none"`` doubles
+        deterministically.  Both cap at ``cap_s``.
+        """
+        if previous is None:
+            previous = self.base_s
+            if self.jitter == "none":
+                return min(previous, self.cap_s)
+        if self.jitter == "none":
+            return min(previous * 2.0, self.cap_s)
+        high = max(self.base_s, previous * 3.0)
+        return min(self.rng.uniform(self.base_s, high), self.cap_s)
+
+
+def retry_call(fn, policy: RetryPolicy, retryable=lambda exc: True,
+               on_retry=None, sleep=time.sleep,
+               clock=time.monotonic):
+    """Run ``fn()`` under ``policy``; return its result.
+
+    ``retryable(exc)`` decides whether a raised exception is worth
+    another attempt — anything it rejects surfaces immediately.
+    ``on_retry(attempt, exc, delay)`` fires before each backoff sleep
+    (metrics hooks).  ``sleep``/``clock`` are injectable for tests.
+
+    The deadline is checked *before* sleeping and the final sleep is
+    truncated to the remaining budget, so the loop's wall time never
+    exceeds ``deadline_s`` by more than one attempt's duration.
+    """
+    deadline = None if policy.deadline_s is None \
+        else clock() + policy.deadline_s
+    delay: float | None = None
+    last_exc: BaseException | None = None
+    for attempt in range(policy.attempts):
+        if deadline is not None and clock() >= deadline and attempt > 0:
+            break
+        try:
+            return fn()
+        except Exception as exc:
+            if not retryable(exc) or attempt == policy.attempts - 1:
+                raise
+            last_exc = exc
+            delay = policy.next_delay(delay)
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    break
+                delay = min(delay, remaining)
+            if on_retry is not None:
+                on_retry(attempt + 1, exc, delay)
+            if delay > 0:
+                sleep(delay)
+    if last_exc is not None:
+        raise last_exc
+    raise RetryError("retry deadline expired before the first attempt")

@@ -145,8 +145,12 @@ class ExplorationService:
         if identity not in _IDENTITIES:
             raise ValueError(f"unknown identity {identity!r}; "
                              f"use one of {_IDENTITIES}")
-        self.store = store if isinstance(store, DesignStore) \
-            else DesignStore(store)
+        # Paths open a local SQLite store; anything else (a DesignStore,
+        # or a store-shaped facade like coordinator.RemoteStore) passes
+        # through duck-typed.
+        self.store = DesignStore(store) \
+            if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__") \
+            else store
         self.n_workers = n_workers
         self.engine = engine
         self.shard_size = shard_size

@@ -36,6 +36,15 @@ Contract highlights (the full table lives in
   base fingerprint, so tenants can never alias each other's rows.
   The default tenant keeps the empty namespace — its keys are
   byte-compatible with CLI-built stores.
+* **Fleet coordination**: the JSON endpoints under ``/v1/jobs/``,
+  ``/v1/bases/``, ``/v1/coeff/``, and ``/v1/coeff-netlists/`` expose
+  the tenant store's lease/checkpoint primitives over HTTP, so
+  ``repro explore --coordinator URL`` workers drain a grid with no
+  shared filesystem; shard uploads are fenced by lease token (a
+  reclaimed worker's late write gets 409 and mutates nothing).
+* **Keep-alive**: a client that sends ``Connection: keep-alive`` may
+  reuse the connection for up to ``_KEEPALIVE_MAX`` JSON requests
+  (streams always close); the default stays ``close``.
 * **Drain**: SIGTERM (or SIGINT) stops accepting, lets every
   in-flight stream finish, then exits 0.  The fault points
   ``server.accept`` / ``server.enqueue`` / ``server.stream`` /
@@ -64,10 +73,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..eval.accuracy import EvaluationRecord
 from .faults import fault_point
 from .jobs import DEFAULT_SHARD_SIZE
+from .leases import DEFAULT_LEASE_TTL_S
 from .runner import ExplorationService, ExploreRequest
-from .store import DesignStore, canonical_json, grid_key as make_grid_key
+from .store import (DesignStore, FencedWriteError, canonical_json,
+                    design_from_dict, design_to_dict,
+                    grid_key as make_grid_key)
 from .telemetry import (capture_context, counter as _metric,
                         current_request_id, current_trace_id, gauge,
                         get_hub, new_request_id, set_request_id, span,
@@ -78,6 +91,17 @@ __all__ = ["ServeConfig", "ExploreServer", "serve"]
 
 _TENANT_OK = "abcdefghijklmnopqrstuvwxyz" \
     "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+
+# Keep-alive is strictly opt-in (clients must send ``Connection:
+# keep-alive``): every pre-existing client reads to EOF, so the default
+# stays close.  The per-connection request cap bounds how long one
+# client can pin a handler task.
+_KEEPALIVE_MAX = 100
+# Coordinator bodies (shard checkpoints, grid uploads) dwarf manifests;
+# they get their own ceiling instead of raising the global one.
+_COORD_MAX_BODY = 64 << 20
+_COORD_PREFIXES = ("/v1/jobs/", "/v1/bases/", "/v1/coeff/",
+                   "/v1/coeff-netlists/")
 
 
 @dataclass(frozen=True)
@@ -405,9 +429,36 @@ class ExploreServer:
 
     # -- HTTP plumbing -------------------------------------------------
 
-    async def _read_request(self, reader: asyncio.StreamReader):
+    async def _read_head(self, reader: asyncio.StreamReader,
+                         idle: bool) -> bytes:
+        """The raw request head; ``idle`` marks a kept-alive wait.
+
+        Between keep-alive requests the wait runs in short slices so a
+        drain can shed idle connections promptly.  ``readuntil`` only
+        consumes its buffer once the separator is found, so a timed-out
+        slice never loses bytes; a clean client close (EOF with nothing
+        buffered) surfaces as ``ConnectionResetError`` — the handler's
+        quiet exit — rather than a 400.
+        """
+        if not idle:
+            return await reader.readuntil(b"\r\n\r\n")
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=0.25)
+            except asyncio.TimeoutError:
+                if self.draining:
+                    raise ConnectionResetError(
+                        "draining: closing idle keep-alive connection")
+            except asyncio.IncompleteReadError as exc:
+                if not exc.partial:
+                    raise ConnectionResetError("keep-alive peer closed")
+                raise
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            idle: bool = False):
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
+            head = await self._read_head(reader, idle)
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             raise _HttpError(400, "malformed HTTP request head")
         lines = head.decode("latin-1").split("\r\n")
@@ -415,6 +466,7 @@ class ExploreServer:
         if len(parts) != 3:
             raise _HttpError(400, f"malformed request line {lines[0]!r}")
         method, path, _version = parts
+        path = path.split("?", 1)[0]
         headers: dict[str, str] = {}
         for line in lines[1:]:
             if not line:
@@ -422,22 +474,29 @@ class ExploreServer:
             name, _sep, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
-        if length > self.config.max_body_bytes:
+        limit = self.config.max_body_bytes
+        if path.startswith(_COORD_PREFIXES):
+            limit = max(limit, _COORD_MAX_BODY)
+        if length > limit:
             raise _HttpError(413, f"body of {length} bytes exceeds the "
-                                  f"{self.config.max_body_bytes} limit")
+                                  f"{limit} limit")
         body = await reader.readexactly(length) if length else b""
-        return method, path.split("?", 1)[0], headers, body
+        return method, path, headers, body
 
     @staticmethod
     def _head(status: int, content_type: str,
-              extra: dict | None = None, length: int | None = None) -> bytes:
+              extra: dict | None = None, length: int | None = None,
+              conn: str = "close") -> bytes:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   405: "Method Not Allowed", 413: "Payload Too Large",
-                   429: "Too Many Requests", 500: "Internal Server Error",
+                   405: "Method Not Allowed", 409: "Conflict",
+                   413: "Payload Too Large", 429: "Too Many Requests",
+                   500: "Internal Server Error",
                    503: "Service Unavailable"}
         lines = [f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
                  f"Content-Type: {content_type}",
-                 "Connection: close"]
+                 f"Connection: {conn}"]
+        if conn == "keep-alive":
+            lines.append(f"Keep-Alive: max={_KEEPALIVE_MAX}")
         if length is not None:
             lines.append(f"Content-Length: {length}")
         rid = current_request_id()
@@ -451,10 +510,11 @@ class ExploreServer:
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
     async def _send_json(self, writer: asyncio.StreamWriter, status: int,
-                         payload: dict, extra: dict | None = None) -> None:
+                         payload: dict, extra: dict | None = None,
+                         conn: str = "close") -> None:
         body = (json.dumps(payload) + "\n").encode()
         writer.write(self._head(status, "application/json", extra,
-                                len(body)) + body)
+                                len(body), conn) + body)
         await writer.drain()
 
     @staticmethod
@@ -470,24 +530,40 @@ class ExploreServer:
         task = asyncio.current_task()
         assert task is not None
         self._handlers.add(task)
-        # One connection == one task == one context copy: the request
-        # id set here scopes the whole exchange (including 4xx/5xx
-        # replies) and dies with the task — no reset needed.
-        set_request_id(new_request_id())
         try:
             peer = writer.get_extra_info("peername")
             fault_point("server.accept", peer=str(peer))
-            try:
-                method, path, headers, body = \
-                    await self._read_request(reader)
-                client_rid = self._client_request_id(headers)
-                if client_rid is not None:
-                    set_request_id(client_rid)
-                with span("server.request", method=method, path=path):
-                    await self._route(method, path, headers, body, writer)
-            except _HttpError as exc:
-                await self._send_json(writer, exc.status,
-                                      {"error": exc.message}, exc.headers)
+            served = 0
+            while True:
+                # One request == one context copy: each exchange on a
+                # kept-alive connection gets a fresh request id (the
+                # client may override per request) that scopes its whole
+                # reply, including 4xx/5xx.
+                set_request_id(new_request_id())
+                keep = False
+                try:
+                    method, path, headers, body = \
+                        await self._read_request(reader, idle=served > 0)
+                    client_rid = self._client_request_id(headers)
+                    if client_rid is not None:
+                        set_request_id(client_rid)
+                    keep = (headers.get("connection", "").lower()
+                            == "keep-alive"
+                            and served + 1 < _KEEPALIVE_MAX
+                            and not self.draining)
+                    conn = "keep-alive" if keep else "close"
+                    with span("server.request", method=method, path=path):
+                        kept = await self._route(method, path, headers,
+                                                 body, writer, conn)
+                    keep = keep and kept
+                except _HttpError as exc:
+                    await self._send_json(writer, exc.status,
+                                          {"error": exc.message},
+                                          exc.headers)
+                    keep = False
+                served += 1
+                if not keep:
+                    break
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
@@ -510,29 +586,47 @@ class ExploreServer:
     _ENDPOINTS = ("/v1/explore", "/v1/sweep", "/v1/status", "/v1/healthz",
                   "/v1/metrics")
 
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        if path in ExploreServer._ENDPOINTS:
+            return path
+        for prefix in _COORD_PREFIXES:
+            if path.startswith(prefix):
+                return prefix.rstrip("/")
+        return "other"
+
     async def _route(self, method: str, path: str, headers: dict,
-                     body: bytes, writer: asyncio.StreamWriter) -> None:
+                     body: bytes, writer: asyncio.StreamWriter,
+                     conn: str = "close") -> bool:
+        """Dispatch one request; ``True`` iff the connection may persist
+        (the response honored ``conn``; streams always close)."""
         self.counters["requests"] += 1
-        _metric("server.requests",
-                endpoint=path if path in self._ENDPOINTS else "other")
+        _metric("server.requests", endpoint=self._endpoint_label(path))
+        if path.startswith(_COORD_PREFIXES):
+            # Coordinator (fleet) plane: cheap store operations, allowed
+            # during drain so in-flight workers can land their
+            # checkpoints and release their leases.
+            await self._coordinate(method, path, headers, body, writer,
+                                   conn)
+            return True
         if path == "/v1/metrics":
             if method != "GET":
                 raise _HttpError(405, "metrics is GET-only")
-            await self._metrics(headers, writer)
-            return
+            await self._metrics(headers, writer, conn)
+            return True
         if path == "/v1/healthz":
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
             status = 503 if self.draining else 200
             await self._send_json(writer, status, {
                 "status": "draining" if self.draining else "ok",
-                "pid": os.getpid()})
-            return
+                "pid": os.getpid()}, conn=conn)
+            return True
         if path == "/v1/status":
             if method != "GET":
                 raise _HttpError(405, "status is GET-only")
-            await self._send_json(writer, 200, self._status())
-            return
+            await self._send_json(writer, 200, self._status(), conn=conn)
+            return True
         if path in ("/v1/explore", "/v1/sweep"):
             if method != "POST":
                 raise _HttpError(405, f"{path} is POST-only")
@@ -544,10 +638,12 @@ class ExploreServer:
                 await self._explore(payload, headers, writer)
             else:
                 await self._sweep(payload, headers, writer)
-            return
+            return False  # streamed with Connection: close
         raise _HttpError(404, f"unknown path {path!r}; endpoints: "
                               "/v1/explore /v1/sweep /v1/status "
-                              "/v1/healthz /v1/metrics")
+                              "/v1/healthz /v1/metrics plus the "
+                              "coordinator plane under /v1/jobs/ "
+                              "/v1/bases/ /v1/coeff/ /v1/coeff-netlists/")
 
     @staticmethod
     def _parse_body(body: bytes) -> dict:
@@ -577,8 +673,8 @@ class ExploreServer:
                        "queue_depth": self.config.queue_depth},
         }
 
-    async def _metrics(self, headers: dict,
-                       writer: asyncio.StreamWriter) -> None:
+    async def _metrics(self, headers: dict, writer: asyncio.StreamWriter,
+                       conn: str = "close") -> None:
         """``GET /v1/metrics``: Prometheus text (default) or JSON.
 
         Gauges are sampled at scrape time (the registry otherwise only
@@ -595,12 +691,249 @@ class ExploreServer:
         if "application/json" in headers.get("accept", ""):
             await self._send_json(writer, 200, {
                 "type": "metrics", **registry.snapshot(),
-                "server": status})
+                "server": status}, conn=conn)
             return
         body = registry.render_prometheus().encode()
         writer.write(self._head(200, "text/plain; version=0.0.4",
-                                None, len(body)) + body)
+                                None, len(body), conn) + body)
         await writer.drain()
+
+    # -- coordinator (fleet) plane -------------------------------------
+    #
+    # JSON request/response endpoints exposing the tenant store's lease
+    # and checkpoint primitives, so `repro explore --coordinator URL`
+    # workers run the fleet loop over HTTP with no shared filesystem.
+    # Every handler is one blocking store call run on the worker pool;
+    # the store's own transactions provide all the atomicity the fleet
+    # protocol needs (see docs/ARCHITECTURE.md "Distributed fleet").
+
+    async def _store_call(self, tenant: str, fn, *args, **kwargs):
+        assert self._loop is not None
+        store = self._service(tenant).store
+        return await self._loop.run_in_executor(
+            self._pool, lambda: fn(store, *args, **kwargs))
+
+    @staticmethod
+    def _key_segment(segment: str) -> str:
+        if not segment or len(segment) > 128 \
+                or any(c not in _TENANT_OK for c in segment):
+            raise _HttpError(400, f"invalid key segment {segment[:80]!r}")
+        return segment
+
+    @staticmethod
+    def _coord_fields(payload: dict, *names):
+        try:
+            return tuple(payload[name] for name in names)
+        except KeyError as exc:
+            raise _HttpError(400, f"missing field {exc.args[0]!r}")
+
+    async def _coordinate(self, method: str, path: str, headers: dict,
+                          body: bytes, writer: asyncio.StreamWriter,
+                          conn: str) -> None:
+        tenant = self._tenant(headers)
+        parts = [p for p in path.split("/") if p]  # ["v1", kind, key, ...]
+        kind, rest = parts[1], parts[2:]
+        if not rest:
+            raise _HttpError(404, f"missing key under /v1/{kind}/")
+        key = self._key_segment(rest[0])
+        sub = rest[1:]
+        payload = self._parse_body(body) if method in ("POST", "PUT") \
+            else {}
+
+        async def reply(data: dict, status: int = 200) -> None:
+            await self._send_json(writer, status, data, conn=conn)
+
+        try:
+            if kind == "jobs":
+                await self._coordinate_job(method, key, sub, payload,
+                                           tenant, reply)
+            elif kind == "bases" and sub == ["variants"]:
+                await self._coordinate_variants(method, key, payload,
+                                                tenant, reply)
+            elif kind == "coeff" and not sub:
+                await self._coordinate_coeff(method, key, payload,
+                                             tenant, reply)
+            elif kind == "coeff-netlists" and sub in ([], ["fingerprint"]):
+                await self._coordinate_coeff_netlist(
+                    method, key, sub, payload, tenant, reply)
+            else:
+                raise _HttpError(404, f"unknown coordinator path {path!r}")
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad coordinator payload: {exc}")
+
+    async def _coordinate_job(self, method: str, gkey: str, sub: list,
+                              payload: dict, tenant: str, reply) -> None:
+        call = self._store_call
+        if sub and sub[0] == "leases":
+            op = sub[1] if len(sub) == 2 else None
+            if method == "POST" and op in ("claim", "renew", "release"):
+                shard, worker = self._coord_fields(payload, "shard",
+                                                   "worker")
+                shard, worker = int(shard), str(worker)
+                ttl_s = float(payload.get("ttl_s", DEFAULT_LEASE_TTL_S))
+                if op == "claim":
+                    token = await call(tenant, DesignStore.claim_lease,
+                                       gkey, shard, worker, ttl_s)
+                    await reply({"type": "lease", "token": int(token)})
+                elif op == "renew":
+                    token = payload.get("token")
+                    renewed = await call(
+                        tenant, DesignStore.renew_lease, gkey, shard,
+                        worker, ttl_s,
+                        token=None if token is None else int(token))
+                    await reply({"type": "lease",
+                                 "renewed": bool(renewed)})
+                else:
+                    await call(tenant, DesignStore.release_lease, gkey,
+                               shard, worker)
+                    await reply({"type": "lease", "released": True})
+                return
+            if method == "GET" and not sub[1:]:
+                leases = await call(tenant, DesignStore.leases_for_grid,
+                                    gkey)
+                await reply({"type": "leases", "leases": {
+                    str(shard): info for shard, info in leases.items()}})
+                return
+            if method == "DELETE" and not sub[1:]:
+                await call(tenant, DesignStore.clear_leases, gkey)
+                await reply({"type": "leases", "cleared": True})
+                return
+            raise _HttpError(405, "leases: POST claim/renew/release, "
+                                  "GET or DELETE the collection")
+        if sub and sub[0] == "shards":
+            if len(sub) == 2:
+                shard = int(sub[1])
+                if method == "GET":
+                    stored = await call(tenant, DesignStore.get_shard,
+                                        gkey, shard)
+                    if stored is None:
+                        raise _HttpError(404, f"no checkpoint for shard "
+                                              f"{shard} of {gkey[:12]}")
+                    await reply({"type": "shard", "shard": shard,
+                                 "taus": stored[0],
+                                 "payload": stored[1]})
+                    return
+                if method == "PUT":
+                    taus, data = self._coord_fields(payload, "taus",
+                                                    "payload")
+                    fence = payload.get("fence")
+                    if fence is not None:
+                        fence = (str(fence[0]), int(fence[1]))
+                    try:
+                        await call(tenant, DesignStore.put_shard, gkey,
+                                   shard, [float(t) for t in taus],
+                                   data, fence=fence)
+                    except FencedWriteError as exc:
+                        raise _HttpError(409, str(exc))
+                    await reply({"type": "shard", "shard": shard,
+                                 "stored": True})
+                    return
+                raise _HttpError(405, "shard checkpoints are GET/PUT")
+            if method == "GET":
+                indices = await call(tenant, DesignStore.shard_indices,
+                                     gkey)
+                await reply({"type": "shards",
+                             "indices": sorted(int(i) for i in indices)})
+                return
+            if method == "DELETE":
+                await call(tenant, DesignStore.clear_shards, gkey)
+                await reply({"type": "shards", "cleared": True})
+                return
+            raise _HttpError(405, "shards: GET/DELETE the collection, "
+                                  "GET/PUT /shards/{index}")
+        if sub == ["grid"]:
+            if method == "GET":
+                designs = await call(tenant, DesignStore.get_grid, gkey)
+                if designs is None:
+                    raise _HttpError(404, f"no finished grid {gkey[:12]}")
+                meta = await call(tenant, DesignStore.grid_meta, gkey)
+                await reply({"type": "grid",
+                             "designs": [design_to_dict(d)
+                                         for d in designs],
+                             "meta": meta})
+                return
+            if method == "PUT":
+                (raw,) = self._coord_fields(payload, "designs")
+                designs = [design_from_dict(d) for d in raw]
+                await call(tenant, DesignStore.put_grid, gkey, designs,
+                           meta=payload.get("meta"))
+                await reply({"type": "grid", "stored": True,
+                             "n_designs": len(designs)})
+                return
+            if method == "DELETE":
+                await call(tenant, DesignStore.delete_grid, gkey)
+                await reply({"type": "grid", "deleted": True})
+                return
+            raise _HttpError(405, "grid is GET/PUT/DELETE")
+        raise _HttpError(404, f"unknown job resource {'/'.join(sub)!r}; "
+                              "use leases, shards, or grid")
+
+    async def _coordinate_variants(self, method: str, base_key: str,
+                                   payload: dict, tenant: str,
+                                   reply) -> None:
+        if method == "GET":
+            variants = await self._store_call(
+                tenant, DesignStore.variants_for_base, base_key)
+            await reply({"type": "variants", "variants": [
+                [list(ids), record.to_dict()]
+                for ids, record in sorted(variants.items())]})
+            return
+        if method == "PUT":
+            (raw,) = self._coord_fields(payload, "variants")
+            entries = {tuple(int(i) for i in ids):
+                       EvaluationRecord.from_dict(record)
+                       for ids, record in raw}
+            await self._store_call(tenant, DesignStore.put_variants,
+                                   base_key, entries)
+            await reply({"type": "variants", "stored": len(entries)})
+            return
+        raise _HttpError(405, "variants are GET/PUT")
+
+    async def _coordinate_coeff(self, method: str, key: str,
+                                payload: dict, tenant: str,
+                                reply) -> None:
+        if method == "GET":
+            data = await self._store_call(tenant, DesignStore.get_coeff,
+                                          key)
+            if data is None:
+                raise _HttpError(404, f"no coefficient payload {key[:12]}")
+            await reply({"type": "coeff", "payload": data})
+            return
+        if method == "PUT":
+            (data,) = self._coord_fields(payload, "payload")
+            await self._store_call(tenant, DesignStore.put_coeff, key,
+                                   data)
+            await reply({"type": "coeff", "stored": True})
+            return
+        raise _HttpError(405, "coeff payloads are GET/PUT")
+
+    async def _coordinate_coeff_netlist(self, method: str, key: str,
+                                        sub: list, payload: dict,
+                                        tenant: str, reply) -> None:
+        if method == "GET" and sub == ["fingerprint"]:
+            fingerprint = await self._store_call(
+                tenant, DesignStore.get_coeff_netlist_fingerprint, key)
+            if fingerprint is None:
+                raise _HttpError(404, f"no coeff netlist {key[:12]}")
+            await reply({"type": "coeff-netlist",
+                         "fingerprint": fingerprint})
+            return
+        if method == "GET":
+            data = await self._store_call(
+                tenant, DesignStore.get_coeff_netlist, key)
+            if data is None:
+                raise _HttpError(404, f"no coeff netlist {key[:12]}")
+            await reply({"type": "coeff-netlist", "netlist": data})
+            return
+        if method == "PUT" and not sub:
+            netlist, fingerprint = self._coord_fields(
+                payload, "netlist", "fingerprint")
+            await self._store_call(tenant, DesignStore.put_coeff_netlist,
+                                   key, netlist, str(fingerprint))
+            await reply({"type": "coeff-netlist", "stored": True})
+            return
+        raise _HttpError(405, "coeff netlists are GET/PUT (plus GET "
+                              "/fingerprint)")
 
     # -- streaming endpoints -------------------------------------------
 

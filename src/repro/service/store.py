@@ -50,10 +50,12 @@ from ..core.pruning import PrunedDesign, prune_key_ids
 from ..eval.accuracy import EvaluationRecord
 from ..hw.netlist_io import netlist_from_dict, netlist_to_dict
 from .faults import fault_point
+from .retry import RetryPolicy, retry_call
 from .telemetry import counter as _metric
 
 __all__ = [
     "DesignStore",
+    "FencedWriteError",
     "approximate_model_cached",
     "build_coeff_netlist_cached",
     "canonical_json",
@@ -82,7 +84,11 @@ __all__ = [
 # 4: shard_leases table — shards become a claimable fleet work unit
 #    (see :mod:`repro.service.leases`), with per-worker heartbeats and
 #    stale-lease reclamation.
-STORE_FORMAT = 4
+# 5: leases carry a monotonic fencing token (store_meta 'fence'
+#    counter): a reclaimed worker's late shard upload is rejected with
+#    :class:`FencedWriteError` instead of silently landing — the
+#    write-safety half of the multi-host coordinator protocol.
+STORE_FORMAT = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -132,15 +138,18 @@ CREATE TABLE IF NOT EXISTS shard_leases (
     heartbeat  REAL NOT NULL,
     expiry     REAL NOT NULL,
     created_at REAL NOT NULL,
+    token      INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (grid_key, shard)
 );
 """
 
 # Bounded retry for busy/locked errors that outlive SQLite's own busy
 # timeout (a writer hung mid-transaction, a filesystem hiccup): short
-# capped-exponential backoff, then surface the real error.
-_RETRY_ATTEMPTS = 5
-_RETRY_BASE_S = 0.05
+# capped-exponential backoff, then surface the real error.  Jitter is
+# off so fault-schedule replays stay exactly deterministic; the HTTP
+# coordinator client layers jitter on the same policy type.
+_RETRY_POLICY = RetryPolicy(attempts=5, base_s=0.05, cap_s=1.0,
+                            jitter="none")
 
 # OperationalError text that marks a *transient* contention failure (vs
 # a structural one like "unable to open database file").
@@ -148,6 +157,15 @@ _TRANSIENT_MARKERS = ("locked", "busy")
 
 # DatabaseError text that marks on-disk corruption worth quarantining.
 _CORRUPT_MARKERS = ("not a database", "malformed", "corrupt")
+
+
+class FencedWriteError(RuntimeError):
+    """A shard upload carried a stale fencing token and was rejected.
+
+    Raised by :meth:`DesignStore.put_shard` (and surfaced as HTTP 409
+    by the coordinator) when the uploader's lease was reclaimed — the
+    zombie's write never mutates the store.
+    """
 
 
 def canonical_json(obj) -> str:
@@ -528,28 +546,27 @@ class DesignStore:
         """Run ``fn(con)`` on a fresh connection with bounded retry.
 
         Busy/locked ``OperationalError`` — contention that outlived the
-        30 s busy timeout, or an injected fault — retries up to
-        :data:`_RETRY_ATTEMPTS` times with capped exponential backoff;
+        30 s busy timeout, or an injected fault — retries under the
+        shared :data:`_RETRY_POLICY` (see :mod:`repro.service.retry`);
         each attempt is a whole fresh transaction, so a retried write
         never commits twice.  Structural errors surface immediately.
         """
-        delay = _RETRY_BASE_S
-        for attempt in range(_RETRY_ATTEMPTS):
-            try:
-                if transaction:
-                    with closing(self._connect()) as con, con:
-                        return fn(con)
-                with closing(self._connect()) as con:
+        def attempt():
+            if transaction:
+                with closing(self._connect()) as con, con:
                     return fn(con)
-            except sqlite3.OperationalError as exc:
-                text = str(exc).lower()
-                transient = any(marker in text
-                                for marker in _TRANSIENT_MARKERS)
-                if not transient or attempt == _RETRY_ATTEMPTS - 1:
-                    raise
-                _metric("store.retries")
-                time.sleep(delay)
-                delay = min(delay * 2.0, 1.0)
+            with closing(self._connect()) as con:
+                return fn(con)
+
+        def transient(exc: Exception) -> bool:
+            if not isinstance(exc, sqlite3.OperationalError):
+                return False
+            text = str(exc).lower()
+            return any(marker in text for marker in _TRANSIENT_MARKERS)
+
+        return retry_call(
+            attempt, _RETRY_POLICY, retryable=transient,
+            on_retry=lambda _n, _exc, _delay: _metric("store.retries"))
 
     @staticmethod
     def _count_lookup(table: str, row) -> None:
@@ -640,8 +657,34 @@ class DesignStore:
 
     # -- shard checkpoints ---------------------------------------------
 
-    def put_shard(self, grid_key: str, shard: int, taus, payload: dict) -> None:
+    def put_shard(self, grid_key: str, shard: int, taus, payload: dict,
+                  fence: tuple[str, int] | None = None) -> None:
+        """Checkpoint one shard; ``fence=(worker, token)`` verifies it.
+
+        With a fence, the write only lands while ``worker`` still holds
+        the shard's lease under the exact ``token`` its claim returned;
+        anything else (reclaimed lease, released lease, finalized grid)
+        raises :class:`FencedWriteError` *inside the transaction* — the
+        zombie writer mutates nothing.  Uploads are idempotent by
+        content key: a replay after an ambiguous failure re-commits the
+        identical row.
+        """
         def write(con):
+            if fence is not None:
+                worker, token = fence
+                row = con.execute(
+                    "SELECT worker, token FROM shard_leases "
+                    "WHERE grid_key=? AND shard=?",
+                    (grid_key, int(shard))).fetchone()
+                if row is None or row[0] != worker \
+                        or int(row[1]) != int(token):
+                    _metric("fleet.fenced_writes")
+                    holder = "no lease" if row is None \
+                        else f"lease held by {row[0]!r} (token {row[1]})"
+                    raise FencedWriteError(
+                        f"stale shard upload fenced: shard {shard} of "
+                        f"grid {grid_key[:12]} from {worker!r} "
+                        f"(token {token}), {holder}")
             fault_point("store.put_shard", grid_key=grid_key, index=shard)
             con.execute(
                 "INSERT OR REPLACE INTO shards VALUES (?,?,?,?,?)",
@@ -680,19 +723,28 @@ class DesignStore:
     # racing for one shard can never both see themselves as holder.
 
     def claim_lease(self, grid_key: str, shard: int, worker: str,
-                    ttl_s: float, now: float | None = None) -> bool:
-        """Try to claim one shard; ``True`` iff ``worker`` now holds it."""
+                    ttl_s: float, now: float | None = None) -> int:
+        """Try to claim one shard; the lease's fencing token, or 0.
+
+        A win returns the positive monotonic **fencing token** the
+        claim carries (truthy — callers may keep treating the result as
+        a boolean); a loss returns 0.  A fresh acquisition (new row, or
+        a reclaim from another worker) draws a new token from the
+        store-wide counter; the holder re-claiming its own live lease
+        keeps its token — so a token uniquely identifies one ownership
+        span, which is what :meth:`put_shard`'s fence checks against.
+        """
         now = time.time() if now is None else now
 
         def claim(con):
             fault_point("store.lease", grid_key=grid_key, index=shard,
                         worker=worker)
             prior = con.execute(
-                "SELECT worker, expiry FROM shard_leases "
+                "SELECT worker, expiry, token FROM shard_leases "
                 "WHERE grid_key=? AND shard=?",
                 (grid_key, int(shard))).fetchone()
             con.execute(
-                "INSERT INTO shard_leases VALUES (?,?,?,?,?,?) "
+                "INSERT INTO shard_leases VALUES (?,?,?,?,?,?,0) "
                 "ON CONFLICT(grid_key, shard) DO UPDATE SET "
                 "worker=excluded.worker, heartbeat=excluded.heartbeat, "
                 "expiry=excluded.expiry "
@@ -701,29 +753,56 @@ class DesignStore:
                 (grid_key, int(shard), worker, now, now + float(ttl_s),
                  now))
             row = con.execute(
-                "SELECT worker FROM shard_leases "
+                "SELECT worker, token FROM shard_leases "
                 "WHERE grid_key=? AND shard=?",
                 (grid_key, int(shard))).fetchone()
             won = row is not None and row[0] == worker
             _metric("lease.claims", result="won" if won else "lost")
-            if won and prior is not None and prior[0] != worker \
+            if not won:
+                return 0
+            if prior is not None and prior[0] == worker \
+                    and int(prior[2]) > 0:
+                return int(prior[2])  # our own live lease: same span
+            if prior is not None and prior[0] != worker \
                     and prior[1] <= now:
                 _metric("lease.reclaims")
-            return won
+            con.execute(
+                "INSERT INTO store_meta VALUES ('fence', '1') "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "value=CAST(value AS INTEGER)+1")
+            token = int(con.execute(
+                "SELECT value FROM store_meta WHERE key='fence'"
+            ).fetchone()[0])
+            con.execute(
+                "UPDATE shard_leases SET token=? "
+                "WHERE grid_key=? AND shard=?",
+                (token, grid_key, int(shard)))
+            return token
         return self._with_connection(claim)
 
     def renew_lease(self, grid_key: str, shard: int, worker: str,
-                    ttl_s: float, now: float | None = None) -> bool:
-        """Heartbeat one held lease; ``False`` when it was lost."""
+                    ttl_s: float, now: float | None = None,
+                    token: int | None = None) -> bool:
+        """Heartbeat one held lease; ``False`` when it was lost.
+
+        With ``token``, the heartbeat additionally requires the lease
+        to still be the same ownership span the token names — a worker
+        whose lease was reclaimed and then (improbably) re-claimed
+        under its own id still learns it lost the original span.
+        """
         now = time.time() if now is None else now
 
         def renew(con):
             fault_point("store.lease", grid_key=grid_key, index=shard,
                         worker=worker)
+            fence_sql, fence_args = "", ()
+            if token is not None:
+                fence_sql, fence_args = " AND token=?", (int(token),)
             cursor = con.execute(
                 "UPDATE shard_leases SET heartbeat=?, expiry=? "
-                "WHERE grid_key=? AND shard=? AND worker=?",
-                (now, now + float(ttl_s), grid_key, int(shard), worker))
+                "WHERE grid_key=? AND shard=? AND worker=?" + fence_sql,
+                (now, now + float(ttl_s), grid_key, int(shard), worker,
+                 *fence_args))
             renewed = cursor.rowcount == 1
             _metric("lease.renewals", result="ok" if renewed else "lost")
             return renewed
@@ -736,13 +815,13 @@ class DesignStore:
             (grid_key, int(shard), worker)))
 
     def leases_for_grid(self, grid_key: str) -> dict[int, dict]:
-        """``{shard -> {worker, heartbeat, expiry}}`` (live and stale)."""
+        """``{shard -> {worker, heartbeat, expiry, token}}`` (all rows)."""
         rows = self._with_connection(lambda con: con.execute(
-            "SELECT shard, worker, heartbeat, expiry FROM shard_leases "
-            "WHERE grid_key=?", (grid_key,)).fetchall())
+            "SELECT shard, worker, heartbeat, expiry, token "
+            "FROM shard_leases WHERE grid_key=?", (grid_key,)).fetchall())
         return {int(shard): {"worker": worker, "heartbeat": heartbeat,
-                             "expiry": expiry}
-                for shard, worker, heartbeat, expiry in rows}
+                             "expiry": expiry, "token": int(token)}
+                for shard, worker, heartbeat, expiry, token in rows}
 
     def clear_leases(self, grid_key: str) -> None:
         self._with_connection(lambda con: con.execute(

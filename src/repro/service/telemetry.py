@@ -103,6 +103,31 @@ def _prom_labels(key: tuple) -> str:
     return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
 
 
+def _bucket_quantile(bounds: tuple, counts: list, count: int,
+                     q: float) -> float:
+    """Linearly-interpolated quantile estimate from fixed buckets.
+
+    Standard Prometheus-style estimation: find the bucket the rank
+    falls in, interpolate linearly within it.  Ranks landing in the
+    ``+Inf`` bucket clamp to the highest finite bound — the histogram
+    cannot say more.
+    """
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    running = 0
+    lower = 0.0
+    for i, bound in enumerate(bounds):
+        previous = running
+        running += counts[i]
+        if running >= rank:
+            if counts[i] == 0:
+                return bound
+            return lower + (bound - lower) * (rank - previous) / counts[i]
+        lower = bound
+    return bounds[-1] if bounds else 0.0
+
+
 def _fmt(value: float) -> str:
     """Render a number the way Prometheus text format expects."""
     if value != value or value in (float("inf"), float("-inf")):
@@ -216,6 +241,15 @@ class MetricsRegistry:
                         "count": hist.count,
                         "sum": hist.total,
                         "buckets": buckets,
+                        # Interpolated estimates (JSON consumers only;
+                        # Prometheus scrapers compute their own from
+                        # the cumulative buckets).
+                        "p50": round(_bucket_quantile(
+                            bounds, hist.counts, hist.count, 0.50), 6),
+                        "p90": round(_bucket_quantile(
+                            bounds, hist.counts, hist.count, 0.90), 6),
+                        "p99": round(_bucket_quantile(
+                            bounds, hist.counts, hist.count, 0.99), 6),
                     }
         return {
             "counters": dict(sorted(counters.items())),

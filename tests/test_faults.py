@@ -38,7 +38,7 @@ from repro.service.faults import (
     seeded_schedule,
 )
 from repro.service.jsonl import JSONLError, read_jsonl, write_line
-from repro.service.store import _RETRY_ATTEMPTS
+from repro.service.store import _RETRY_POLICY
 
 GRID = (0.85, 0.90, 0.95, 0.99)
 
@@ -260,7 +260,8 @@ class TestStoreRecovery:
         store = DesignStore(tmp_path / "store.sqlite")
         # One hit-1 entry per retry attempt: a raising entry stops that
         # call's counter sweep, so each attempt consumes exactly one.
-        spec = ";".join(["store.put_grid:1=err-locked"] * _RETRY_ATTEMPTS)
+        spec = ";".join(["store.put_grid:1=err-locked"]
+                        * _RETRY_POLICY.attempts)
         with installed(FaultInjector.parse(spec)):
             with pytest.raises(sqlite3.OperationalError, match="locked"):
                 store.put_grid("k" * 64, [], meta={"label": "t"})

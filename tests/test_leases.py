@@ -236,3 +236,79 @@ class TestSubprocessContention:
         # no leases survive a finished grid
         stats = service.store.stats()
         assert stats["shard_leases"] == 0
+
+
+class TestFencingTokens:
+    """Monotonic fencing tokens: a reclaimed (zombie) holder can never
+    land a stale shard checkpoint, no matter how late it wakes up."""
+
+    PAYLOAD = {"chains": [], "rows": []}
+
+    def test_tokens_are_monotonic_across_ownership_spans(self, tmp_path):
+        store = DesignStore(tmp_path / "s.sqlite")
+        t0 = 1000.0
+        token_a = store.claim_lease(GKEY, 0, "a", ttl_s=5.0, now=t0)
+        token_b = store.claim_lease(GKEY, 0, "b", ttl_s=5.0, now=t0 + 10)
+        token_c = store.claim_lease(GKEY, 1, "c", ttl_s=5.0, now=t0)
+        assert 0 < token_a < token_b  # reclaim = new ownership span
+        assert token_c not in (token_a, token_b)  # store-wide counter
+
+    def test_live_holder_reclaim_keeps_its_token(self, tmp_path):
+        store = DesignStore(tmp_path / "s.sqlite")
+        t0 = 1000.0
+        token = store.claim_lease(GKEY, 0, "a", ttl_s=60.0, now=t0)
+        again = store.claim_lease(GKEY, 0, "a", ttl_s=60.0, now=t0 + 1)
+        assert again == token  # same ownership span, same fence
+
+    def test_reclaimed_lease_late_upload_is_fenced(self, tmp_path):
+        from repro.service import FencedWriteError
+        from repro.service.telemetry import get_hub
+
+        store = DesignStore(tmp_path / "s.sqlite")
+        t0 = 1000.0
+        stale = store.claim_lease(GKEY, 0, "zombie", ttl_s=5.0, now=t0)
+        fresh = store.claim_lease(GKEY, 0, "peer", ttl_s=60.0, now=t0 + 10)
+        assert fresh > stale
+        before = get_hub().registry.counter_total("fleet.fenced_writes")
+        # The zombie wakes up and tries to land its checkpoint.
+        with pytest.raises(FencedWriteError):
+            store.put_shard(GKEY, 0, GRID[:1], self.PAYLOAD,
+                            fence=("zombie", stale))
+        # Nothing was written: no checkpoint row, and the metric fired.
+        assert store.shard_indices(GKEY) == set()
+        assert store.get_shard(GKEY, 0) is None
+        assert get_hub().registry.counter_total("fleet.fenced_writes") \
+            == before + 1
+        # The rightful holder's upload lands under the current token.
+        store.put_shard(GKEY, 0, GRID[:1], self.PAYLOAD,
+                        fence=("peer", fresh))
+        assert store.shard_indices(GKEY) == {0}
+
+    def test_upload_without_a_lease_row_is_fenced(self, tmp_path):
+        from repro.service import FencedWriteError
+
+        store = DesignStore(tmp_path / "s.sqlite")
+        # A fence from a released/raced-away lease: no row at all.
+        with pytest.raises(FencedWriteError):
+            store.put_shard(GKEY, 0, GRID[:1], self.PAYLOAD,
+                            fence=("ghost", 7))
+        assert store.shard_indices(GKEY) == set()
+
+    def test_renew_checks_the_token(self, tmp_path):
+        store = DesignStore(tmp_path / "s.sqlite")
+        t0 = 1000.0
+        token = store.claim_lease(GKEY, 0, "a", ttl_s=60.0, now=t0)
+        assert store.renew_lease(GKEY, 0, "a", ttl_s=60.0, now=t0 + 1,
+                                 token=token)
+        assert not store.renew_lease(GKEY, 0, "a", ttl_s=60.0,
+                                     now=t0 + 2, token=token + 1)
+
+    def test_manager_stamps_and_clears_fences(self, tmp_path):
+        store = DesignStore(tmp_path / "s.sqlite")
+        manager = LeaseManager(store, GKEY, "me", ttl_s=60.0)
+        assert manager.claim(0)
+        worker, token = manager.fence(0)
+        assert worker == "me" and token >= 1
+        assert manager.renew(0)
+        manager.release(0)
+        assert manager.fence(0) == ("me", 0)  # no live span, null token

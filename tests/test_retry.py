@@ -1,0 +1,161 @@
+"""Unit tests for the shared retry/backoff policy (service/retry.py).
+
+This is the one backoff implementation the store's busy/locked loop
+and the HTTP coordinator client both stand on, so its edge cases are
+load-bearing twice over: attempt accounting (tries, not retries),
+deadline truncation (never oversleep the budget), jitter bounds
+(decorrelated draws stay inside ``[base, cap]``), and the
+idempotent-replay-shaped behaviours (a retryable failure after a
+committed server write must re-run the callable, nothing else).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.retry import RetryError, RetryPolicy, retry_call
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class Fatal(RuntimeError):
+    pass
+
+
+def flaky(failures: int, exc_type=Boom):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise exc_type(f"failure {state['calls']}")
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="full")
+
+    def test_deterministic_doubling(self):
+        policy = RetryPolicy(base_s=0.05, cap_s=1.0, jitter="none")
+        delays = []
+        previous = None
+        for _ in range(8):
+            previous = policy.next_delay(previous)
+            delays.append(previous)
+        assert delays[:5] == [0.05, 0.1, 0.2, 0.4, 0.8]
+        assert delays[5:] == [1.0, 1.0, 1.0]  # capped
+
+    def test_decorrelated_jitter_bounds(self):
+        policy = RetryPolicy(base_s=0.05, cap_s=1.0,
+                             rng=random.Random(7))
+        previous = None
+        for _ in range(200):
+            delay = policy.next_delay(previous)
+            assert policy.base_s <= delay <= policy.cap_s
+            if previous is not None:
+                # Next draw is bounded by triple the previous delay.
+                assert delay <= max(policy.base_s, previous * 3.0) + 1e-12
+            previous = delay
+
+    def test_jitter_is_injectable_and_reproducible(self):
+        a = RetryPolicy(rng=random.Random(42))
+        b = RetryPolicy(rng=random.Random(42))
+        prev_a = prev_b = None
+        for _ in range(10):
+            prev_a = a.next_delay(prev_a)
+            prev_b = b.next_delay(prev_b)
+            assert prev_a == prev_b
+
+
+class TestRetryCall:
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        result = retry_call(flaky(0), RetryPolicy(jitter="none"),
+                            sleep=sleeps.append)
+        assert result == "ok"
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        sleeps = []
+        retried = []
+        fn = flaky(3)
+        result = retry_call(
+            fn, RetryPolicy(attempts=5, base_s=0.05, jitter="none"),
+            on_retry=lambda attempt, exc, delay:
+                retried.append((attempt, str(exc), delay)),
+            sleep=sleeps.append)
+        assert result == "ok"
+        assert fn.state["calls"] == 4
+        assert sleeps == [0.05, 0.1, 0.2]
+        assert [r[0] for r in retried] == [1, 2, 3]
+
+    def test_exhaustion_raises_the_last_failure(self):
+        fn = flaky(99)
+        with pytest.raises(Boom, match="failure 4"):
+            retry_call(fn, RetryPolicy(attempts=4, jitter="none"),
+                       sleep=lambda _s: None)
+        assert fn.state["calls"] == 4
+
+    def test_non_retryable_surfaces_immediately(self):
+        fn = flaky(99, exc_type=Fatal)
+        with pytest.raises(Fatal, match="failure 1"):
+            retry_call(fn, RetryPolicy(attempts=5, jitter="none"),
+                       retryable=lambda exc: isinstance(exc, Boom),
+                       sleep=lambda _s: None)
+        assert fn.state["calls"] == 1
+
+    def test_deadline_stops_the_loop_early(self):
+        # Fake clock: each failed attempt costs 1.0s against a 2.5s
+        # budget, so the loop gets 3 tries of its nominal 10.
+        now = {"t": 0.0}
+
+        def clock():
+            return now["t"]
+
+        def fn():
+            now["t"] += 1.0
+            raise Boom("still down")
+
+        with pytest.raises(Boom):
+            retry_call(fn, RetryPolicy(attempts=10, base_s=0.0,
+                                       deadline_s=2.5, jitter="none"),
+                       sleep=lambda _s: None, clock=clock)
+        assert now["t"] == 3.0  # attempts at t=0,1,2; t=3 >= deadline
+
+    def test_final_sleep_is_truncated_to_the_budget(self):
+        now = {"t": 0.0}
+        sleeps = []
+
+        def clock():
+            return now["t"]
+
+        def sleep(s):
+            sleeps.append(s)
+            now["t"] += s
+
+        fn = flaky(99)
+        with pytest.raises(Boom):
+            retry_call(fn, RetryPolicy(attempts=10, base_s=4.0,
+                                       cap_s=60.0, deadline_s=5.0,
+                                       jitter="none"),
+                       sleep=sleep, clock=clock)
+        # First backoff is the 4s base; the second would be 8s but only
+        # 1s of budget remains, so it is truncated, and the loop ends.
+        assert sleeps == [4.0, 1.0]
+
+    def test_retry_error_reserved_for_empty_exhaustion(self):
+        # The normal path always re-raises a real exception; RetryError
+        # exists for the degenerate deadline-with-no-failure edge.
+        assert issubclass(RetryError, RuntimeError)

@@ -419,7 +419,7 @@ class TestStoreGc:
                          "--dry-run"]) == 0
         assert "would delete" in capsys.readouterr().out
         assert cli_main(["store", "stats", "--store", str(path)]) == 0
-        assert '"format": 4' in capsys.readouterr().out
+        assert '"format": 5' in capsys.readouterr().out
 
 
 class TestCoeffCache:
