@@ -18,17 +18,30 @@ from __future__ import annotations
 import numpy as np
 
 from ..hw.area import area_mm2
+from ..hw.array_builder import build_bespoke_multiplier_arrays
 from ..hw.bespoke import build_bespoke_multiplier_netlist
 from ..quant.fixed_point import DEFAULT_COEFF_BITS, coeff_range
 
-__all__ = ["BespokeMultiplierLibrary", "default_library"]
+__all__ = ["BespokeMultiplierLibrary", "default_library", "shared_library"]
 
 
 class BespokeMultiplierLibrary:
-    """Cached ``AREA(BM_w)`` lookups keyed by (coefficient, input width)."""
+    """Cached ``AREA(BM_w)`` lookups keyed by (coefficient, input width).
 
-    def __init__(self, coeff_bits: int = DEFAULT_COEFF_BITS) -> None:
+    ``builder`` selects the netlist construction path for cache misses:
+    the default array-level emission feeds ``area_mm2`` the folded
+    :class:`~repro.hw.synthesis.ArrayCircuit` directly (no ``Netlist``
+    is materialized at all), ``"gate"`` keeps the per-gate oracle path.
+    Both yield identical areas — the equivalence tests assert it.
+    """
+
+    def __init__(self, coeff_bits: int = DEFAULT_COEFF_BITS,
+                 builder: str = "auto") -> None:
+        if builder not in ("auto", "array", "gate"):
+            raise ValueError(f"unknown builder {builder!r} "
+                             "(expected 'auto', 'array' or 'gate')")
         self.coeff_bits = coeff_bits
+        self.builder = "array" if builder == "auto" else builder
         self._cache: dict[tuple[int, int], float] = {}
         self._areas_np: dict[int, np.ndarray] = {}
         self._ladders: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
@@ -43,8 +56,11 @@ class BespokeMultiplierLibrary:
         key = (int(coefficient), int(input_bits))
         cached = self._cache.get(key)
         if cached is None:
-            netlist = build_bespoke_multiplier_netlist(*key)
-            cached = area_mm2(netlist)
+            if self.builder == "array":
+                cached = area_mm2(build_bespoke_multiplier_arrays(*key))
+            else:
+                cached = area_mm2(
+                    build_bespoke_multiplier_netlist(*key, builder="gate"))
             self._cache[key] = cached
         return cached
 
@@ -113,8 +129,26 @@ class BespokeMultiplierLibrary:
 
 
 _DEFAULT = BespokeMultiplierLibrary()
+_SHARED: dict[int, BespokeMultiplierLibrary] = {
+    DEFAULT_COEFF_BITS: _DEFAULT}
 
 
 def default_library() -> BespokeMultiplierLibrary:
     """Process-wide shared library (the cache is expensive to rebuild)."""
     return _DEFAULT
+
+
+def shared_library(coeff_bits: int = DEFAULT_COEFF_BITS
+                   ) -> BespokeMultiplierLibrary:
+    """Process-wide shared library per coefficient width.
+
+    Sweeps that vary ``coeff_bits`` (fig2, the precision studies) share
+    one library — and therefore one area cache and candidate ladder —
+    per width instead of re-triggering every multiplier build in
+    per-call clones.  ``shared_library(DEFAULT_COEFF_BITS)`` is
+    :func:`default_library`.
+    """
+    library = _SHARED.get(coeff_bits)
+    if library is None:
+        library = _SHARED[coeff_bits] = BespokeMultiplierLibrary(coeff_bits)
+    return library

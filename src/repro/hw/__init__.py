@@ -1,6 +1,14 @@
 """Printed-hardware substrate: cells, netlists, synthesis, simulation."""
 
 from .area import AreaReport, area_cm2, area_mm2
+from .array_builder import (
+    ArrayEmitter,
+    AVal,
+    build_bespoke_arrays,
+    build_bespoke_multiplier_arrays,
+    build_weighted_sum_arrays,
+    emit_bespoke_arrays,
+)
 from .bespoke_tree import build_bespoke_tree_netlist
 from .bespoke import (
     CLASS_OUTPUT,
@@ -59,6 +67,12 @@ __all__ = [
     "area_mm2",
     "CLASS_OUTPUT",
     "REGRESSOR_OUTPUT",
+    "ArrayEmitter",
+    "AVal",
+    "build_bespoke_arrays",
+    "build_bespoke_multiplier_arrays",
+    "build_weighted_sum_arrays",
+    "emit_bespoke_arrays",
     "build_bespoke_multiplier_netlist",
     "build_bespoke_netlist",
     "build_bespoke_tree_netlist",

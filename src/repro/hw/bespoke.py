@@ -19,6 +19,19 @@ The netlist ``meta`` carries what the pruning pass needs:
 * ``watch_buses``: the pre-argmax neuron/score buses used to compute the
   error-significance statistic phi (Section III-C's classifier-aware
   definition).
+
+Every build function takes a ``builder`` selector:
+
+* ``"array"`` — emit through :mod:`repro.hw.array_builder`'s fused
+  array-level path (the cold-path default, 2-4x faster);
+* ``"gate"`` — the per-gate ``Value``/``Netlist`` builder, kept as the
+  gate-for-gate oracle;
+* ``"auto"`` — ``"array"`` when optimizing, ``"gate"`` for raw
+  (``optimize=False``) builds, whose unfolded form is inherently
+  per-gate.
+
+Both paths produce gate-for-gate identical netlists (the array-builder
+test suite pins this), so the selector is a pure performance knob.
 """
 
 from __future__ import annotations
@@ -43,6 +56,32 @@ CLASS_OUTPUT = "class_idx"
 REGRESSOR_OUTPUT = "y_out"
 
 
+def _resolve_builder(builder: str, optimize: bool) -> str:
+    """``auto`` -> ``array`` for optimized builds, ``gate`` for raw ones."""
+    if builder not in ("auto", "array", "gate"):
+        raise ValueError(f"unknown builder {builder!r} "
+                         "(expected 'auto', 'array' or 'gate')")
+    if not optimize:
+        if builder == "array":
+            raise ValueError("builder='array' requires optimize=True: "
+                             "the raw builder IR is inherently per-gate")
+        return "gate"
+    return "array" if builder == "auto" else builder
+
+
+_telemetry = None
+
+
+def _service_telemetry():
+    # Deferred so hw never imports service at module load (the service
+    # layer imports hw; see compiled.py for the same pattern).
+    global _telemetry
+    if _telemetry is None:
+        from ..service import telemetry as resolved
+        _telemetry = resolved
+    return _telemetry
+
+
 def _input_values(nl: Netlist, n_features: int, input_bits: int) -> list[Value]:
     """One unsigned input bus per feature: x0, x1, ..."""
     return [Value.input_bus(nl, f"x{index}", input_bits)
@@ -60,15 +99,34 @@ def _weighted_sum(inputs: list[Value], coefficients, bias: int) -> Value:
 
 
 def build_bespoke_netlist(model: QuantMLP | QuantSVM, name: str = "bespoke",
-                          optimize: bool = True) -> Netlist:
+                          optimize: bool = True,
+                          builder: str = "auto") -> Netlist:
     """Generate (and by default synthesize) the fully-parallel circuit."""
-    if isinstance(model, QuantMLP):
-        netlist = _build_mlp(model, name)
-    elif isinstance(model, QuantSVM):
-        netlist = _build_svm(model, name)
-    else:
-        raise TypeError(f"cannot build a bespoke circuit for {type(model).__name__}")
-    return synthesize(netlist) if optimize else netlist
+    from time import perf_counter
+
+    if _resolve_builder(builder, optimize) == "array":
+        from .array_builder import build_bespoke_arrays
+
+        return build_bespoke_arrays(model, name).to_netlist()
+    t0 = perf_counter()
+    with _service_telemetry().span("build.bespoke", builder="gate",
+                                   kind=type(model).__name__):
+        if isinstance(model, QuantMLP):
+            netlist = _build_mlp(model, name)
+        elif isinstance(model, QuantSVM):
+            netlist = _build_svm(model, name)
+        else:
+            raise TypeError(
+                f"cannot build a bespoke circuit for {type(model).__name__}")
+        built = len(netlist.gate_type)
+        if optimize:
+            netlist = synthesize(netlist)
+    if optimize:
+        tel = _service_telemetry()
+        tel.observe("build.bespoke_ms", (perf_counter() - t0) * 1e3,
+                    builder="gate")
+        tel.counter("build.gates_emitted", built, builder="gate")
+    return netlist
 
 
 def _build_mlp(model: QuantMLP, name: str) -> Netlist:
@@ -112,8 +170,14 @@ def _build_svm(model: QuantSVM, name: str) -> Netlist:
 
 
 def build_weighted_sum_netlist(coefficients, input_bits: int, bias: int = 0,
-                               optimize: bool = True) -> Netlist:
+                               optimize: bool = True,
+                               builder: str = "auto") -> Netlist:
     """A standalone weighted-sum circuit (used by the area-proxy study)."""
+    if _resolve_builder(builder, optimize) == "array":
+        from .array_builder import build_weighted_sum_arrays
+
+        return build_weighted_sum_arrays(coefficients, input_bits,
+                                         bias).to_netlist()
     nl = Netlist(name="weighted_sum")
     inputs = _input_values(nl, len(coefficients), input_bits)
     total = _weighted_sum(inputs, coefficients, bias)
@@ -122,8 +186,14 @@ def build_weighted_sum_netlist(coefficients, input_bits: int, bias: int = 0,
 
 
 def build_bespoke_multiplier_netlist(coefficient: int, input_bits: int,
-                                     optimize: bool = True) -> Netlist:
+                                     optimize: bool = True,
+                                     builder: str = "auto") -> Netlist:
     """A standalone ``BM_w`` (used to populate the area library)."""
+    if _resolve_builder(builder, optimize) == "array":
+        from .array_builder import build_bespoke_multiplier_arrays
+
+        return build_bespoke_multiplier_arrays(coefficient,
+                                               input_bits).to_netlist()
     nl = Netlist(name=f"bm_{coefficient}_{input_bits}b")
     x = Value.input_bus(nl, "x", input_bits)
     product = bespoke_multiplier(x, coefficient)

@@ -662,6 +662,11 @@ def _strip_arrays(circ: ArrayCircuit) -> tuple[ArrayCircuit, list[int]]:
                 if op == OP_MUX:
                     live[inc[k]] = 1
 
+    # Every gate live (common for small array-emitted circuits): the
+    # strip is the identity — skip the rebuild.
+    if live.find(0, n_fixed) == -1:
+        return circ, list(range(n_fixed + n_gates))
+
     node_map: list[int] = list(range(n_fixed))
     new_ops: list[int] = []
     new_a: list[int] = []

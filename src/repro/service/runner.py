@@ -47,6 +47,7 @@ from .store import (
     coeff_netlist_key,
     evaluator_fingerprint,
     grid_key as make_grid_key,
+    model_fingerprint,
     variant_key,
 )
 
@@ -141,10 +142,15 @@ class ExplorationService:
                  shard_size: int = DEFAULT_SHARD_SIZE,
                  identity: str = "exact",
                  evaluator_cache: dict | None = None,
-                 evaluator_fp_cache: dict | None = None) -> None:
+                 evaluator_fp_cache: dict | None = None,
+                 builder: str = "auto",
+                 build_cache: dict | None = None) -> None:
         if identity not in _IDENTITIES:
             raise ValueError(f"unknown identity {identity!r}; "
                              f"use one of {_IDENTITIES}")
+        if builder not in ("auto", "array", "gate"):
+            raise ValueError(f"unknown builder {builder!r} "
+                             "(expected 'auto', 'array' or 'gate')")
         # Paths open a local SQLite store; anything else (a DesignStore,
         # or a store-shaped facade like coordinator.RemoteStore) passes
         # through duck-typed.
@@ -164,6 +170,12 @@ class ExplorationService:
             evaluator_cache if evaluator_cache is not None else {}
         self._evaluator_fps: dict[tuple, str] = \
             evaluator_fp_cache if evaluator_fp_cache is not None else {}
+        self.builder = builder
+        # Content-keyed bespoke builds, shareable across tenant services
+        # like the evaluator caches: a cold miss builds once per process
+        # even when the tenants' stores differ.  None disables sharing
+        # (and the build.cache metric) without changing results.
+        self._build_cache: dict | None = build_cache
         self._netlists: dict[tuple, tuple] = {}
         self._base_keys: dict[tuple, str] = {}
 
@@ -209,16 +221,41 @@ class ExplorationService:
             approximator = CoefficientApproximator(
                 library=default_library(), e=e)
             netlist, hit = build_coeff_netlist_cached(
-                approximator, model, self.store, name=name)
+                approximator, model, self.store, name=name,
+                builder=self.builder, build_cache=self._build_cache)
             grid_meta = {
                 "coeff_netlist_key": coeff_netlist_key(model, approximator),
                 "e": e,
             }
         else:
-            netlist = build_bespoke_netlist(model, name=name)
-            grid_meta, hit = {}, False
+            netlist, hit = self._exact_netlist(model, name)
+            grid_meta = {}
         self._netlists[key] = (netlist, grid_meta, hit)
         return self._netlists[key]
+
+    def _exact_netlist(self, model, name: str) -> tuple:
+        """``(netlist, hit)`` for an exact base, via the shared cache.
+
+        Exact bases have no store table; the process-wide build cache
+        keyed by the model fingerprint plays the same role, so tenants
+        cold-missing the same circuit share one build.  The cached
+        netlist is immutable-by-convention (like the shared evaluators)
+        and its name is tenant-independent, so the object is shared
+        as-is.
+        """
+        if self._build_cache is None:
+            return build_bespoke_netlist(model, name=name,
+                                         builder=self.builder), False
+        key = ("exact-netlist", model_fingerprint(model))
+        netlist = self._build_cache.get(key)
+        if netlist is not None:
+            _metric("build.cache", result="hit")
+            return netlist, True
+        _metric("build.cache", result="miss")
+        netlist = build_bespoke_netlist(model, name=name,
+                                        builder=self.builder)
+        self._build_cache[key] = netlist
+        return netlist, False
 
     def _evaluator_fp(self, dataset: str, model: str) -> str:
         key = (dataset, model)

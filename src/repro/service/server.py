@@ -118,6 +118,7 @@ class ServeConfig:
     engine: str = "auto"
     shard_size: int = DEFAULT_SHARD_SIZE
     identity: str = "exact"
+    builder: str = "auto"       # bespoke build path: auto | array | gate
     default_tenant: str = "default"
     max_body_bytes: int = 1 << 20
     events_log: str | None = None   # JSONL span/event sink (enables tracing)
@@ -244,6 +245,10 @@ class ExploreServer:
         self._services: dict[str, ExplorationService] = {}
         self._evaluators: dict = {}   # shared across tenants (pure compute)
         self._evaluator_fps: dict = {}
+        # Content-keyed bespoke builds shared across tenants: concurrent
+        # cold misses for the same model+e build once per serve process
+        # (hits/misses on the build.cache metric).
+        self._build_cache: dict = {}
         self._inflight: dict[tuple, _LineChannel] = {}
         self._handlers: set[asyncio.Task] = set()
         self._computes: set[asyncio.Task] = set()
@@ -324,7 +329,8 @@ class ExploreServer:
                 store, n_workers=config.n_workers, engine=config.engine,
                 shard_size=config.shard_size, identity=config.identity,
                 evaluator_cache=self._evaluators,
-                evaluator_fp_cache=self._evaluator_fps)
+                evaluator_fp_cache=self._evaluator_fps,
+                builder=config.builder, build_cache=self._build_cache)
             self._services[tenant] = service
         return service
 

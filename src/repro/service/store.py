@@ -398,7 +398,9 @@ def coeff_netlist_key(model, approximator) -> str:
 
 def build_coeff_netlist_cached(approximator, model, store: "DesignStore",
                                name: str = "coeff",
-                               approx_model=None) -> tuple:
+                               approx_model=None,
+                               builder: str = "auto",
+                               build_cache: dict | None = None) -> tuple:
     """The coefficient-approximated netlist, through the store.
 
     Returns ``(netlist, hit)``.  A warm hit deserializes the stored
@@ -406,9 +408,19 @@ def build_coeff_netlist_cached(approximator, model, store: "DesignStore",
     build's exact gate list and net numbering, so fingerprints and
     evaluations of the rebuilt netlist are bit-identical — pinned by
     the service tests) and skips the bespoke build+synthesis entirely;
-    a miss builds and persists it.  ``approx_model`` short-circuits the
-    (cached) approximation step when the caller already holds it; the
-    netlist's cosmetic ``name`` is always the caller's.
+    a miss builds (through ``builder``; see
+    :func:`~repro.hw.bespoke.build_bespoke_netlist`) and persists it.
+    ``approx_model`` short-circuits the (cached) approximation step when
+    the caller already holds it; the netlist's cosmetic ``name`` is
+    always the caller's.
+
+    ``build_cache`` is an optional in-process dict (shared by the serve
+    front-end across tenant services) memoizing built payloads by the
+    same content key: cold misses for the same model+e served
+    concurrently deserialize the one build instead of re-running it,
+    even when their stores differ.  Outcomes are counted on the
+    ``build.cache{result=}`` metric; a build-cache hit still persists
+    the payload so the caller's store warms up.
     """
     from ..hw.bespoke import build_bespoke_netlist  # lazy: service -> hw
 
@@ -418,13 +430,26 @@ def build_coeff_netlist_cached(approximator, model, store: "DesignStore",
         netlist = netlist_from_dict(data)
         netlist.name = name
         return netlist, True
+    if build_cache is not None:
+        cached = build_cache.get(key)
+        if cached is not None:
+            _metric("build.cache", result="hit")
+            payload, fingerprint = cached
+            store.put_coeff_netlist(key, payload, fingerprint)
+            netlist = netlist_from_dict(payload)
+            netlist.name = name
+            return netlist, True
+        _metric("build.cache", result="miss")
     if approx_model is None:
         approx_model, _reports = approximate_model_cached(
             approximator, model, store)
-    netlist = build_bespoke_netlist(approx_model, name=name)
+    netlist = build_bespoke_netlist(approx_model, name=name, builder=builder)
     payload = netlist_to_dict(netlist)
     payload["name"] = "coeff"  # cosmetic; keep stored payloads canonical
-    store.put_coeff_netlist(key, payload, netlist_fingerprint(netlist))
+    fingerprint = netlist_fingerprint(netlist)
+    store.put_coeff_netlist(key, payload, fingerprint)
+    if build_cache is not None:
+        build_cache[key] = (payload, fingerprint)
     return netlist, False
 
 

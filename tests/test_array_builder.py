@@ -1,0 +1,371 @@
+"""Array-level bespoke builder: gate-for-gate equivalence with the oracle.
+
+The per-gate :class:`~repro.hw.netlist.Netlist` builder is the pinned
+oracle for the array emitter, the way ``synthesize_reference`` pins
+``synthesize``.  The contract under test is *identity*, not mere
+functional equivalence: for every model and every standalone block, the
+array path must produce a netlist whose gate arrays, buses, and metadata
+are equal element-for-element to the per-gate path's — which is what
+makes ``builder="array"`` safe to flip on under content-addressed
+stores (same bytes, same keys).
+
+Layers covered, bottom up:
+
+* multiplier/weighted-sum oracles over the full signed coefficient
+  range, random property cases, and the degenerate coefficients
+  (0, +-1, powers of two) whose special-casing differs most between
+  the two builders;
+* the fused fold-at-emission invariant — a folding pass over freshly
+  emitted rows is the identity transform;
+* behavioral simulation against NumPy arithmetic on a non-word-aligned
+  vector count;
+* zoo models, the framework (``explore``/``sweep_e``), and the service
+  (fresh stores, shared in-process build cache);
+* the builder telemetry: counters/histograms fire, spans stay inert
+  (PR 8's byte-identity contract), and ``fig2`` re-runs trigger zero
+  new multiplier builds through the shared library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.cross_layer import CrossLayerFramework
+from repro.core.multiplier_area import BespokeMultiplierLibrary
+from repro.experiments import fig2
+from repro.experiments.zoo import get_case
+from repro.hw.array_builder import (
+    ArrayEmitter,
+    bespoke_multiplier_rows,
+    build_bespoke_arrays,
+    build_bespoke_multiplier_arrays,
+    build_weighted_sum_arrays,
+    emit_bespoke_arrays,
+)
+from repro.hw.bespoke import (
+    build_bespoke_multiplier_netlist,
+    build_bespoke_netlist,
+    build_weighted_sum_netlist,
+)
+from repro.hw.blocks import Value, bespoke_multiplier
+from repro.hw.netlist import Netlist
+from repro.hw.simulate import simulate
+from repro.hw.synthesis import _fold_arrays, synthesize
+from repro.service import telemetry
+from repro.service.runner import ExplorationService, ExploreRequest
+
+TIER1_CASES = (("redwine", "svm_r"), ("redwine", "mlp_c"),
+               ("redwine", "svm_c"))
+
+
+def assert_netlists_identical(actual: Netlist, oracle: Netlist) -> None:
+    """Element-for-element equality of every synthesized-netlist field."""
+    assert actual.name == oracle.name
+    assert actual.input_buses == oracle.input_buses
+    assert actual.gate_type == oracle.gate_type
+    assert actual.gate_inputs == oracle.gate_inputs
+    assert actual.gate_out == oracle.gate_out
+    assert actual.output_buses == oracle.output_buses
+    assert actual.output_signed == oracle.output_signed
+    assert actual.meta == oracle.meta
+
+
+@pytest.fixture()
+def fresh_telemetry():
+    telemetry.reset()
+    yield telemetry.get_hub().registry
+    telemetry.reset()
+
+
+# ----------------------------------------------------------------------
+# Multiplier oracle
+# ----------------------------------------------------------------------
+class TestMultiplierOracle:
+    @pytest.mark.parametrize("input_bits", (4, 8))
+    def test_full_signed_coefficient_range(self, input_bits):
+        """Every signed 8-bit coefficient, both paths, identical gates."""
+        for coefficient in range(-128, 128):
+            array = build_bespoke_multiplier_netlist(
+                coefficient, input_bits, builder="array")
+            gate = build_bespoke_multiplier_netlist(
+                coefficient, input_bits, builder="gate")
+            assert_netlists_identical(array, gate)
+
+    def test_library_areas_identical(self):
+        """Array-backed and gate-backed libraries agree exactly."""
+        array_lib = BespokeMultiplierLibrary(coeff_bits=6, builder="array")
+        gate_lib = BespokeMultiplierLibrary(coeff_bits=6, builder="gate")
+        assert array_lib.area_table(4) == gate_lib.area_table(4)
+
+    def test_binary_recoding_matches_value_oracle(self):
+        """The ablation recoding mirrors blocks.bespoke_multiplier too."""
+        for coefficient in (-77, -3, 5, 45, 127):
+            em = ArrayEmitter("bm_binary")
+            x = em.input_bus("x", 6)
+            em.set_output_bus(
+                "p", bespoke_multiplier_rows(x, coefficient,
+                                             recoding="binary"))
+            array = em.finish_synthesized().to_netlist()
+
+            nl = Netlist(name="bm_binary")
+            value = Value.input_bus(nl, "x", 6)
+            product = bespoke_multiplier(value, coefficient,
+                                         recoding="binary")
+            nl.set_output_bus("p", product.nets, signed=product.signed)
+            assert_netlists_identical(array, synthesize(nl))
+
+    def test_unknown_recoding_rejected(self):
+        em = ArrayEmitter("bm")
+        x = em.input_bus("x", 4)
+        with pytest.raises(ValueError, match="unknown recoding"):
+            bespoke_multiplier_rows(x, 3, recoding="nope")
+
+
+# ----------------------------------------------------------------------
+# Weighted sums
+# ----------------------------------------------------------------------
+class TestWeightedSumOracle:
+    @pytest.mark.parametrize("coefficients,bias", [
+        ((0, 0, 0), 0),          # all-zero: the circuit is a constant
+        ((0, 0, 0), -5),         # constant negative bias
+        ((1, -1, 1, -1), 0),     # +-1: pure adder tree, no partials
+        ((2, 4, -8), 3),         # powers of two: shifts only
+        ((7, 0, -7), 0),         # zero coefficient dropped mid-list
+        ((127, -128), 17),       # extremes of the signed byte
+    ])
+    def test_degenerate_coefficients(self, coefficients, bias):
+        array = build_weighted_sum_netlist(coefficients, 4, bias=bias,
+                                           builder="array")
+        gate = build_weighted_sum_netlist(coefficients, 4, bias=bias,
+                                          builder="gate")
+        assert_netlists_identical(array, gate)
+
+    def test_random_property_cases(self):
+        """Random widths/coefficients/biases: 40 seeded cases."""
+        rng = random.Random(0xA77)
+        for _ in range(40):
+            n = rng.randint(1, 6)
+            input_bits = rng.randint(1, 10)
+            coefficients = tuple(rng.randint(-128, 127) for _ in range(n))
+            bias = rng.randint(-512, 512)
+            array = build_weighted_sum_netlist(
+                coefficients, input_bits, bias=bias, builder="array")
+            gate = build_weighted_sum_netlist(
+                coefficients, input_bits, bias=bias, builder="gate")
+            assert_netlists_identical(array, gate)
+
+    def test_behavioral_against_numpy(self):
+        """70 vectors (not a multiple of 64) against the dot product."""
+        rng = np.random.default_rng(7)
+        coefficients = (11, -23, 0, 5, -1)
+        bias = -9
+        netlist = build_weighted_sum_netlist(coefficients, 4, bias=bias,
+                                             builder="array")
+        X = rng.integers(0, 16, size=(70, len(coefficients)))
+        result = simulate(netlist, {f"x{i}": X[:, i]
+                                    for i in range(X.shape[1])})
+        expected = X @ np.array(coefficients) + bias
+        np.testing.assert_array_equal(result.bus_ints("sum"), expected)
+
+
+# ----------------------------------------------------------------------
+# Fused fold-at-emission invariant
+# ----------------------------------------------------------------------
+class TestFoldIsIdentity:
+    """Emitted rows are already at the fold fixpoint.
+
+    The emitter applies ``_fold_arrays``'s rules at emission, so a
+    folding pass over its output must be the identity transform — the
+    strongest machine-checkable form of the module's rule-mirror claim.
+    """
+
+    def _assert_fixpoint(self, circ):
+        folded, node_map, changed = _fold_arrays(circ, None)
+        assert changed is False
+        assert folded.ops == circ.ops
+        assert folded.ina == circ.ina
+        assert folded.inb == circ.inb
+        assert folded.inc == circ.inc
+        assert folded.levels == circ.levels
+        assert node_map == list(range(circ.n_fixed + len(circ.ops)))
+
+    @pytest.mark.parametrize("coefficient", (-100, -17, 3, 88, 127))
+    def test_multiplier_rows(self, coefficient):
+        em = ArrayEmitter("bm")
+        x = em.input_bus("x", 8)
+        em.set_output_bus("p", bespoke_multiplier_rows(x, coefficient))
+        self._assert_fixpoint(em.finish())
+
+    @pytest.mark.parametrize("dataset,kind", TIER1_CASES)
+    def test_model_rows(self, dataset, kind):
+        case = get_case(dataset, kind)
+        self._assert_fixpoint(emit_bespoke_arrays(case.quant_model))
+
+
+# ----------------------------------------------------------------------
+# Models and the builder selector
+# ----------------------------------------------------------------------
+class TestModelIdentity:
+    @pytest.mark.parametrize("dataset,kind", TIER1_CASES)
+    def test_zoo_models_identical(self, dataset, kind):
+        case = get_case(dataset, kind)
+        array = build_bespoke_netlist(case.quant_model, name="m",
+                                      builder="array")
+        gate = build_bespoke_netlist(case.quant_model, name="m",
+                                     builder="gate")
+        assert_netlists_identical(array, gate)
+
+    def test_array_circuit_matches_netlist_conversion(self):
+        """build_bespoke_arrays is the netlist path minus to_netlist."""
+        case = get_case("redwine", "svm_r")
+        circ = build_bespoke_arrays(case.quant_model, name="m")
+        assert_netlists_identical(
+            circ.to_netlist(),
+            build_bespoke_netlist(case.quant_model, name="m",
+                                  builder="gate"))
+
+
+class TestBuilderSelector:
+    def test_unoptimized_array_build_rejected(self):
+        """The raw builder IR is inherently per-gate."""
+        case = get_case("redwine", "svm_r")
+        with pytest.raises(ValueError, match="requires optimize=True"):
+            build_bespoke_netlist(case.quant_model, optimize=False,
+                                  builder="array")
+
+    def test_unoptimized_build_defaults_to_gate(self):
+        case = get_case("redwine", "svm_r")
+        raw = build_bespoke_netlist(case.quant_model, optimize=False)
+        assert len(raw.gate_type) > len(
+            build_bespoke_netlist(case.quant_model).gate_type)
+
+    @pytest.mark.parametrize("construct", [
+        lambda: build_bespoke_netlist(None, builder="nope"),
+        lambda: BespokeMultiplierLibrary(builder="nope"),
+        lambda: CrossLayerFramework(builder="nope"),
+        lambda: ExplorationService(":memory:", builder="nope"),
+    ])
+    def test_unknown_builder_rejected(self, construct):
+        with pytest.raises(ValueError, match="builder"):
+            construct()
+
+
+# ----------------------------------------------------------------------
+# Framework and service
+# ----------------------------------------------------------------------
+class TestFrameworkIdentity:
+    def _split_and_model(self):
+        case = get_case("redwine", "svm_r")
+        return case.split, case.quant_model
+
+    def test_explore_designs_identical(self):
+        split, quant = self._split_and_model()
+        results = {}
+        for builder in ("array", "gate"):
+            framework = CrossLayerFramework(e=3, tau_grid=(0.9, 0.95),
+                                            builder=builder)
+            result = framework.explore(quant, split.X_train, split.X_test,
+                                       split.y_test, name="rw",
+                                       include=("coeff", "prune"))
+            results[builder] = [dataclasses.astuple(p)
+                                for p in result.points]
+        assert results["array"] == results["gate"]
+        assert len(results["array"]) > 0
+
+    def test_sweep_e_designs_identical(self):
+        split, quant = self._split_and_model()
+        sweeps = {}
+        for builder in ("array", "gate"):
+            framework = CrossLayerFramework(tau_grid=(0.95,),
+                                            builder=builder)
+            sweep = framework.sweep_e(quant, split.X_train, split.X_test,
+                                      split.y_test, e_values=(1, 2),
+                                      include=("coeff",))
+            sweeps[builder] = [dataclasses.astuple(p)
+                               for p in sweep.points]
+        assert sweeps["array"] == sweeps["gate"]
+
+
+class TestServiceIdentity:
+    REQUEST = ExploreRequest(dataset="redwine", model="svm_r",
+                             base="coeff", tau_grid=(0.9, 0.95), e=1)
+
+    def test_service_designs_identical(self, tmp_path):
+        designs = {}
+        for builder in ("array", "gate"):
+            service = ExplorationService(tmp_path / f"{builder}.sqlite",
+                                         builder=builder)
+            designs[builder], _report = service.explore(self.REQUEST)
+        assert designs["array"] == designs["gate"]
+        assert len(designs["array"]) > 0
+
+    def test_shared_build_cache_across_tenants(self, tmp_path,
+                                               fresh_telemetry):
+        """Two tenants, fresh stores: the second build is a cache hit."""
+        build_cache: dict = {}
+        designs = []
+        for tenant in ("a", "b"):
+            service = ExplorationService(tmp_path / f"{tenant}.sqlite",
+                                         builder="array",
+                                         build_cache=build_cache)
+            result, _report = service.explore(self.REQUEST)
+            designs.append(result)
+        assert designs[0] == designs[1]
+        assert fresh_telemetry.counter_value("build.cache",
+                                             result="miss") == 1
+        assert fresh_telemetry.counter_value("build.cache",
+                                             result="hit") == 1
+
+    def test_no_cache_means_no_metric(self, tmp_path, fresh_telemetry):
+        service = ExplorationService(tmp_path / "solo.sqlite",
+                                     builder="array")
+        service.explore(self.REQUEST)
+        assert fresh_telemetry.counter_total("build.cache") == 0
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+class TestBuilderTelemetry:
+    def test_build_metrics_fire(self, fresh_telemetry):
+        case = get_case("redwine", "svm_r")
+        build_bespoke_netlist(case.quant_model, builder="array")
+        build_bespoke_netlist(case.quant_model, builder="gate")
+        emitted_array = fresh_telemetry.counter_value(
+            "build.gates_emitted", builder="array")
+        emitted_gate = fresh_telemetry.counter_value(
+            "build.gates_emitted", builder="gate")
+        assert emitted_array > 0
+        # The emitter folds at emission: it must never emit more rows
+        # than the per-gate builder creates pre-synthesis.
+        assert emitted_array <= emitted_gate
+        snapshot = fresh_telemetry.snapshot()
+        for builder in ("array", "gate"):
+            series = f"build.bespoke_ms{{builder={builder}}}"
+            assert snapshot["histograms"][series]["count"] == 1
+
+    def test_spans_inert(self, fresh_telemetry):
+        """Tracing on/off cannot change the emitted netlist (PR 8)."""
+        case = get_case("redwine", "svm_r")
+        quiet = build_bespoke_netlist(case.quant_model, builder="array")
+        telemetry.configure(tracing=True, events_out=io.StringIO())
+        traced = build_bespoke_netlist(case.quant_model, builder="array")
+        assert_netlists_identical(traced, quiet)
+
+    def test_fig2_rerun_triggers_zero_builds(self, fresh_telemetry):
+        """The shared per-width library absorbs repeated fig2 runs."""
+        fig2.run(e_values=(1, 2), configurations=((4, 6),))
+        telemetry.reset()
+        fig2.run(e_values=(1, 2), configurations=((4, 6),))
+        assert fresh_telemetry.counter_total("build.gates_emitted") == 0
+
+    def test_standalone_builders_count_gates(self, fresh_telemetry):
+        build_bespoke_multiplier_arrays(45, 8)
+        build_weighted_sum_arrays((3, -5), 4)
+        assert fresh_telemetry.counter_value("build.gates_emitted",
+                                             builder="array") > 0
